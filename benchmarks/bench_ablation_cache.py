@@ -1,0 +1,52 @@
+"""Ablation — the Algorithm 2 route cache.
+
+The paper stresses that "the expensive steps of the algorithm are
+executed for only those formats that have not been seen previously"; this
+bench quantifies the claim by comparing the cached per-message path
+against a receiver forced to re-plan (MaxMatch + transform-closure walk +
+ECode recompilation) on every message.
+"""
+
+import pytest
+
+from repro.bench.workloads import response_v2_of_size
+from repro.echo.protocol import RESPONSE_V1, RESPONSE_V2, V2_TO_V1_TRANSFORM
+from repro.morph.receiver import MorphReceiver
+from repro.pbio.context import PBIOContext
+from repro.pbio.registry import FormatRegistry
+
+
+def build(target=1_000):
+    registry = FormatRegistry()
+    registry.register_transform(V2_TO_V1_TRANSFORM)
+    receiver = MorphReceiver(registry)
+    receiver.register_handler(RESPONSE_V1, lambda rec: rec)
+    wire = PBIOContext(registry).encode(RESPONSE_V2, response_v2_of_size(target))
+    receiver.process(wire)  # prime
+    return receiver, wire
+
+
+def test_cache_hit_path(benchmark):
+    receiver, wire = build()
+    benchmark(receiver.process, wire)
+
+
+def test_cache_disabled_replans_every_message(benchmark):
+    receiver, wire = build()
+
+    def process_without_cache():
+        receiver._routes.clear()  # force a full Algorithm 2 pass
+        return receiver.process(wire)
+
+    benchmark(process_without_cache)
+
+
+def test_route_planning_alone(benchmark):
+    receiver, wire = build()
+    route = receiver.route_for(RESPONSE_V2)
+    assert route is not None
+
+    def plan():
+        return receiver._plan_route(RESPONSE_V2)
+
+    benchmark(plan)

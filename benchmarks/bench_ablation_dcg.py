@@ -1,0 +1,60 @@
+"""Ablation — dynamic code generation vs interpretation.
+
+The paper's efficiency argument rests on transforms being *compiled*
+("this code can be converted dynamically into a native conversion
+subroutine").  This bench compares the same ECode transform (paper
+Figure 5):
+
+* compiled through the Python-codegen pipeline (our DCG analogue),
+* executed by the AST tree-walking interpreter,
+
+plus the one-time compilation cost itself (paid once per format, then
+amortized by the route cache).
+"""
+
+import pytest
+
+from repro.bench.workloads import response_v2_of_size
+from repro.echo.protocol import V2_TO_V1_TRANSFORM
+from repro.morph.transform import Transformation
+
+
+@pytest.fixture(scope="module")
+def record_10kb():
+    return response_v2_of_size(10_000)
+
+
+def test_compiled_transform(benchmark, record_10kb):
+    xform = Transformation(V2_TO_V1_TRANSFORM, use_codegen=True)
+    benchmark(xform.apply, record_10kb)
+
+
+def test_interpreted_transform(benchmark, record_10kb):
+    xform = Transformation(V2_TO_V1_TRANSFORM, use_codegen=False)
+    benchmark(xform.apply, record_10kb)
+
+
+def test_one_time_compilation_cost(benchmark):
+    benchmark(Transformation, V2_TO_V1_TRANSFORM, True)
+
+
+def test_reconcile_python_walker(benchmark, record_10kb):
+    """Imperfect-match reconciliation: structural Python walker arm."""
+    from repro.echo.protocol import RESPONSE_V1, RESPONSE_V2
+    from repro.morph.compat import coerce_record
+
+    benchmark(coerce_record, RESPONSE_V2, RESPONSE_V1, record_10kb)
+
+
+def test_reconcile_generated_ecode(benchmark, record_10kb):
+    """Imperfect-match reconciliation: generated-ECode (DCG) arm."""
+    from repro.echo.protocol import RESPONSE_V1, RESPONSE_V2
+    from repro.morph.compat import generate_coercion_ecode
+    from repro.morph.transform import Transformation
+    from repro.pbio.registry import TransformSpec
+
+    code = generate_coercion_ecode(RESPONSE_V2, RESPONSE_V1)
+    xform = Transformation(
+        TransformSpec(RESPONSE_V2, RESPONSE_V1, code, "generated reconcile")
+    )
+    benchmark(xform.apply, record_10kb)

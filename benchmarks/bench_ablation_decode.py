@@ -1,0 +1,49 @@
+"""Ablation — PBIO's generated decode routine vs a generic field-walking
+decoder.
+
+Figure 9's PBIO advantage comes from "dynamic code generation to create a
+customized conversion subroutine for every incoming message type"; this
+bench isolates that choice by decoding the same wire bytes through the
+specialized (generated) and the interpretive decoder, and symmetrically
+for encoding.
+"""
+
+import pytest
+
+from repro.bench.workloads import response_v2_of_size
+from repro.echo.protocol import RESPONSE_V2
+from repro.pbio.codegen import make_decoder, make_encoder
+from repro.pbio.decode import decode_record
+from repro.pbio.encode import encode_record
+
+
+@pytest.fixture(scope="module")
+def wire_10kb():
+    return encode_record(RESPONSE_V2, response_v2_of_size(10_000))
+
+
+@pytest.fixture(scope="module")
+def record_10kb():
+    return response_v2_of_size(10_000)
+
+
+def test_generated_decode(benchmark, wire_10kb):
+    decode = make_decoder(RESPONSE_V2)
+    benchmark(decode, wire_10kb)
+
+
+def test_generic_decode(benchmark, wire_10kb):
+    benchmark(decode_record, RESPONSE_V2, wire_10kb)
+
+
+def test_generated_encode(benchmark, record_10kb):
+    encode = make_encoder(RESPONSE_V2)
+    benchmark(encode, record_10kb)
+
+
+def test_generic_encode(benchmark, record_10kb):
+    benchmark(encode_record, RESPONSE_V2, record_10kb)
+
+
+def test_decoder_generation_cost(benchmark):
+    benchmark(make_decoder, RESPONSE_V2)

@@ -1,0 +1,57 @@
+"""Ablation — MaxMatch cost vs format population.
+
+MaxMatch runs once per unseen format, but its cost scales with the number
+of registered revisions (|F1| x |F2| diff computations) and with format
+weight (diff recurses through every field).  This bench sweeps both
+dimensions — relevant to the paper's future-work note about refining
+MaxMatch for larger protocol-evolution trials.
+"""
+
+import pytest
+
+from repro.morph.diff import _diff_cached, diff
+from repro.morph.maxmatch import max_match
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+
+
+def make_revision(revision: int, width: int) -> IOFormat:
+    """A format with *width* fields, a few of which vary per revision."""
+    fields = [IOField(f"stable_{i}", "integer") for i in range(width - 2)]
+    fields += [
+        IOField(f"rev{revision}_a", "integer"),
+        IOField(f"rev{revision}_b", "string"),
+    ]
+    return IOFormat("Evolving", fields, version=str(revision))
+
+
+@pytest.mark.parametrize("population", [2, 8, 32])
+def test_maxmatch_scales_with_population(benchmark, population):
+    incoming = make_revision(999, 12)
+    targets = [make_revision(r, 12) for r in range(population)]
+
+    def run():
+        _diff_cached.cache_clear()  # measure the uncached planning cost
+        return max_match(incoming, targets)
+
+    result = benchmark(run)
+    assert result is not None
+
+
+@pytest.mark.parametrize("width", [4, 32, 128])
+def test_diff_scales_with_format_weight(benchmark, width):
+    f1 = make_revision(1, width)
+    f2 = make_revision(2, width)
+
+    def run():
+        _diff_cached.cache_clear()
+        return diff(f1, f2)
+
+    assert benchmark(run) == 2
+
+
+def test_cached_diff_is_constant_time(benchmark):
+    f1 = make_revision(1, 128)
+    f2 = make_revision(2, 128)
+    diff(f1, f2)  # warm the lru_cache
+    benchmark(diff, f1, f2)

@@ -1,0 +1,61 @@
+"""Figure 10 — decoding cost WITH evolution (the paper's headline
+comparison).
+
+A v1.0-only reader receives v2.0 messages:
+
+* PBIO morphing arm = DCG decode of v2.0 + compiled ECode transform of
+  paper Figure 5 (through the cached MorphReceiver route),
+* XML/XSLT arm = parse text -> tree, apply the XSL transformation ->
+  new tree, traverse the new tree -> v1.0 record.
+
+Paper result: the XML/XSLT pipeline is an order of magnitude slower.
+
+Regenerate with::
+
+    pytest benchmarks/bench_fig10_morphing.py --benchmark-only \
+        --benchmark-group-by=param
+"""
+
+import pytest
+
+from benchmarks.conftest import size_params
+from repro.bench.workloads import V2_TO_V1_STYLESHEET, response_v1_from_v2
+from repro.echo.protocol import RESPONSE_V1, RESPONSE_V2, V2_TO_V1_TRANSFORM
+from repro.morph.receiver import MorphReceiver
+from repro.pbio.context import PBIOContext
+from repro.pbio.record import records_equal
+from repro.pbio.registry import FormatRegistry
+from repro.xmlrep.decode import record_from_tree
+from repro.xmlrep.encode import encode_xml
+from repro.xmlrep.parse import parse_xml
+from repro.xmlrep.xslt import Stylesheet
+
+
+@pytest.mark.parametrize("target", size_params())
+def test_fig10_pbio_morphing(benchmark, workload_cache, target):
+    record, unencoded = workload_cache(target)
+    registry = FormatRegistry()
+    registry.register_transform(V2_TO_V1_TRANSFORM)
+    receiver = MorphReceiver(registry)
+    receiver.register_handler(RESPONSE_V1, lambda rec: rec)
+    wire = PBIOContext(registry).encode(RESPONSE_V2, record)
+    receiver.process(wire)  # plan, compile and cache the route
+    benchmark.extra_info["unencoded_bytes"] = unencoded
+    out = benchmark(receiver.process, wire)
+    assert records_equal(out, response_v1_from_v2(record))
+
+
+@pytest.mark.parametrize("target", size_params())
+def test_fig10_xml_xslt(benchmark, workload_cache, target):
+    record, unencoded = workload_cache(target)
+    text = encode_xml(RESPONSE_V2, record)
+    stylesheet = Stylesheet.from_string(V2_TO_V1_STYLESHEET)
+    benchmark.extra_info["unencoded_bytes"] = unencoded
+
+    def morph_via_xslt():
+        tree = parse_xml(text)
+        transformed = stylesheet.transform(tree)
+        return record_from_tree(RESPONSE_V1, transformed)
+
+    out = benchmark(morph_via_xslt)
+    assert records_equal(out, response_v1_from_v2(record))

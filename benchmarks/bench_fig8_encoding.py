@@ -1,0 +1,35 @@
+"""Figure 8 — encoding cost of the v2.0 ChannelOpenResponse.
+
+Paper series: PBIO vs XML over unencoded sizes 100 B – 1 MB.
+Paper result: XML encoding costs at least 2x PBIO at every size.
+
+Regenerate with::
+
+    pytest benchmarks/bench_fig8_encoding.py --benchmark-only \
+        --benchmark-group-by=param
+"""
+
+import pytest
+
+from benchmarks.conftest import size_params
+from repro.echo.protocol import RESPONSE_V2
+from repro.pbio.context import PBIOContext
+from repro.xmlrep.encode import encode_xml
+
+
+@pytest.mark.parametrize("target", size_params())
+def test_fig8_pbio_encode(benchmark, workload_cache, target):
+    record, unencoded = workload_cache(target)
+    ctx = PBIOContext()
+    ctx.encode(RESPONSE_V2, record)  # generate + cache the encoder
+    benchmark.extra_info["unencoded_bytes"] = unencoded
+    wire = benchmark(ctx.encode, RESPONSE_V2, record)
+    assert len(wire) > unencoded * 0.9
+
+
+@pytest.mark.parametrize("target", size_params())
+def test_fig8_xml_encode(benchmark, workload_cache, target):
+    record, unencoded = workload_cache(target)
+    benchmark.extra_info["unencoded_bytes"] = unencoded
+    text = benchmark(encode_xml, RESPONSE_V2, record)
+    assert len(text) > unencoded  # XML always inflates

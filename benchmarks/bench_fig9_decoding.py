@@ -1,0 +1,45 @@
+"""Figure 9 — decoding cost without evolution.
+
+A v2.0 reader receives v2.0 messages: PBIO decodes with its DCG-generated
+routine; the XML arm parses the text and traverses the tree back into a
+record.  Paper result: PBIO is an order of magnitude cheaper.
+
+Regenerate with::
+
+    pytest benchmarks/bench_fig9_decoding.py --benchmark-only \
+        --benchmark-group-by=param
+"""
+
+import pytest
+
+from benchmarks.conftest import size_params
+from repro.echo.protocol import RESPONSE_V2
+from repro.pbio.context import PBIOContext
+from repro.pbio.record import records_equal
+from repro.xmlrep.decode import record_from_tree
+from repro.xmlrep.encode import encode_xml
+from repro.xmlrep.parse import parse_xml
+
+
+@pytest.mark.parametrize("target", size_params())
+def test_fig9_pbio_decode(benchmark, workload_cache, target):
+    record, unencoded = workload_cache(target)
+    ctx = PBIOContext()
+    wire = ctx.encode(RESPONSE_V2, record)
+    ctx.decode_as(RESPONSE_V2, wire)  # generate + cache the decoder
+    benchmark.extra_info["unencoded_bytes"] = unencoded
+    out = benchmark(ctx.decode_as, RESPONSE_V2, wire)
+    assert records_equal(out, record)
+
+
+@pytest.mark.parametrize("target", size_params())
+def test_fig9_xml_decode(benchmark, workload_cache, target):
+    record, unencoded = workload_cache(target)
+    text = encode_xml(RESPONSE_V2, record)
+    benchmark.extra_info["unencoded_bytes"] = unencoded
+
+    def decode():
+        return record_from_tree(RESPONSE_V2, parse_xml(text))
+
+    out = benchmark(decode)
+    assert records_equal(out, record)

@@ -1,0 +1,42 @@
+"""Table 1 — ChannelOpenResponse message sizes across representations.
+
+The paper reports sizes (KB) for: unencoded v2.0 (baseline), PBIO-encoded
+v2.0 (< 30 B overhead), unencoded v1.0 (~3x: rollback duplicates list
+data), XML v2.0 and XML v1.0 (large inflation from inline tags).
+
+The benchmark times the whole size-measurement pipeline per column and
+attaches the measured sizes as ``extra_info`` so
+``--benchmark-json`` output carries the full table.
+"""
+
+import pytest
+
+from repro.bench.figures import table1_sizes
+
+COLUMNS = [
+    pytest.param(0.1, id="0.1KB"),
+    pytest.param(1.0, id="1KB"),
+    pytest.param(10.0, id="10KB"),
+    pytest.param(100.0, id="100KB"),
+    pytest.param(1000.0, id="1MB", marks=pytest.mark.slow),
+]
+
+
+@pytest.mark.parametrize("kb", COLUMNS)
+def test_table1_column(benchmark, kb):
+    rows = benchmark.pedantic(
+        table1_sizes, args=([kb],), rounds=1, iterations=1
+    )
+    row = rows[0]
+    benchmark.extra_info.update(
+        unencoded_v2=row.unencoded_v2,
+        pbio_v2=row.pbio_v2,
+        unencoded_v1=row.unencoded_v1,
+        xml_v2=row.xml_v2,
+        xml_v1=row.xml_v1,
+    )
+    # the paper's qualitative claims, asserted per column:
+    assert row.pbio_v2 - row.unencoded_v2 < 30 + 4 * (row.unencoded_v2 // 30)
+    assert row.unencoded_v1 > 1.5 * row.unencoded_v2
+    assert row.xml_v2 > 2.5 * row.unencoded_v2
+    assert row.xml_v1 > row.xml_v2

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+Each figure bench is parametrized over the paper's message sizes.  The
+1 MB point (paper's largest figure size) is heavy for the XML arms under
+pytest-benchmark's calibration; select it explicitly with
+``-m slow`` / deselect with ``-m "not slow"`` (it is included by default
+but marked)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import response_v2_of_size
+from repro.echo.protocol import RESPONSE_V2
+from repro.pbio.encode import native_size
+
+SIZES = {
+    "100B": 100,
+    "1KB": 1_000,
+    "10KB": 10_000,
+    "100KB": 100_000,
+}
+
+SLOW_SIZES = {"1MB": 1_000_000}
+
+
+def size_params():
+    params = [pytest.param(target, id=label) for label, target in SIZES.items()]
+    params += [
+        pytest.param(target, id=label, marks=pytest.mark.slow)
+        for label, target in SLOW_SIZES.items()
+    ]
+    return params
+
+
+@pytest.fixture(scope="session")
+def workload_cache():
+    cache = {}
+
+    def get(target_bytes: int):
+        if target_bytes not in cache:
+            record = response_v2_of_size(target_bytes)
+            cache[target_bytes] = (record, native_size(RESPONSE_V2, record))
+        return cache[target_bytes]
+
+    return get

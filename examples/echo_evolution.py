@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""ECho evolution — the paper's Section 4.1 scenario, end to end.
+
+A channel creator running the NEW ECho (v2.0) serves subscribers running
+three different releases (v0.0, v1.0, v2.0) over a simulated network.
+The v2.0 ``ChannelOpenResponse`` carries the paper's Figure 5
+retro-transformation (plus a v1.0 -> v0.0 hop), so:
+
+* the v2.0 subscriber gets an exact match,
+* the v1.0 subscriber's middleware dynamically compiles and applies the
+  Figure 5 ECode,
+* the v0.0 subscriber morphs through the two-hop chain (Figure 1).
+
+After membership converges, a v2.0 publisher pushes telemetry events that
+themselves evolve across versions on the data plane.
+
+Run:  python examples/echo_evolution.py
+"""
+
+from repro.echo import EChoProcess, RESPONSE_V2
+from repro.net import Network, WIRELESS_11MBPS
+from repro.pbio import FormatRegistry, IOField, IOFormat
+
+# --- topology ---------------------------------------------------------------
+
+net = Network()
+registry = FormatRegistry()  # the shared out-of-band meta-data service
+
+creator = EChoProcess(net, "creator", registry, version="2.0")
+modern = EChoProcess(net, "modern-sub", registry, version="2.0")
+legacy = EChoProcess(net, "legacy-sub", registry, version="1.0")
+ancient = EChoProcess(net, "ancient-sub", registry, version="0.0")
+publisher = EChoProcess(net, "publisher", registry, version="2.0")
+
+net.set_link("creator", "ancient-sub", WIRELESS_11MBPS)  # a slow edge device
+
+# --- channel membership across three protocol generations -------------------
+
+creator.create_channel("telemetry")
+modern.open_channel("telemetry", "creator", as_sink=True)
+legacy.open_channel("telemetry", "creator", as_sink=True)
+ancient.open_channel("telemetry", "creator", as_sink=True)
+publisher.open_channel("telemetry", "creator", as_source=True)
+net.run()
+
+print("membership replicas after joins:")
+for process in (modern, legacy, ancient):
+    channel = process.channel("telemetry")
+    members = ", ".join(m.contact for m in channel.member_list())
+    print(f"  {process.address:12s} (ECho {process.version}): [{members}]")
+    assert channel.ready
+
+legacy_route = legacy.control.route_for(RESPONSE_V2)
+ancient_route = ancient.control.route_for(RESPONSE_V2)
+print("\nmorphing routes planned by the control plane:")
+print(f"  legacy-sub : v2.0 response -> {len(legacy_route.chain)} transform hop(s)")
+print(f"  ancient-sub: v2.0 response -> {len(ancient_route.chain)} transform hop(s)")
+assert len(legacy_route.chain) == 1
+assert len(ancient_route.chain) == 2
+
+# --- the data plane evolves too ---------------------------------------------
+
+TELEMETRY_V1 = IOFormat(
+    "Telemetry", [IOField("t", "float"), IOField("load", "integer")], version="1.0"
+)
+TELEMETRY_V2 = IOFormat(
+    "Telemetry",
+    [IOField("t", "float"), IOField("load", "integer"), IOField("host", "string")],
+    version="2.0",
+)
+registry.add_transform(
+    TELEMETRY_V2, TELEMETRY_V1, "old.t = new.t; old.load = new.load;"
+)
+
+received = {"modern-sub": [], "legacy-sub": [], "ancient-sub": []}
+modern.subscribe("telemetry", TELEMETRY_V2, received["modern-sub"].append)
+legacy.subscribe("telemetry", TELEMETRY_V1, received["legacy-sub"].append)
+ancient.subscribe("telemetry", TELEMETRY_V1, received["ancient-sub"].append)
+
+for step in range(3):
+    publisher.submit(
+        "telemetry",
+        TELEMETRY_V2,
+        TELEMETRY_V2.make_record(t=float(step), load=40 + step, host="node-7"),
+    )
+net.run()
+
+print("\nevents delivered (new v2.0 events, mixed-version sinks):")
+for address, events in received.items():
+    fields = sorted(events[0].keys())
+    print(f"  {address:12s}: {len(events)} events, fields={fields}")
+    assert len(events) == 3
+
+print(f"\nsimulated network: {net.messages_sent} messages, "
+      f"{net.bytes_sent} bytes, finished at t={net.now * 1000:.2f} ms (virtual)")
+print("OK: three ECho generations interoperate with zero application changes.")

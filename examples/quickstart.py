@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart — message morphing in ~40 lines.
+
+A sensor network evolves its ``Reading`` message: v1 reported Celsius,
+v2 reports Kelvin and adds a sensor id.  Deployed v1 consumers keep
+working because the v2 format carries an ECode transformation (dynamic
+code generation does the rest).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FormatRegistry, IOField, IOFormat, MorphReceiver, PBIOContext
+
+# --- formats: two revisions sharing the wire name -------------------------
+
+READING_V1 = IOFormat(
+    "Reading",
+    [IOField("celsius", "float"), IOField("station", "string")],
+    version="1",
+)
+
+READING_V2 = IOFormat(
+    "Reading",
+    [
+        IOField("kelvin", "float"),
+        IOField("station", "string"),
+        IOField("sensor_id", "integer"),
+    ],
+    version="2",
+)
+
+# --- the writer attaches a retro-transformation to its new format ---------
+
+registry = FormatRegistry()
+registry.add_transform(
+    READING_V2,
+    READING_V1,
+    """
+    old.celsius = new.kelvin - 273.15;
+    old.station = new.station;
+    """,
+    description="Reading v2 -> v1 (drop sensor id, Kelvin -> Celsius)",
+)
+
+# --- an old consumer, written long before v2 existed ----------------------
+
+receiver = MorphReceiver(registry)
+
+
+def legacy_handler(reading):
+    print(f"  [v1 consumer] {reading.station}: {reading.celsius:.2f} C")
+
+
+receiver.register_handler(READING_V1, legacy_handler)
+
+# --- a new producer sends v2 messages to everyone --------------------------
+
+producer = PBIOContext(registry)
+
+print("new producer sends Reading v2 wire messages:")
+for kelvin, station, sensor in [(300.0, "atlanta-1", 17), (285.5, "atlanta-2", 9)]:
+    wire = producer.encode(
+        READING_V2,
+        READING_V2.make_record(kelvin=kelvin, station=station, sensor_id=sensor),
+    )
+    receiver.process(wire)  # morphs v2 -> v1 on the fly, then dispatches
+
+print(f"\nreceiver stats: {receiver.stats.snapshot()}")
+assert receiver.stats.morphed == 2
+assert receiver.stats.cache_hits == 1  # second message reused the route
+print("OK: a v1-only consumer processed v2 messages without any change.")

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project is fully configured by pyproject.toml; this file exists so
+fully-offline environments without the `wheel` package can still do
+`python setup.py develop` or legacy editable installs.
+"""
+
+from setuptools import setup
+
+setup()

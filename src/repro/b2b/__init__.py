@@ -1,0 +1,34 @@
+"""Business-process messaging scenario (paper Section 4.2): retailer,
+supplier and broker, in broker-transforms (XSLT) and morphing modes."""
+
+from repro.b2b.broker import Broker, BrokerStats
+from repro.b2b.formats import (
+    ORDER_TRANSFORM,
+    RETAILER_PO,
+    RETAILER_STATUS,
+    STATUS_TRANSFORM,
+    SUPPLIER_PO,
+    SUPPLIER_STATUS,
+    register_b2b,
+)
+from repro.b2b.participants import Retailer, Supplier
+from repro.b2b.scenario import B2BScenario, build_scenario
+from repro.b2b.stylesheets import ORDER_STYLESHEET, STATUS_STYLESHEET
+
+__all__ = [
+    "B2BScenario",
+    "Broker",
+    "BrokerStats",
+    "ORDER_STYLESHEET",
+    "ORDER_TRANSFORM",
+    "RETAILER_PO",
+    "RETAILER_STATUS",
+    "Retailer",
+    "STATUS_STYLESHEET",
+    "STATUS_TRANSFORM",
+    "SUPPLIER_PO",
+    "SUPPLIER_STATUS",
+    "Supplier",
+    "build_scenario",
+    "register_b2b",
+]

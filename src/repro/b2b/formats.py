@@ -1,0 +1,164 @@
+"""B2B message formats (paper Section 4.2).
+
+A retailer and a supplier exchange purchase orders and order statuses
+through a broker.  Each vendor generates data "in their own format": the
+message *role* (and hence the PBIO format name) is shared —
+``PurchaseOrder`` / ``OrderStatus`` — but the structures differ the way
+independently developed schemas do:
+
+* the retailer's order is flat, one line item per message, prices in
+  dollars (float), a free-form shipping address,
+* the supplier's order carries an item list (even when it has a single
+  entry), prices in integer cents, and a structured address.
+
+``RETAILER_TO_SUPPLIER_ORDER_CODE`` and
+``SUPPLIER_TO_RETAILER_STATUS_CODE`` are the ECode segments the broker
+associates with the messages (Figure 7): the *receiver* performs the
+conversion, not the broker.
+"""
+
+from __future__ import annotations
+
+from repro.pbio.field import ArraySpec, IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry, TransformSpec
+
+# ---------------------------------------------------------------------------
+# Purchase orders
+# ---------------------------------------------------------------------------
+
+RETAILER_PO = IOFormat(
+    "PurchaseOrder",
+    [
+        IOField("order_id", "string"),
+        IOField("sku", "string"),
+        IOField("quantity", "integer"),
+        IOField("unit_price_dollars", "float"),
+        IOField("ship_to", "string"),
+        IOField("rush", "boolean"),
+    ],
+    version="acme-retail-1",
+)
+
+_SUPPLIER_ITEM = IOFormat(
+    "OrderItem",
+    [
+        IOField("sku", "string"),
+        IOField("quantity", "integer"),
+        IOField("unit_price_cents", "integer", 8),
+    ],
+    version="initech-supply-3",
+)
+
+_SUPPLIER_ADDRESS = IOFormat(
+    "Address",
+    [
+        IOField("street", "string"),
+        IOField("city", "string"),
+        IOField("zip", "string"),
+    ],
+    version="initech-supply-3",
+)
+
+SUPPLIER_PO = IOFormat(
+    "PurchaseOrder",
+    [
+        IOField("order_id", "string"),
+        IOField("item_count", "integer"),
+        IOField(
+            "line_items",
+            "complex",
+            subformat=_SUPPLIER_ITEM,
+            array=ArraySpec(length_field="item_count"),
+        ),
+        IOField("address", "complex", subformat=_SUPPLIER_ADDRESS),
+        IOField("priority", "integer"),  # 0 normal, 1 rush
+    ],
+    version="initech-supply-3",
+)
+
+#: Retailer order -> supplier order: wrap the single line item in a list,
+#: convert dollars to cents, split the one-line address, map the rush
+#: flag onto the priority enum.
+RETAILER_TO_SUPPLIER_ORDER_CODE = """
+old.order_id = new.order_id;
+old.item_count = 1;
+old.line_items[0].sku = new.sku;
+old.line_items[0].quantity = new.quantity;
+old.line_items[0].unit_price_cents = floor(new.unit_price_dollars * 100.0 + 0.5);
+old.address.street = new.ship_to;
+old.address.city = "";
+old.address.zip = "";
+if (new.rush) {
+    old.priority = 1;
+} else {
+    old.priority = 0;
+}
+"""
+
+ORDER_TRANSFORM = TransformSpec(
+    source=RETAILER_PO,
+    target=SUPPLIER_PO,
+    code=RETAILER_TO_SUPPLIER_ORDER_CODE,
+    description="acme PurchaseOrder -> initech PurchaseOrder",
+)
+
+# ---------------------------------------------------------------------------
+# Order status
+# ---------------------------------------------------------------------------
+
+SUPPLIER_STATUS = IOFormat(
+    "OrderStatus",
+    [
+        IOField("order_id", "string"),
+        IOField("state", "enumeration"),  # 0 received, 1 shipped, 2 backorder
+        IOField("eta_days", "integer"),
+        IOField("carrier", "string"),
+    ],
+    version="initech-supply-3",
+)
+
+RETAILER_STATUS = IOFormat(
+    "OrderStatus",
+    [
+        IOField("order_id", "string"),
+        IOField("shipped", "boolean"),
+        IOField("backordered", "boolean"),
+        IOField("eta_days", "integer"),
+        IOField("note", "string"),
+    ],
+    version="acme-retail-1",
+)
+
+#: Supplier status -> retailer status: explode the state enum into the
+#: retailer's two booleans and fold the carrier into the note.
+SUPPLIER_TO_RETAILER_STATUS_CODE = """
+old.order_id = new.order_id;
+old.shipped = 0;
+old.backordered = 0;
+switch (new.state) {
+    case 1:
+        old.shipped = 1;
+        break;
+    case 2:
+        old.backordered = 1;
+        break;
+    default:
+        break;
+}
+old.eta_days = new.eta_days;
+old.note = strcat("carrier: ", new.carrier);
+"""
+
+STATUS_TRANSFORM = TransformSpec(
+    source=SUPPLIER_STATUS,
+    target=RETAILER_STATUS,
+    code=SUPPLIER_TO_RETAILER_STATUS_CODE,
+    description="initech OrderStatus -> acme OrderStatus",
+)
+
+
+def register_b2b(registry: FormatRegistry) -> None:
+    """Register all B2B formats and the broker-supplied transforms."""
+    registry.register_transform(ORDER_TRANSFORM)
+    registry.register_transform(STATUS_TRANSFORM)

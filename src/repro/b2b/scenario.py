@@ -1,0 +1,65 @@
+"""Canned B2B supply-chain scenarios (one retailer, one supplier, one
+broker) used by examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.b2b.broker import Broker
+from repro.b2b.formats import register_b2b
+from repro.b2b.participants import Retailer, Supplier
+from repro.b2b.stylesheets import ORDER_STYLESHEET, STATUS_STYLESHEET
+from repro.net.link import LinkSpec
+from repro.net.transport import Network
+from repro.pbio.registry import FormatRegistry
+
+
+@dataclass
+class B2BScenario:
+    network: Network
+    registry: FormatRegistry
+    broker: Broker
+    retailer: Retailer
+    supplier: Supplier
+
+    def run(self) -> int:
+        return self.network.run()
+
+
+def build_scenario(
+    mode: str = "morphing",
+    stock: Optional[Dict[str, int]] = None,
+    link: Optional[LinkSpec] = None,
+) -> B2BScenario:
+    """Assemble the supply chain of Figures 6/7.
+
+    ``mode="morphing"`` routes PBIO binary through a passive broker with
+    receiver-side ECode conversion; ``mode="xslt"`` routes XML text
+    through a broker that applies stylesheets in-flight.
+    """
+    network = Network(default_link=link)
+    registry = FormatRegistry()
+    register_b2b(registry)
+    broker = Broker(network, "broker", registry, mode=mode)
+    retailer = Retailer(network, "acme", registry, broker="broker", mode=mode)
+    supplier = Supplier(
+        network,
+        "initech",
+        registry,
+        broker="broker",
+        mode=mode,
+        stock=stock if stock is not None else {"WIDGET-9": 100, "SPROCKET-3": 5},
+    )
+    broker.add_route("acme", "initech")
+    broker.add_route("initech", "acme")
+    if mode == "xslt":
+        broker.add_stylesheet("acme", "initech", ORDER_STYLESHEET)
+        broker.add_stylesheet("initech", "acme", STATUS_STYLESHEET)
+    return B2BScenario(
+        network=network,
+        registry=registry,
+        broker=broker,
+        retailer=retailer,
+        supplier=supplier,
+    )

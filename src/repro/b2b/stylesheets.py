@@ -1,0 +1,58 @@
+"""XSL stylesheets for the broker's Figure 6 (XSLT) mode.
+
+These are the XML/XSLT counterparts of the ECode transforms in
+:mod:`repro.b2b.formats` — the conversions the AQ-style broker applies
+in-flight."""
+
+ORDER_STYLESHEET = """\
+<?xml version="1.0"?>
+<xsl:stylesheet version="1.0">
+  <xsl:template match="PurchaseOrder">
+    <PurchaseOrder version="initech-supply-3">
+      <order_id><xsl:value-of select="order_id"/></order_id>
+      <item_count>1</item_count>
+      <line_items>
+        <sku><xsl:value-of select="sku"/></sku>
+        <quantity><xsl:value-of select="quantity"/></quantity>
+        <unit_price_cents><xsl:value-of select="round(unit_price_dollars * 100)"/></unit_price_cents>
+      </line_items>
+      <address>
+        <street><xsl:value-of select="ship_to"/></street>
+        <city></city>
+        <zip></zip>
+      </address>
+      <priority>
+        <xsl:choose>
+          <xsl:when test="rush='1'">1</xsl:when>
+          <xsl:otherwise>0</xsl:otherwise>
+        </xsl:choose>
+      </priority>
+    </PurchaseOrder>
+  </xsl:template>
+</xsl:stylesheet>
+"""
+
+STATUS_STYLESHEET = """\
+<?xml version="1.0"?>
+<xsl:stylesheet version="1.0">
+  <xsl:template match="OrderStatus">
+    <OrderStatus version="acme-retail-1">
+      <order_id><xsl:value-of select="order_id"/></order_id>
+      <shipped>
+        <xsl:choose>
+          <xsl:when test="state='1'">1</xsl:when>
+          <xsl:otherwise>0</xsl:otherwise>
+        </xsl:choose>
+      </shipped>
+      <backordered>
+        <xsl:choose>
+          <xsl:when test="state='2'">1</xsl:when>
+          <xsl:otherwise>0</xsl:otherwise>
+        </xsl:choose>
+      </backordered>
+      <eta_days><xsl:value-of select="eta_days"/></eta_days>
+      <note><xsl:value-of select="concat('carrier: ', carrier)"/></note>
+    </OrderStatus>
+  </xsl:template>
+</xsl:stylesheet>
+"""

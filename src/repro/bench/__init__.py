@@ -1,0 +1,44 @@
+"""Benchmark harness: workload generators, timing and the per-figure
+data-series functions.  ``python -m repro.bench`` prints every table and
+figure of the paper's evaluation as text."""
+
+from repro.bench.figures import (
+    ComparisonRow,
+    SizeRow,
+    fig8_encoding,
+    fig9_decoding,
+    fig10_morphing,
+    table1_sizes,
+)
+from repro.bench.timing import Measurement, measure
+from repro.bench.workloads import (
+    FIGURE_SIZES,
+    TABLE1_SIZES_KB,
+    V2_TO_V1_STYLESHEET,
+    figure_workloads,
+    make_member,
+    members_for_size,
+    response_v1_from_v2,
+    response_v2,
+    response_v2_of_size,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "FIGURE_SIZES",
+    "Measurement",
+    "SizeRow",
+    "TABLE1_SIZES_KB",
+    "V2_TO_V1_STYLESHEET",
+    "fig10_morphing",
+    "fig8_encoding",
+    "fig9_decoding",
+    "figure_workloads",
+    "make_member",
+    "measure",
+    "members_for_size",
+    "response_v1_from_v2",
+    "response_v2",
+    "response_v2_of_size",
+    "table1_sizes",
+]

@@ -1,0 +1,110 @@
+"""Print every evaluation artifact (Figures 8-10, Table 1) as text.
+
+Usage::
+
+    python -m repro.bench                  # figure sizes up to 1 MB
+    python -m repro.bench --quick          # up to 10 KB (CI-friendly)
+    python -m repro.bench --json out.json  # machine-readable results too
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.bench.figures import (
+    fig8_encoding,
+    fig9_decoding,
+    fig10_morphing,
+    table1_sizes,
+)
+from repro.bench.reporting import format_kb, format_ms, format_table
+from repro.bench.workloads import FIGURE_SIZES
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if "--quick" in args:
+        sizes = {k: v for k, v in FIGURE_SIZES.items() if v <= 10_000}
+        table_kb = [0.1, 1.0, 10.0]
+    else:
+        sizes = dict(FIGURE_SIZES)
+        table_kb = [0.1, 1.0, 10.0, 100.0, 1000.0]
+    json_path = None
+    if "--json" in args:
+        index = args.index("--json")
+        if index + 1 >= len(args):
+            print("error: --json requires a file path", file=sys.stderr)
+            return 2
+        json_path = args[index + 1]
+    collected: "dict[str, list]" = {}
+
+    def comparison(title: str, rows) -> None:
+        collected[title] = [
+            {
+                "label": r.label,
+                "unencoded_bytes": r.unencoded_bytes,
+                "pbio_seconds": r.pbio.best,
+                "xml_seconds": r.xml.best,
+                "ratio": r.ratio,
+            }
+            for r in rows
+        ]
+        print(f"\n== {title} ==")
+        print(
+            format_table(
+                ["size", "unencoded(B)", "PBIO(ms)", "XML(ms)", "XML/PBIO"],
+                [
+                    (
+                        r.label,
+                        r.unencoded_bytes,
+                        format_ms(r.pbio.best),
+                        format_ms(r.xml.best),
+                        f"{r.ratio:.1f}x",
+                    )
+                    for r in rows
+                ],
+            )
+        )
+
+    comparison("Figure 8: encoding cost", fig8_encoding(sizes))
+    comparison("Figure 9: decoding cost (no evolution)", fig9_decoding(sizes))
+    comparison(
+        "Figure 10: decoding cost with evolution (morphing vs XSLT)",
+        fig10_morphing(sizes),
+    )
+
+    print("\n== Table 1: ChannelOpenResponse message size (KB) ==")
+    rows = table1_sizes(table_kb)
+    collected["Table 1"] = [
+        {
+            "target_kb": r.target_kb,
+            "unencoded_v2": r.unencoded_v2,
+            "pbio_v2": r.pbio_v2,
+            "unencoded_v1": r.unencoded_v1,
+            "xml_v2": r.xml_v2,
+            "xml_v1": r.xml_v1,
+        }
+        for r in rows
+    ]
+    print(
+        format_table(
+            ["", *(format_kb(int(r.target_kb * 1000)) for r in rows)],
+            [
+                ["Unencoded v2.0", *(format_kb(r.unencoded_v2) for r in rows)],
+                ["PBIO Encoded v2.0", *(format_kb(r.pbio_v2) for r in rows)],
+                ["Unencoded v1.0", *(format_kb(r.unencoded_v1) for r in rows)],
+                ["XML v2.0", *(format_kb(r.xml_v2) for r in rows)],
+                ["XML v1.0", *(format_kb(r.xml_v1) for r in rows)],
+            ],
+        )
+    )
+    if json_path is not None:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(collected, handle, indent=2)
+        print(f"\nwrote JSON results to {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

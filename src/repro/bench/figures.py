@@ -1,0 +1,192 @@
+"""Figure/table data generators — one function per evaluation artifact.
+
+Each function regenerates the data series behind one figure or table of
+the paper's Section 5, returning plain rows that the pytest benches
+assert shape properties on and that ``python -m repro.bench`` prints as
+paper-style tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.timing import Measurement, measure
+from repro.bench.workloads import (
+    FIGURE_SIZES,
+    TABLE1_SIZES_KB,
+    V2_TO_V1_STYLESHEET,
+    response_v1_from_v2,
+    response_v2_of_size,
+)
+from repro.echo.protocol import (
+    RESPONSE_V1,
+    RESPONSE_V2,
+    V2_TO_V1_TRANSFORM,
+)
+from repro.morph.receiver import MorphReceiver
+from repro.pbio.context import PBIOContext
+from repro.pbio.encode import native_size
+from repro.pbio.record import Record
+from repro.pbio.registry import FormatRegistry
+from repro.xmlrep.decode import record_from_tree
+from repro.xmlrep.encode import encode_xml
+from repro.xmlrep.parse import parse_xml
+from repro.xmlrep.xslt import Stylesheet
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One x-axis point of a PBIO-vs-XML figure."""
+
+    label: str
+    unencoded_bytes: int
+    pbio: Measurement
+    xml: Measurement
+
+    @property
+    def ratio(self) -> float:
+        """XML time / PBIO time — the factor the paper reports."""
+        return self.xml.best / self.pbio.best if self.pbio.best else float("inf")
+
+
+def _workloads(sizes: Optional[Dict[str, int]]) -> List:
+    chosen = sizes if sizes is not None else FIGURE_SIZES
+    out = []
+    for label, target in chosen.items():
+        record = response_v2_of_size(target)
+        out.append((label, native_size(RESPONSE_V2, record), record))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — encoding cost
+# ---------------------------------------------------------------------------
+
+
+def fig8_encoding(
+    sizes: Optional[Dict[str, int]] = None, rounds: int = 5
+) -> List[ComparisonRow]:
+    """Encoding cost of the v2.0 ChannelOpenResponse, PBIO vs XML.
+
+    Paper result: XML encoding is at least 2x PBIO across all sizes."""
+    rows: List[ComparisonRow] = []
+    ctx = PBIOContext()
+    for label, unencoded, record in _workloads(sizes):
+        ctx.encode(RESPONSE_V2, record)  # warm the generated encoder
+        pbio = measure(lambda: ctx.encode(RESPONSE_V2, record), rounds=rounds)
+        xml = measure(lambda: encode_xml(RESPONSE_V2, record), rounds=rounds)
+        rows.append(ComparisonRow(label, unencoded, pbio, xml))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — decoding cost without evolution
+# ---------------------------------------------------------------------------
+
+
+def fig9_decoding(
+    sizes: Optional[Dict[str, int]] = None, rounds: int = 5
+) -> List[ComparisonRow]:
+    """Decoding cost without format evolution: a v2.0 reader receives
+    v2.0 messages.  PBIO decodes with its generated routine; XML parses
+    the text and traverses the tree back into a record.
+
+    Paper result: PBIO is much less expensive than XML (order of
+    magnitude), because of its DCG-specialized decode routine."""
+    rows: List[ComparisonRow] = []
+    ctx = PBIOContext()
+    for label, unencoded, record in _workloads(sizes):
+        wire = ctx.encode(RESPONSE_V2, record)
+        xml_text = encode_xml(RESPONSE_V2, record)
+        ctx.decode_as(RESPONSE_V2, wire)  # warm the generated decoder
+
+        def decode_xml_path(text: str = xml_text) -> Record:
+            return record_from_tree(RESPONSE_V2, parse_xml(text))
+
+        pbio = measure(lambda: ctx.decode_as(RESPONSE_V2, wire), rounds=rounds)
+        xml = measure(decode_xml_path, rounds=rounds)
+        rows.append(ComparisonRow(label, unencoded, pbio, xml))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — decoding cost with evolution (message morphing vs XSLT)
+# ---------------------------------------------------------------------------
+
+
+def fig10_morphing(
+    sizes: Optional[Dict[str, int]] = None, rounds: int = 5
+) -> List[ComparisonRow]:
+    """Decoding cost *with* evolution: a v1.0-only reader receives v2.0
+    messages.
+
+    PBIO morphing = decode v2.0 (generated routine) + compiled ECode
+    transform to v1.0 (Figure 5).  XML/XSLT = parse text into a tree +
+    apply the XSL transformation (new tree) + traverse the new tree into
+    a v1.0 record.
+
+    Paper result: XML/XSLT is an order of magnitude slower."""
+    rows: List[ComparisonRow] = []
+    stylesheet = Stylesheet.from_string(V2_TO_V1_STYLESHEET)
+    for label, unencoded, record in _workloads(sizes):
+        registry = FormatRegistry()
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        receiver = MorphReceiver(registry)
+        receiver.register_handler(RESPONSE_V1, lambda rec: rec)
+        ctx = PBIOContext(registry)
+        wire = ctx.encode(RESPONSE_V2, record)
+        xml_text = encode_xml(RESPONSE_V2, record)
+        receiver.process(wire)  # plan + compile + cache the route
+
+        def xslt_path(text: str = xml_text) -> Record:
+            tree = parse_xml(text)
+            transformed = stylesheet.transform(tree)
+            return record_from_tree(RESPONSE_V1, transformed)
+
+        pbio = measure(lambda: receiver.process(wire), rounds=rounds)
+        xml = measure(xslt_path, rounds=rounds)
+        rows.append(ComparisonRow(label, unencoded, pbio, xml))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — message sizes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SizeRow:
+    """One column of Table 1 (sizes in bytes)."""
+
+    target_kb: float
+    unencoded_v2: int
+    pbio_v2: int
+    unencoded_v1: int
+    xml_v2: int
+    xml_v1: int
+
+
+def table1_sizes(sizes_kb: Optional[List[float]] = None) -> List[SizeRow]:
+    """ChannelOpenResponse sizes across representations.
+
+    Paper results: PBIO adds < 30 bytes to the unencoded data; rollback
+    to v1.0 triples the size (duplicated lists); XML inflates v2.0 by
+    ~6-12x and v1.0 further."""
+    chosen = list(sizes_kb) if sizes_kb is not None else list(TABLE1_SIZES_KB)
+    ctx = PBIOContext()
+    rows: List[SizeRow] = []
+    for kb in chosen:
+        record_v2 = response_v2_of_size(int(kb * 1000))
+        record_v1 = response_v1_from_v2(record_v2)
+        rows.append(
+            SizeRow(
+                target_kb=kb,
+                unencoded_v2=native_size(RESPONSE_V2, record_v2),
+                pbio_v2=len(ctx.encode(RESPONSE_V2, record_v2)),
+                unencoded_v1=native_size(RESPONSE_V1, record_v1),
+                xml_v2=len(encode_xml(RESPONSE_V2, record_v2).encode("utf-8")),
+                xml_v1=len(encode_xml(RESPONSE_V1, record_v1).encode("utf-8")),
+            )
+        )
+    return rows

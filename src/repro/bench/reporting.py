@@ -1,0 +1,40 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table (right-aligned numeric columns)."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_ms(seconds: float) -> str:
+    """Milliseconds with sensible precision across 5 decades."""
+    ms = seconds * 1e3
+    if ms >= 100:
+        return f"{ms:.0f}"
+    if ms >= 1:
+        return f"{ms:.2f}"
+    return f"{ms:.4f}"
+
+
+def format_kb(size_bytes: int) -> str:
+    kb = size_bytes / 1000
+    if kb >= 100:
+        return f"{kb:.0f}"
+    if kb >= 1:
+        return f"{kb:.1f}"
+    return f"{kb:.2f}"

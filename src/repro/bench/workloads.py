@@ -1,0 +1,161 @@
+"""Evaluation workloads.
+
+Generators for the ``ChannelOpenResponse`` messages the paper's Section 5
+measures: "five different sizes (obtained by varying the size of
+member_list)" with the *unencoded* (packed C struct) size of the v2.0
+record as the x-axis — 100 B, 1 KB, 10 KB, 100 KB and 1 MB for the
+figures, up to 10 MB for Table 1.
+
+Also hosts the XSL stylesheet implementing the v2.0 → v1.0 rollback used
+by the XML/XSLT arm of Figure 10 (the exact counterpart of the ECode in
+paper Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.echo.protocol import RESPONSE_V1, RESPONSE_V2
+from repro.pbio.encode import native_size
+from repro.pbio.record import Record
+
+#: Figure sizes: label -> target unencoded bytes of the v2.0 record.
+FIGURE_SIZES: Dict[str, int] = {
+    "100B": 100,
+    "1KB": 1_000,
+    "10KB": 10_000,
+    "100KB": 100_000,
+    "1MB": 1_000_000,
+}
+
+#: Table 1 columns (KB of unencoded v2.0 data).  The paper runs to 10 MB;
+#: the 10 MB point sits behind the benchmarks' ``full`` profile.
+TABLE1_SIZES_KB: Tuple[float, ...] = (0.1, 1.0, 10.0, 100.0, 1000.0)
+TABLE1_SIZES_KB_FULL: Tuple[float, ...] = TABLE1_SIZES_KB + (10_000.0,)
+
+
+def make_member(index: int) -> Record:
+    """Deterministic v2.0 member entry.  Roughly 2/3 of members are
+    sources and 1/2 are sinks, so the v1.0 rollback really does blow the
+    message up by about 3x (Table 1's "increases by three times")."""
+    return Record(
+        info=f"host-{index:06d}.cc.gatech.edu:{9000 + index % 1000}",
+        ID=index + 1,
+        is_Source=index % 3 != 2,
+        is_Sink=index % 2 == 0,
+    )
+
+
+#: Unencoded bytes of one member entry (strings NUL-terminated, ints 4,
+#: booleans 1) — computed, not hardcoded, so format edits do not skew
+#: the generator.
+_MEMBER_BYTES = native_size(
+    RESPONSE_V2,
+    Record(channel_id="", member_count=1, member_list=[make_member(0)]),
+) - native_size(RESPONSE_V2, Record(channel_id="", member_count=0, member_list=[]))
+
+_CHANNEL_ID = "telemetry"
+
+
+def response_v2(member_count: int) -> Record:
+    """A v2.0 ChannelOpenResponse with *member_count* members."""
+    return Record(
+        channel_id=_CHANNEL_ID,
+        member_count=member_count,
+        member_list=[make_member(i) for i in range(member_count)],
+    )
+
+
+def members_for_size(target_bytes: int) -> int:
+    """Member count whose v2.0 record has unencoded size closest to (and
+    at least one member below) *target_bytes*."""
+    base = native_size(
+        RESPONSE_V2, Record(channel_id=_CHANNEL_ID, member_count=0, member_list=[])
+    )
+    return max(1, (target_bytes - base) // _MEMBER_BYTES)
+
+
+def response_v2_of_size(target_bytes: int) -> Record:
+    """A v2.0 response whose unencoded size approximates *target_bytes*."""
+    return response_v2(members_for_size(target_bytes))
+
+
+def response_v1_from_v2(record: Record) -> Record:
+    """Reference (plain Python) rollback v2.0 -> v1.0; used to produce
+    v1.0 workload records and to check transform outputs in tests."""
+    members = record["member_list"]
+    sources = [m for m in members if m["is_Source"]]
+    sinks = [m for m in members if m["is_Sink"]]
+    strip = lambda m: Record(info=m["info"], ID=m["ID"])  # noqa: E731
+    return Record(
+        channel_id=record["channel_id"],
+        member_count=len(members),
+        member_list=[strip(m) for m in members],
+        src_count=len(sources),
+        src_list=[strip(m) for m in sources],
+        sink_count=len(sinks),
+        sink_list=[strip(m) for m in sinks],
+    )
+
+
+def figure_workloads() -> List[Tuple[str, int, Record]]:
+    """(label, unencoded_bytes, v2.0 record) for each figure size."""
+    out = []
+    for label, target in FIGURE_SIZES.items():
+        record = response_v2_of_size(target)
+        out.append((label, native_size(RESPONSE_V2, record), record))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The XSLT arm of the comparison
+# ---------------------------------------------------------------------------
+
+#: XSL stylesheet rolling a v2.0 response back to v1.0 — the XML/XSLT
+#: counterpart of the paper's Figure 5 ECode.
+V2_TO_V1_STYLESHEET = """\
+<?xml version="1.0"?>
+<xsl:stylesheet version="1.0">
+  <xsl:template match="ChannelOpenResponse">
+    <ChannelOpenResponse version="1.0">
+      <channel_id><xsl:value-of select="channel_id"/></channel_id>
+      <member_count><xsl:value-of select="member_count"/></member_count>
+      <xsl:for-each select="member_list">
+        <member_list>
+          <info><xsl:value-of select="info"/></info>
+          <ID><xsl:value-of select="ID"/></ID>
+        </member_list>
+      </xsl:for-each>
+      <src_count><xsl:value-of select="count(member_list[is_Source='1'])"/></src_count>
+      <xsl:for-each select="member_list[is_Source='1']">
+        <src_list>
+          <info><xsl:value-of select="info"/></info>
+          <ID><xsl:value-of select="ID"/></ID>
+        </src_list>
+      </xsl:for-each>
+      <sink_count><xsl:value-of select="count(member_list[is_Sink='1'])"/></sink_count>
+      <xsl:for-each select="member_list[is_Sink='1']">
+        <sink_list>
+          <info><xsl:value-of select="info"/></info>
+          <ID><xsl:value-of select="ID"/></ID>
+        </sink_list>
+      </xsl:for-each>
+    </ChannelOpenResponse>
+  </xsl:template>
+</xsl:stylesheet>
+"""
+
+__all__ = [
+    "FIGURE_SIZES",
+    "TABLE1_SIZES_KB",
+    "TABLE1_SIZES_KB_FULL",
+    "V2_TO_V1_STYLESHEET",
+    "figure_workloads",
+    "make_member",
+    "members_for_size",
+    "response_v1_from_v2",
+    "response_v2",
+    "response_v2_of_size",
+    "RESPONSE_V1",
+    "RESPONSE_V2",
+]

@@ -1,0 +1,40 @@
+"""ECho — channel-based publish/subscribe event middleware (paper
+Section 4.1), with message morphing integrated into both the control and
+data planes."""
+
+from repro.echo.channel import ChannelState, Member
+from repro.echo.process import EChoProcess
+from repro.echo.protocol import (
+    EVENT_ENVELOPE,
+    MEMBER_V1,
+    MEMBER_V2,
+    OPEN_REQUEST,
+    RESPONSE_BY_VERSION,
+    RESPONSE_V0,
+    RESPONSE_V1,
+    RESPONSE_V2,
+    V1_TO_V0_TRANSFORM,
+    V1_TO_V2_TRANSFORM,
+    V2_TO_V1_CODE,
+    V2_TO_V1_TRANSFORM,
+    register_protocol,
+)
+
+__all__ = [
+    "ChannelState",
+    "EChoProcess",
+    "EVENT_ENVELOPE",
+    "MEMBER_V1",
+    "MEMBER_V2",
+    "Member",
+    "OPEN_REQUEST",
+    "RESPONSE_BY_VERSION",
+    "RESPONSE_V0",
+    "RESPONSE_V1",
+    "RESPONSE_V2",
+    "V1_TO_V0_TRANSFORM",
+    "V1_TO_V2_TRANSFORM",
+    "V2_TO_V1_CODE",
+    "V2_TO_V1_TRANSFORM",
+    "register_protocol",
+]

@@ -1,0 +1,432 @@
+"""EChoProcess — one process participating in ECho event channels.
+
+Wraps a simulated-network node with:
+
+* a **control plane** (`MorphReceiver`) handling ChannelOpenRequest /
+  ChannelOpenResponse — each process registers only the response revision
+  its own release understands; the morphing layer reconciles everything
+  else (the paper's headline scenario),
+* a **data plane**: events are PBIO messages prefixed with an
+  ``EventEnvelope``; each channel has its own `MorphReceiver`, so
+  application event formats evolve independently of the control plane.
+
+Event distribution is peer-to-peer: sources learn the sink set from the
+membership replica and push events directly, with the channel creator
+only brokering membership (the ECho model, not a hub-and-spoke bus).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.echo.channel import ChannelState
+from repro.echo.protocol import (
+    DERIVED_INFO,
+    EVENT_ENVELOPE,
+    LEAVE_REQUEST,
+    OPEN_REQUEST,
+    RESPONSE_BY_VERSION,
+    register_protocol,
+)
+from repro.ecode.codegen import ECodeProcedure, compile_procedure
+from repro.errors import ChannelError, ECodeError
+from repro.morph.maxmatch import (
+    DEFAULT_DIFF_THRESHOLD,
+    DEFAULT_MISMATCH_THRESHOLD,
+)
+from repro.morph.receiver import MorphReceiver
+from repro.net.transport import Network, Node
+from repro.pbio.buffer import HEADER_SIZE, unpack_header
+from repro.pbio.context import PBIOContext
+from repro.pbio.format import IOFormat
+from repro.pbio.record import Record
+from repro.pbio.registry import FormatRegistry
+
+EventHandler = Callable[[Record], Any]
+
+
+class EChoProcess:
+    """One ECho endpoint.
+
+    Parameters
+    ----------
+    network:
+        The simulated :class:`~repro.net.transport.Network`.
+    address:
+        This process's contact string (also its network address).
+    registry:
+        The shared out-of-band meta-data registry.
+    version:
+        The ECho release this process runs ("0.0", "1.0" or "2.0") —
+        selects which ChannelOpenResponse revision it sends and
+        understands.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        registry: FormatRegistry,
+        version: str = "2.0",
+        diff_threshold: int = DEFAULT_DIFF_THRESHOLD,
+        mismatch_threshold: float = DEFAULT_MISMATCH_THRESHOLD,
+    ) -> None:
+        if version not in RESPONSE_BY_VERSION:
+            raise ChannelError(f"unknown ECho version {version!r}")
+        self.network = network
+        self.node: Node = network.add_node(address)
+        self.node.set_handler(self._on_message)
+        self.registry = registry
+        self.version = version
+        self.channels: Dict[str, ChannelState] = {}
+        self.pbio = PBIOContext(registry)
+        self._current_peer: Optional[str] = None
+        register_protocol(registry, version)
+        self.control = MorphReceiver(
+            registry,
+            diff_threshold=diff_threshold,
+            mismatch_threshold=mismatch_threshold,
+        )
+        self.control.register_handler(OPEN_REQUEST, self._handle_open_request)
+        self.control.register_handler(LEAVE_REQUEST, self._handle_leave_request)
+        self.control.register_handler(
+            RESPONSE_BY_VERSION[version], self._handle_open_response
+        )
+        self._event_receivers: Dict[str, MorphReceiver] = {}
+        self._diff_threshold = diff_threshold
+        self._mismatch_threshold = mismatch_threshold
+        #: compiled source-side filters, keyed by derived channel id
+        self._filters: Dict[str, ECodeProcedure] = {}
+        self.filter_errors = 0
+        self.filtered_out = 0
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    # ------------------------------------------------------------------
+    # Channel lifecycle
+    # ------------------------------------------------------------------
+
+    def create_channel(self, channel_id: str) -> ChannelState:
+        """Create a channel owned by this process."""
+        if channel_id in self.channels:
+            raise ChannelError(f"channel {channel_id!r} already exists here")
+        channel = ChannelState(channel_id, creator_contact=self.address)
+        channel.ready = True
+        self.channels[channel_id] = channel
+        return channel
+
+    def create_derived_channel(
+        self, parent_id: str, channel_id: str, filter_code: str
+    ) -> ChannelState:
+        """Create a *derived* channel: a sub-channel of *parent_id* whose
+        events are the parent's events passing the ECode *filter*.
+
+        The filter (params: ``input``, returning C-truthy to keep the
+        event) is announced to the parent's sources, compiled there by
+        DCG, and evaluated **at the source** — events that fail the
+        filter never reach the wire, ECode's original role in ECho."""
+        parent = self.channel(parent_id)
+        if parent.creator_contact != self.address:
+            raise ChannelError(
+                f"only the creator of {parent_id!r} may derive channels from it"
+            )
+        if channel_id in self.channels:
+            raise ChannelError(f"channel {channel_id!r} already exists here")
+        try:
+            compile_procedure(filter_code, ("input",), f"filter_{channel_id}")
+        except ECodeError as exc:
+            raise ChannelError(f"derived-channel filter does not compile: {exc}")
+        channel = ChannelState(
+            channel_id,
+            creator_contact=self.address,
+            parent_id=parent_id,
+            filter_code=filter_code,
+        )
+        channel.ready = True
+        self.channels[channel_id] = channel
+        self._announce_derived(channel)
+        return channel
+
+    def _announce_derived(self, channel: ChannelState, only: "Optional[str]" = None) -> None:
+        """Send DerivedChannelInfo + the derived channel's current
+        membership to the parent's sources (or just to *only*)."""
+        parent = self.channels.get(channel.parent_id or "")
+        if parent is None:
+            return
+        info = DERIVED_INFO.make_record(
+            parent_id=channel.parent_id,
+            channel_id=channel.channel_id,
+            filter_code=channel.filter_code or "",
+        )
+        response_format = RESPONSE_BY_VERSION[self.version]
+        wire = self.pbio.encode(DERIVED_INFO, info) + self.pbio.encode(
+            response_format, channel.to_response_record(response_format)
+        )
+        targets = [only] if only is not None else [
+            member.contact
+            for member in parent.sources()
+            if member.contact != self.address
+        ]
+        for contact in targets:
+            self.node.send(contact, wire)
+
+    def open_channel(
+        self,
+        channel_id: str,
+        creator: str,
+        as_source: bool = False,
+        as_sink: bool = False,
+    ) -> ChannelState:
+        """Join a remote channel by sending a ChannelOpenRequest to its
+        creator.  Membership becomes `ready` once the response arrives
+        (run the network to completion first in tests)."""
+        channel = self.channels.get(channel_id)
+        if channel is None:
+            channel = ChannelState(channel_id, creator_contact=creator)
+            self.channels[channel_id] = channel
+        channel.is_source = channel.is_source or as_source
+        channel.is_sink = channel.is_sink or as_sink
+        request = OPEN_REQUEST.make_record(
+            channel_id=channel_id,
+            contact=self.address,
+            is_Source=channel.is_source,
+            is_Sink=channel.is_sink,
+        )
+        self.node.send(creator, self.pbio.encode(OPEN_REQUEST, request))
+        return channel
+
+    def leave_channel(self, channel_id: str) -> None:
+        """Leave a previously opened channel.  The creator removes this
+        process from the membership and refreshes every remaining
+        member's replica; local subscriptions stop immediately."""
+        channel = self.channel(channel_id)
+        channel.is_source = False
+        channel.is_sink = False
+        channel.ready = False
+        self._event_receivers.pop(channel_id, None)
+        if channel.creator_contact == self.address:
+            raise ChannelError("the channel creator cannot leave its channel")
+        request = LEAVE_REQUEST.make_record(
+            channel_id=channel_id, contact=self.address
+        )
+        self.node.send(channel.creator_contact, self.pbio.encode(LEAVE_REQUEST, request))
+
+    def channel(self, channel_id: str) -> ChannelState:
+        try:
+            return self.channels[channel_id]
+        except KeyError:
+            raise ChannelError(
+                f"{self.address} has not joined channel {channel_id!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def event_receiver(self, channel_id: str) -> MorphReceiver:
+        """The per-channel morphing receiver for application events."""
+        receiver = self._event_receivers.get(channel_id)
+        if receiver is None:
+            receiver = MorphReceiver(
+                self.registry,
+                diff_threshold=self._diff_threshold,
+                mismatch_threshold=self._mismatch_threshold,
+            )
+            self._event_receivers[channel_id] = receiver
+        return receiver
+
+    def subscribe(
+        self, channel_id: str, fmt: IOFormat, handler: EventHandler
+    ) -> None:
+        """Register *handler* for events of *fmt* on *channel_id*.  The
+        channel must have been created or opened as a sink."""
+        channel = self.channel(channel_id)
+        if not (channel.is_sink or channel.creator_contact == self.address):
+            raise ChannelError(
+                f"{self.address} did not open channel {channel_id!r} as a sink"
+            )
+        self.event_receiver(channel_id).register_handler(fmt, handler)
+
+    def submit(self, channel_id: str, fmt: IOFormat, record: Record) -> int:
+        """Publish an event to the channel; returns the number of remote
+        sinks it was pushed to.  Local subscription is delivered in-line."""
+        channel = self.channel(channel_id)
+        if not (channel.is_source or channel.creator_contact == self.address):
+            raise ChannelError(
+                f"{self.address} did not open channel {channel_id!r} as a source"
+            )
+        payload = self.pbio.encode(fmt, record)
+        envelope = EVENT_ENVELOPE.make_record(
+            channel_id=channel_id, seq=channel.next_seq()
+        )
+        datagram = self.pbio.encode(EVENT_ENVELOPE, envelope) + payload
+        pushed = 0
+        for member in channel.sinks():
+            if member.contact == self.address:
+                continue
+            self.node.send(member.contact, datagram)
+            pushed += 1
+        if channel.is_sink and channel_id in self._event_receivers:
+            self._event_receivers[channel_id].process(payload)
+        pushed += self._submit_derived(channel_id, record, payload)
+        return pushed
+
+    def _submit_derived(self, parent_id: str, record: Record, payload: bytes) -> int:
+        """Run each derived channel's compiled filter on *record* at the
+        source; forward the event to the derived sinks only when the
+        filter keeps it (events that fail never touch the wire)."""
+        pushed = 0
+        for derived in list(self.channels.values()):
+            if derived.parent_id != parent_id:
+                continue
+            filter_proc = self._filters.get(derived.channel_id)
+            if filter_proc is None:
+                if derived.filter_code:
+                    try:
+                        filter_proc = compile_procedure(
+                            derived.filter_code, ("input",),
+                            f"filter_{derived.channel_id}",
+                        )
+                    except ECodeError:
+                        self.filter_errors += 1
+                        continue
+                    self._filters[derived.channel_id] = filter_proc
+                else:
+                    continue
+            try:
+                keep = filter_proc(record)
+            except ECodeError:
+                self.filter_errors += 1
+                continue
+            if not keep:
+                self.filtered_out += 1
+                continue
+            envelope = EVENT_ENVELOPE.make_record(
+                channel_id=derived.channel_id, seq=derived.next_seq()
+            )
+            datagram = self.pbio.encode(EVENT_ENVELOPE, envelope) + payload
+            for member in derived.sinks():
+                if member.contact == self.address:
+                    continue
+                self.node.send(member.contact, datagram)
+                pushed += 1
+        return pushed
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def _on_message(self, source: str, data: bytes) -> None:
+        header = unpack_header(data)
+        fmt = self.registry.lookup_id(header.format_id)
+        self._current_peer = source
+        try:
+            if fmt is not None and fmt.name == DERIVED_INFO.name:
+                info = self.pbio.decode_as(
+                    fmt, data[: HEADER_SIZE + header.payload_length]
+                )
+                trailing = data[HEADER_SIZE + header.payload_length :]
+                self._handle_derived_info(source, info, trailing)
+            elif fmt is not None and fmt.name == EVENT_ENVELOPE.name:
+                envelope = self.pbio.decode_as(fmt, data[: HEADER_SIZE + header.payload_length])
+                payload = data[HEADER_SIZE + header.payload_length :]
+                receiver = self._event_receivers.get(envelope["channel_id"])
+                if receiver is not None:
+                    receiver.process(payload)
+            else:
+                self.control.process(data)
+        finally:
+            self._current_peer = None
+
+    # ------------------------------------------------------------------
+    # Control handlers
+    # ------------------------------------------------------------------
+
+    def _handle_derived_info(
+        self, source: str, info: Record, response_wire: bytes
+    ) -> None:
+        """A source's view of a derived channel: store the filter,
+        compile it (DCG, cached), and ingest the membership replica."""
+        channel_id = info["channel_id"]
+        channel = self.channels.get(channel_id)
+        if channel is None:
+            channel = ChannelState(
+                channel_id,
+                creator_contact=source,
+                parent_id=info["parent_id"],
+                filter_code=info["filter_code"],
+            )
+            self.channels[channel_id] = channel
+        else:
+            channel.parent_id = info["parent_id"]
+            channel.filter_code = info["filter_code"]
+        try:
+            self._filters[channel_id] = compile_procedure(
+                info["filter_code"], ("input",), f"filter_{channel_id}"
+            )
+        except ECodeError:
+            self.filter_errors += 1
+            return
+        if response_wire:
+            self.control.process(response_wire)
+
+    def _handle_open_request(self, record: Record) -> None:
+        channel_id = record["channel_id"]
+        channel = self.channels.get(channel_id)
+        if channel is None or channel.creator_contact != self.address:
+            return  # not the creator; drop (simulates a misrouted request)
+        channel.add_member(
+            record["contact"],
+            is_source=bool(record["is_Source"]),
+            is_sink=bool(record["is_Sink"]),
+        )
+        if record["is_Source"]:
+            # a new source must learn this channel's derived children
+            for child in self.channels.values():
+                if child.parent_id == channel_id:
+                    self._announce_derived(child, only=record["contact"])
+        if channel.is_derived:
+            # derived membership changed: refresh the parent's sources
+            self._announce_derived(channel)
+        response_format = RESPONSE_BY_VERSION[self.version]
+        response = channel.to_response_record(response_format)
+        wire = self.pbio.encode(response_format, response)
+        # reply to the requester and refresh every other member's replica
+        targets = {record["contact"]}
+        targets.update(
+            member.contact
+            for member in channel.member_list()
+            if member.contact != self.address
+        )
+        for contact in targets:
+            self.node.send(contact, wire)
+
+    def _handle_leave_request(self, record: Record) -> None:
+        channel = self.channels.get(record["channel_id"])
+        if channel is None or channel.creator_contact != self.address:
+            return
+        removed = channel.remove_member(record["contact"])
+        if removed is None:
+            return
+        response_format = RESPONSE_BY_VERSION[self.version]
+        wire = self.pbio.encode(
+            response_format, channel.to_response_record(response_format)
+        )
+        for member in channel.member_list():
+            if member.contact != self.address:
+                self.node.send(member.contact, wire)
+
+    def _handle_open_response(self, record: Record) -> None:
+        channel = self.channels.get(record["channel_id"])
+        if channel is None:
+            return
+        channel.update_from_response(record)
+        # keep our own declared roles (the response reflects them anyway,
+        # but a racing update may predate our join)
+        if channel.local_member_id is None:
+            for member in channel.member_list():
+                if member.contact == self.address:
+                    channel.local_member_id = member.member_id
+                    break

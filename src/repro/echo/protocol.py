@@ -1,0 +1,277 @@
+"""ECho wire protocol — formats for every control message, in every
+revision the paper discusses.
+
+The ``ChannelOpenResponse`` evolution (paper Figure 4) is the central
+example:
+
+* **v1.0** carries the full member list *plus* separate source and sink
+  lists — each remote client's contact info can appear three times,
+* **v2.0** collapses the three lists into one member list with
+  ``is_Source`` / ``is_Sink`` flags, shrinking the message by more than
+  half,
+* **v0.0** (used to exercise Figure 1's retro-transformation *chain*) is
+  an earlier revision carrying only the member list, with no role
+  information at all.
+
+``V2_TO_V1_TRANSFORM`` is the paper's Figure 5 ECode;
+``V1_TO_V0_TRANSFORM`` extends the chain; ``V1_TO_V2_TRANSFORM`` is the
+forward transform (deriving the flags by scanning the role lists), which
+lets *new* readers accept *old* servers' responses.
+"""
+
+from __future__ import annotations
+
+from repro.pbio.field import ArraySpec, IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry, TransformSpec
+
+# ---------------------------------------------------------------------------
+# Member entry formats
+# ---------------------------------------------------------------------------
+
+#: v0.0/v1.0 member entry: CM contact info + channel-member ID.
+MEMBER_V1 = IOFormat(
+    "ChannelMember",
+    [
+        IOField("info", "string"),
+        IOField("ID", "integer"),
+    ],
+    version="1.0",
+)
+
+#: v2.0 member entry adds the two boolean role flags.
+MEMBER_V2 = IOFormat(
+    "ChannelMember",
+    [
+        IOField("info", "string"),
+        IOField("ID", "integer"),
+        IOField("is_Source", "boolean"),
+        IOField("is_Sink", "boolean"),
+    ],
+    version="2.0",
+)
+
+# ---------------------------------------------------------------------------
+# ChannelOpenResponse revisions
+# ---------------------------------------------------------------------------
+
+RESPONSE_V0 = IOFormat(
+    "ChannelOpenResponse",
+    [
+        IOField("channel_id", "string"),
+        IOField("member_count", "integer"),
+        IOField(
+            "member_list",
+            "complex",
+            subformat=MEMBER_V1,
+            array=ArraySpec(length_field="member_count"),
+        ),
+    ],
+    version="0.0",
+)
+
+RESPONSE_V1 = IOFormat(
+    "ChannelOpenResponse",
+    [
+        IOField("channel_id", "string"),
+        IOField("member_count", "integer"),
+        IOField(
+            "member_list",
+            "complex",
+            subformat=MEMBER_V1,
+            array=ArraySpec(length_field="member_count"),
+        ),
+        IOField("src_count", "integer"),
+        IOField(
+            "src_list",
+            "complex",
+            subformat=MEMBER_V1,
+            array=ArraySpec(length_field="src_count"),
+        ),
+        IOField("sink_count", "integer"),
+        IOField(
+            "sink_list",
+            "complex",
+            subformat=MEMBER_V1,
+            array=ArraySpec(length_field="sink_count"),
+        ),
+    ],
+    version="1.0",
+)
+
+RESPONSE_V2 = IOFormat(
+    "ChannelOpenResponse",
+    [
+        IOField("channel_id", "string"),
+        IOField("member_count", "integer"),
+        IOField(
+            "member_list",
+            "complex",
+            subformat=MEMBER_V2,
+            array=ArraySpec(length_field="member_count"),
+        ),
+    ],
+    version="2.0",
+)
+
+# ---------------------------------------------------------------------------
+# Other control messages (version-stable)
+# ---------------------------------------------------------------------------
+
+OPEN_REQUEST = IOFormat(
+    "ChannelOpenRequest",
+    [
+        IOField("channel_id", "string"),
+        IOField("contact", "string"),
+        IOField("is_Source", "boolean"),
+        IOField("is_Sink", "boolean"),
+    ],
+    version="1.0",
+)
+
+LEAVE_REQUEST = IOFormat(
+    "ChannelLeaveRequest",
+    [
+        IOField("channel_id", "string"),
+        IOField("contact", "string"),
+    ],
+    version="1.0",
+)
+
+EVENT_ENVELOPE = IOFormat(
+    "EventEnvelope",
+    [
+        IOField("channel_id", "string"),
+        IOField("seq", "unsigned", 8),
+    ],
+    version="1.0",
+)
+
+#: Derived-channel announcement, sent by a channel creator to the parent
+#: channel's sources.  The ECode *filter* travels as source text and is
+#: dynamically compiled at each source — E-Code's original job in ECho
+#: [10] was exactly these source-side event filters.  The derived
+#: channel's current ChannelOpenResponse rides concatenated behind this
+#: message (the same framing trick as EventEnvelope + payload).
+DERIVED_INFO = IOFormat(
+    "DerivedChannelInfo",
+    [
+        IOField("parent_id", "string"),
+        IOField("channel_id", "string"),
+        IOField("filter_code", "string"),
+    ],
+    version="1.0",
+)
+
+# ---------------------------------------------------------------------------
+# Transformations
+# ---------------------------------------------------------------------------
+
+#: Paper Figure 5 — rebuild v1.0's three lists from v2.0's flagged list.
+V2_TO_V1_CODE = """
+int i;
+int src_count = 0;
+int sink_count = 0;
+old.channel_id = new.channel_id;
+old.member_count = new.member_count;
+for (i = 0; i < new.member_count; i++) {
+    old.member_list[i].info = new.member_list[i].info;
+    old.member_list[i].ID = new.member_list[i].ID;
+    if (new.member_list[i].is_Source) {
+        old.src_list[src_count].info = new.member_list[i].info;
+        old.src_list[src_count].ID = new.member_list[i].ID;
+        src_count++;
+    }
+    if (new.member_list[i].is_Sink) {
+        old.sink_list[sink_count].info = new.member_list[i].info;
+        old.sink_list[sink_count].ID = new.member_list[i].ID;
+        sink_count++;
+    }
+}
+old.src_count = src_count;
+old.sink_count = sink_count;
+"""
+
+#: Retro chain tail: v1.0 -> v0.0 drops the role lists.
+V1_TO_V0_CODE = """
+int i;
+old.channel_id = new.channel_id;
+old.member_count = new.member_count;
+for (i = 0; i < new.member_count; i++) {
+    old.member_list[i].info = new.member_list[i].info;
+    old.member_list[i].ID = new.member_list[i].ID;
+}
+"""
+
+#: Forward transform: derive the flags by scanning the v1.0 role lists.
+V1_TO_V2_CODE = """
+int i;
+int j;
+old.channel_id = new.channel_id;
+old.member_count = new.member_count;
+for (i = 0; i < new.member_count; i++) {
+    old.member_list[i].info = new.member_list[i].info;
+    old.member_list[i].ID = new.member_list[i].ID;
+    old.member_list[i].is_Source = 0;
+    old.member_list[i].is_Sink = 0;
+    for (j = 0; j < new.src_count; j++) {
+        if (new.src_list[j].ID == new.member_list[i].ID) {
+            old.member_list[i].is_Source = 1;
+        }
+    }
+    for (j = 0; j < new.sink_count; j++) {
+        if (new.sink_list[j].ID == new.member_list[i].ID) {
+            old.member_list[i].is_Sink = 1;
+        }
+    }
+}
+"""
+
+V2_TO_V1_TRANSFORM = TransformSpec(
+    source=RESPONSE_V2,
+    target=RESPONSE_V1,
+    code=V2_TO_V1_CODE,
+    description="ECho ChannelOpenResponse 2.0 -> 1.0 (paper Figure 5)",
+)
+
+V1_TO_V0_TRANSFORM = TransformSpec(
+    source=RESPONSE_V1,
+    target=RESPONSE_V0,
+    code=V1_TO_V0_CODE,
+    description="ECho ChannelOpenResponse 1.0 -> 0.0 (retro chain tail)",
+)
+
+V1_TO_V2_TRANSFORM = TransformSpec(
+    source=RESPONSE_V1,
+    target=RESPONSE_V2,
+    code=V1_TO_V2_CODE,
+    description="ECho ChannelOpenResponse 1.0 -> 2.0 (forward transform)",
+)
+
+#: The response format each ECho release sends.
+RESPONSE_BY_VERSION = {
+    "0.0": RESPONSE_V0,
+    "1.0": RESPONSE_V1,
+    "2.0": RESPONSE_V2,
+}
+
+
+def register_protocol(registry: FormatRegistry, version: str = "2.0") -> None:
+    """Register the control formats an ECho process of *version* uses,
+    along with the retro-transformations its responses carry.
+
+    A v2.0 writer registers the Figure 5 transform (plus the v1->v0 hop
+    so v0.0 readers can chain); a v1.0 writer registers the v1->v0 and
+    the forward v1->v2 transforms.
+    """
+    registry.register(OPEN_REQUEST)
+    registry.register(LEAVE_REQUEST)
+    registry.register(EVENT_ENVELOPE)
+    registry.register(DERIVED_INFO)
+    registry.register(RESPONSE_BY_VERSION[version])
+    if version == "2.0":
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        registry.register_transform(V1_TO_V0_TRANSFORM)
+    elif version == "1.0":
+        registry.register_transform(V1_TO_V0_TRANSFORM)
+        registry.register_transform(V1_TO_V2_TRANSFORM)

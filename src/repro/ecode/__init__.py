@@ -1,0 +1,51 @@
+"""ECode — dynamic code generation for a C-subset transformation language.
+
+The paper expresses message transformations in *ECode* [10], "a language
+subset of C", dynamically compiled to native code.  This package is the
+Python analogue: ECode source is lexed, parsed, semantically checked,
+translated to Python source and compiled with :func:`compile` — a real
+runtime code-generation pipeline with the same one-time-cost/cached-fast-
+path structure the paper measures.
+
+Quick use::
+
+    from repro.ecode import compile_procedure
+
+    xform = compile_procedure('''
+        int i;
+        old.total = 0;
+        for (i = 0; i < new.count; i++) {
+            old.total = old.total + new.values[i];
+        }
+    ''')
+    xform(new_record, old_record)
+
+A tree-walking interpreter (:func:`interpret_procedure`) provides the
+same semantics without compilation, as the ablation baseline.
+"""
+
+from repro.ecode.codegen import ECodeProcedure, compile_procedure, generate_source
+from repro.ecode.interp import InterpretedProcedure, interpret_procedure
+from repro.ecode.lexer import Token, TokenType, tokenize
+from repro.ecode.parser import parse, parse_expression
+from repro.ecode.runtime import AutoList, BUILTINS, c_div, c_mod, sizeof
+from repro.ecode.typecheck import check
+
+__all__ = [
+    "AutoList",
+    "BUILTINS",
+    "ECodeProcedure",
+    "InterpretedProcedure",
+    "Token",
+    "TokenType",
+    "c_div",
+    "c_mod",
+    "check",
+    "compile_procedure",
+    "generate_source",
+    "interpret_procedure",
+    "parse",
+    "parse_expression",
+    "sizeof",
+    "tokenize",
+]

@@ -1,0 +1,299 @@
+"""ECode lexer.
+
+ECode [10] is "a language subset of C" used to express message
+transformations (paper Figure 5).  The lexer produces a flat token stream
+with line/column positions for error reporting; ``//`` and ``/* */``
+comments are skipped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ECodeSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "long",
+        "short",
+        "unsigned",
+        "signed",
+        "double",
+        "float",
+        "char",
+        "void",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "struct",
+        "const",
+        "switch",
+        "case",
+        "default",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ".",
+    ",",
+    ";",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    CHAR = "char"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.value!r} @{self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass tokenizer over ECode source text."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> ECodeSyntaxError:
+        return ECodeSyntaxError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, ahead: int = 0) -> str:
+        """The character *ahead* positions away, or ``"\\0"`` past EOF.
+
+        Returning a NUL (rather than ``""``) keeps membership tests like
+        ``self._peek() in "eE"`` safe: the empty string is a substring of
+        everything, which would turn EOF into an infinite match."""
+        index = self.pos + ahead
+        return self.source[index] if index < len(self.source) else "\0"
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self.source[self.pos] == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise ECodeSyntaxError(
+                        "unterminated block comment", start_line, start_col
+                    )
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            line, column = self.line, self.column
+            if self.pos >= len(self.source):
+                yield Token(TokenType.EOF, "", line, column)
+                return
+            ch = self.source[self.pos]
+            if ch.isalpha() or ch == "_":
+                yield self._lex_word(line, column)
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._lex_number(line, column)
+            elif ch == '"':
+                yield self._lex_string(line, column)
+            elif ch == "'":
+                yield self._lex_char(line, column)
+            else:
+                yield self._lex_operator(line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] == "_"
+        ):
+            self._advance()
+        word = self.source[start : self.pos]
+        kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+        return Token(kind, word, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_float = False
+        if self.source[self.pos] == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self.pos < len(self.source) and self.source[self.pos] in "0123456789abcdefABCDEF":
+                self._advance()
+            return Token(TokenType.INT, self.source[start : self.pos], line, column)
+        while self.pos < len(self.source) and self.source[self.pos].isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self.pos < len(self.source) and self.source[self.pos].isdigit():
+                self._advance()
+        if self._peek() in "eE":
+            probe = 1
+            if self._peek(1) in "+-":
+                probe = 2
+            if self._peek(probe).isdigit():
+                is_float = True
+                self._advance(probe)
+                while self.pos < len(self.source) and self.source[self.pos].isdigit():
+                    self._advance()
+        # consume C suffixes (L, U, f) without changing the value
+        text = self.source[start : self.pos]
+        while self._peek() in "lLuUfF":
+            if self._peek() in "fF":
+                is_float = True
+            self._advance()
+        kind = TokenType.FLOAT if is_float else TokenType.INT
+        return Token(kind, text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise ECodeSyntaxError("unterminated string literal", line, column)
+            ch = self.source[self.pos]
+            if ch == '"':
+                self._advance()
+                return Token(TokenType.STRING, "".join(chars), line, column)
+            if ch == "\\":
+                self._advance()
+                chars.append(_unescape(self._peek(), line, column))
+                self._advance()
+            elif ch == "\n":
+                raise ECodeSyntaxError("newline in string literal", line, column)
+            else:
+                chars.append(ch)
+                self._advance()
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        if self.pos >= len(self.source):
+            raise ECodeSyntaxError("unterminated char literal", line, column)
+        ch = self.source[self.pos]
+        if ch == "\\":
+            self._advance()
+            value = _unescape(self._peek(), line, column)
+            self._advance()
+        else:
+            value = ch
+            self._advance()
+        if self._peek() != "'":
+            raise ECodeSyntaxError("unterminated char literal", line, column)
+        self._advance()
+        return Token(TokenType.CHAR, value, line, column)
+
+    def _lex_operator(self, line: int, column: int) -> Token:
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenType.OP, op, line, column)
+        raise self.error(f"unexpected character {self.source[self.pos]!r}")
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\x00",
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+    "b": "\b",
+    "f": "\f",
+}
+
+
+def _unescape(ch: str, line: int, column: int) -> str:
+    try:
+        return _ESCAPES[ch]
+    except KeyError:
+        raise ECodeSyntaxError(f"unknown escape sequence \\{ch}", line, column) from None
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*, returning a list ending with an EOF token."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,470 @@
+"""ECode recursive-descent parser.
+
+Grammar (a C subset sufficient for message transformation snippets)::
+
+    program        := statement* EOF
+    statement      := declaration | block | if | while | do-while | for
+                    | return | break ';' | continue ';' | expr? ';'
+    declaration    := type-name declarator (',' declarator)* ';'
+    declarator     := IDENT ('=' assignment-expr)?
+    expression     := assignment-expr (',' assignment-expr)*   (for-clauses)
+    assignment-expr:= ternary (ASSIGN-OP assignment-expr)?
+    ternary        := logical-or ('?' expression ':' ternary)?
+    ... standard C precedence down to primary ...
+    postfix        := primary ('.' IDENT | '->' IDENT | '[' expr ']'
+                      | '(' args ')' | '++' | '--')*
+
+Pointer declarations (``char *s``) are accepted and the pointer-ness is
+ignored — ECode strings are values.  ``struct`` tags in declarations are
+accepted the same way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ecode import ast
+from repro.ecode.lexer import Token, TokenType, tokenize
+from repro.errors import ECodeSyntaxError
+
+#: Assignment operators, mapping to their arithmetic op ("" for plain "=").
+ASSIGN_OPS = {
+    "=": "",
+    "+=": "+",
+    "-=": "-",
+    "*=": "*",
+    "/=": "/",
+    "%=": "%",
+    "&=": "&",
+    "|=": "|",
+    "^=": "^",
+    "<<=": "<<",
+    ">>=": ">>",
+}
+
+_TYPE_KEYWORDS = {
+    "int",
+    "long",
+    "short",
+    "unsigned",
+    "signed",
+    "double",
+    "float",
+    "char",
+    "void",
+    "struct",
+    "const",
+}
+
+#: (operators, ) precedence levels for binary operators, low to high.
+_BINARY_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        token = self.current
+        return token.type is type_ and (value is None or token.value == value)
+
+    def _match(self, type_: TokenType, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(type_, value):
+            return self._advance()
+        return None
+
+    def _expect(self, type_: TokenType, value: Optional[str] = None) -> Token:
+        if self._check(type_, value):
+            return self._advance()
+        want = value if value is not None else type_.value
+        got = self.current.value or "end of input"
+        raise ECodeSyntaxError(
+            f"expected {want!r}, got {got!r}", self.current.line, self.current.column
+        )
+
+    def _error(self, message: str) -> ECodeSyntaxError:
+        return ECodeSyntaxError(message, self.current.line, self.current.column)
+
+    # ------------------------------------------------------------------
+    # Program / statements
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        body: List[ast.Stmt] = []
+        while not self._check(TokenType.EOF):
+            body.append(self.parse_statement())
+        return ast.Program(body=body, line=1)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.type is TokenType.KEYWORD:
+            if token.value in _TYPE_KEYWORDS:
+                return self._parse_declaration()
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "do":
+                return self._parse_do_while()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "switch":
+                return self._parse_switch()
+            if token.value == "return":
+                return self._parse_return()
+            if token.value == "break":
+                self._advance()
+                self._expect(TokenType.OP, ";")
+                return ast.Break(line=token.line)
+            if token.value == "continue":
+                self._advance()
+                self._expect(TokenType.OP, ";")
+                return ast.Continue(line=token.line)
+        if self._check(TokenType.OP, "{"):
+            return self._parse_block()
+        if self._match(TokenType.OP, ";"):
+            return ast.Block(statements=[], line=token.line)
+        expr = self.parse_expression()
+        self._expect(TokenType.OP, ";")
+        return ast.ExprStmt(expr=expr, line=token.line)
+
+    def _parse_block(self) -> ast.Block:
+        open_token = self._expect(TokenType.OP, "{")
+        statements: List[ast.Stmt] = []
+        while not self._check(TokenType.OP, "}"):
+            if self._check(TokenType.EOF):
+                raise self._error("unterminated block")
+            statements.append(self.parse_statement())
+        self._expect(TokenType.OP, "}")
+        return ast.Block(statements=statements, line=open_token.line)
+
+    def _parse_type_name(self) -> str:
+        parts: List[str] = []
+        while self.current.type is TokenType.KEYWORD and self.current.value in _TYPE_KEYWORDS:
+            word = self._advance().value
+            if word != "const":
+                parts.append(word)
+            if word == "struct":
+                parts.append(self._expect(TokenType.IDENT).value)
+        if not parts:
+            raise self._error("expected a type name")
+        return " ".join(parts)
+
+    def _parse_declaration(self) -> ast.Declaration:
+        line = self.current.line
+        type_name = self._parse_type_name()
+        declarators: List[ast.Declarator] = []
+        while True:
+            while self._match(TokenType.OP, "*"):
+                pass  # pointer-ness is ignored; strings are values
+            name_token = self._expect(TokenType.IDENT)
+            array_size: Optional[int] = None
+            if self._match(TokenType.OP, "["):
+                size_token = self._expect(TokenType.INT)
+                array_size = int(size_token.value, 0)
+                if array_size < 0:
+                    raise ECodeSyntaxError(
+                        "array size must be >= 0", size_token.line, size_token.column
+                    )
+                self._expect(TokenType.OP, "]")
+            init: Optional[ast.Expr] = None
+            if self._match(TokenType.OP, "="):
+                if array_size is not None:
+                    raise ECodeSyntaxError(
+                        "local array declarators cannot take initializers",
+                        name_token.line,
+                        name_token.column,
+                    )
+                init = self.parse_assignment_expr()
+            declarators.append(
+                ast.Declarator(
+                    name=name_token.value,
+                    init=init,
+                    array_size=array_size,
+                    line=name_token.line,
+                )
+            )
+            if not self._match(TokenType.OP, ","):
+                break
+        self._expect(TokenType.OP, ";")
+        return ast.Declaration(type_name=type_name, declarators=declarators, line=line)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect(TokenType.KEYWORD, "if")
+        self._expect(TokenType.OP, "(")
+        condition = self.parse_expression()
+        self._expect(TokenType.OP, ")")
+        then_branch = self.parse_statement()
+        else_branch: Optional[ast.Stmt] = None
+        if self._match(TokenType.KEYWORD, "else"):
+            else_branch = self.parse_statement()
+        return ast.If(
+            condition=condition,
+            then_branch=then_branch,
+            else_branch=else_branch,
+            line=token.line,
+        )
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect(TokenType.KEYWORD, "while")
+        self._expect(TokenType.OP, "(")
+        condition = self.parse_expression()
+        self._expect(TokenType.OP, ")")
+        body = self.parse_statement()
+        return ast.While(condition=condition, body=body, line=token.line)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        token = self._expect(TokenType.KEYWORD, "do")
+        body = self.parse_statement()
+        self._expect(TokenType.KEYWORD, "while")
+        self._expect(TokenType.OP, "(")
+        condition = self.parse_expression()
+        self._expect(TokenType.OP, ")")
+        self._expect(TokenType.OP, ";")
+        return ast.DoWhile(body=body, condition=condition, line=token.line)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect(TokenType.KEYWORD, "for")
+        self._expect(TokenType.OP, "(")
+        init: "Optional[ast.Stmt | List[ast.Expr]]" = None
+        if not self._check(TokenType.OP, ";"):
+            if (
+                self.current.type is TokenType.KEYWORD
+                and self.current.value in _TYPE_KEYWORDS
+            ):
+                init = self._parse_declaration()  # consumes the ';'
+            else:
+                init = self._parse_expr_list()
+                self._expect(TokenType.OP, ";")
+        else:
+            self._expect(TokenType.OP, ";")
+        condition: Optional[ast.Expr] = None
+        if not self._check(TokenType.OP, ";"):
+            condition = self.parse_expression()
+        self._expect(TokenType.OP, ";")
+        update: List[ast.Expr] = []
+        if not self._check(TokenType.OP, ")"):
+            update = self._parse_expr_list()
+        self._expect(TokenType.OP, ")")
+        body = self.parse_statement()
+        return ast.For(
+            init=init, condition=condition, update=update, body=body, line=token.line
+        )
+
+    def _parse_switch(self) -> ast.Switch:
+        token = self._expect(TokenType.KEYWORD, "switch")
+        self._expect(TokenType.OP, "(")
+        subject = self.parse_expression()
+        self._expect(TokenType.OP, ")")
+        self._expect(TokenType.OP, "{")
+        cases: List[ast.Case] = []
+        while not self._check(TokenType.OP, "}"):
+            if self._check(TokenType.EOF):
+                raise self._error("unterminated switch")
+            cases.append(self._parse_case())
+        self._expect(TokenType.OP, "}")
+        if not cases:
+            raise self._error("switch requires at least one case")
+        if sum(1 for c in cases if c.is_default) > 1:
+            raise ECodeSyntaxError(
+                "switch has multiple default arms", token.line, token.column
+            )
+        return ast.Switch(subject=subject, cases=cases, line=token.line)
+
+    def _parse_case(self) -> ast.Case:
+        labels: List[ast.Expr] = []
+        is_default = False
+        line = self.current.line
+        # one body may carry several 'case X:' labels and/or 'default:'
+        while True:
+            if self._check(TokenType.KEYWORD, "case"):
+                self._advance()
+                labels.append(self._parse_ternary())
+                self._expect(TokenType.OP, ":")
+            elif self._check(TokenType.KEYWORD, "default"):
+                self._advance()
+                self._expect(TokenType.OP, ":")
+                is_default = True
+            else:
+                break
+        if not labels and not is_default:
+            raise self._error("expected 'case' or 'default'")
+        body: List[ast.Stmt] = []
+        while not (
+            self._check(TokenType.OP, "}")
+            or self._check(TokenType.KEYWORD, "case")
+            or self._check(TokenType.KEYWORD, "default")
+        ):
+            if self._check(TokenType.EOF):
+                raise self._error("unterminated switch case")
+            body.append(self.parse_statement())
+        return ast.Case(labels=labels, body=body, is_default=is_default, line=line)
+
+    def _parse_return(self) -> ast.Return:
+        token = self._expect(TokenType.KEYWORD, "return")
+        value: Optional[ast.Expr] = None
+        if not self._check(TokenType.OP, ";"):
+            value = self.parse_expression()
+        self._expect(TokenType.OP, ";")
+        return ast.Return(value=value, line=token.line)
+
+    def _parse_expr_list(self) -> List[ast.Expr]:
+        exprs = [self.parse_assignment_expr()]
+        while self._match(TokenType.OP, ","):
+            exprs.append(self.parse_assignment_expr())
+        return exprs
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_assignment_expr()
+
+    def parse_assignment_expr(self) -> ast.Expr:
+        expr = self._parse_ternary()
+        if self.current.type is TokenType.OP and self.current.value in ASSIGN_OPS:
+            op_token = self._advance()
+            value = self.parse_assignment_expr()
+            return ast.Assignment(
+                target=expr, op=op_token.value, value=value, line=op_token.line
+            )
+        return expr
+
+    def _parse_ternary(self) -> ast.Expr:
+        condition = self._parse_binary(0)
+        if self._match(TokenType.OP, "?"):
+            if_true = self.parse_expression()
+            self._expect(TokenType.OP, ":")
+            if_false = self._parse_ternary()
+            return ast.TernaryOp(
+                condition=condition,
+                if_true=if_true,
+                if_false=if_false,
+                line=condition.line,
+            )
+        return condition
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self.current.type is TokenType.OP and self.current.value in ops:
+            op_token = self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.BinaryOp(
+                op=op_token.value, left=left, right=right, line=op_token.line
+            )
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.type is TokenType.OP and token.value in ("-", "+", "!", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(op=token.value, operand=operand, line=token.line)
+        if token.type is TokenType.OP and token.value in ("++", "--"):
+            self._advance()
+            target = self._parse_unary()
+            return ast.IncDec(target=target, op=token.value, prefix=True, line=token.line)
+        if token.type is TokenType.KEYWORD and token.value == "sizeof":
+            self._advance()
+            self._expect(TokenType.OP, "(")
+            type_name = self._parse_type_name()
+            self._expect(TokenType.OP, ")")
+            return ast.SizeOf(type_name=type_name, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._match(TokenType.OP, "."):
+                name = self._expect(TokenType.IDENT)
+                expr = ast.FieldAccess(base=expr, name=name.value, line=name.line)
+            elif self._match(TokenType.OP, "->"):
+                name = self._expect(TokenType.IDENT)
+                expr = ast.FieldAccess(base=expr, name=name.value, line=name.line)
+            elif self._check(TokenType.OP, "["):
+                bracket = self._advance()
+                index = self.parse_expression()
+                self._expect(TokenType.OP, "]")
+                expr = ast.IndexAccess(base=expr, index=index, line=bracket.line)
+            elif self._check(TokenType.OP, "(") and isinstance(expr, ast.Identifier):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check(TokenType.OP, ")"):
+                    args = self._parse_expr_list()
+                self._expect(TokenType.OP, ")")
+                expr = ast.Call(name=expr.name, args=args, line=expr.line)
+            elif self.current.type is TokenType.OP and self.current.value in ("++", "--"):
+                op_token = self._advance()
+                expr = ast.IncDec(
+                    target=expr, op=op_token.value, prefix=False, line=op_token.line
+                )
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.type is TokenType.INT:
+            self._advance()
+            return ast.IntLiteral(value=int(token.value, 0), line=token.line)
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.FloatLiteral(value=float(token.value), line=token.line)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLiteral(value=token.value, line=token.line)
+        if token.type is TokenType.CHAR:
+            self._advance()
+            return ast.CharLiteral(value=token.value, line=token.line)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return ast.Identifier(name=token.value, line=token.line)
+        if self._match(TokenType.OP, "("):
+            expr = self.parse_expression()
+            self._expect(TokenType.OP, ")")
+            return expr
+        raise self._error(f"unexpected token {token.value!r}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse ECode *source* into a :class:`~repro.ecode.ast.Program`."""
+    return Parser(source).parse_program()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single ECode expression (used by tests and the REPL-style
+    examples)."""
+    parser = Parser(source)
+    expr = parser.parse_expression()
+    if not parser._check(TokenType.EOF):
+        raise parser._error("trailing input after expression")
+    return expr

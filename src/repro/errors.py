@@ -1,0 +1,124 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# PBIO (binary wire format) errors
+# ---------------------------------------------------------------------------
+
+
+class PBIOError(ReproError):
+    """Base class for PBIO encode/decode/registry failures."""
+
+
+class FormatError(PBIOError):
+    """A format declaration is malformed (duplicate fields, bad types...)."""
+
+
+class EncodeError(PBIOError):
+    """A record could not be encoded against its declared format."""
+
+
+class DecodeError(PBIOError):
+    """A wire buffer could not be decoded (truncation, bad magic...)."""
+
+
+class UnknownFormatError(PBIOError):
+    """A wire message referenced a format id that no registry knows."""
+
+    def __init__(self, format_id: int) -> None:
+        super().__init__(f"unknown format id {format_id:#x}")
+        self.format_id = format_id
+
+
+# ---------------------------------------------------------------------------
+# ECode (dynamic code generation) errors
+# ---------------------------------------------------------------------------
+
+
+class ECodeError(ReproError):
+    """Base class for ECode compilation and runtime failures."""
+
+
+class ECodeSyntaxError(ECodeError):
+    """The ECode source failed to lex or parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ECodeTypeError(ECodeError):
+    """The ECode source failed semantic checking."""
+
+
+class ECodeRuntimeError(ECodeError):
+    """A compiled or interpreted ECode routine failed while executing."""
+
+
+# ---------------------------------------------------------------------------
+# Morphing errors
+# ---------------------------------------------------------------------------
+
+
+class MorphError(ReproError):
+    """Base class for message-morphing failures."""
+
+
+class NoMatchError(MorphError):
+    """MaxMatch found no acceptable (f1, f2) pair; the message is rejected."""
+
+
+class TransformError(MorphError):
+    """A registered transformation failed to compile or to run."""
+
+
+# ---------------------------------------------------------------------------
+# Middleware / transport errors
+# ---------------------------------------------------------------------------
+
+
+class EChoError(ReproError):
+    """Base class for ECho middleware failures."""
+
+
+class ChannelError(EChoError):
+    """Channel lookup/subscription failed."""
+
+
+class TransportError(ReproError):
+    """The simulated network transport failed (no route, closed node...)."""
+
+
+# ---------------------------------------------------------------------------
+# XML baseline errors
+# ---------------------------------------------------------------------------
+
+
+class XMLError(ReproError):
+    """Base class for the XML/XSLT baseline."""
+
+
+class XMLParseError(XMLError):
+    """The XML text was not well formed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        location = f" at offset {position}" if position >= 0 else ""
+        super().__init__(f"{message}{location}")
+        self.position = position
+
+
+class XSLTError(XMLError):
+    """A stylesheet was malformed or failed to apply."""

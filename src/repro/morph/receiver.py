@@ -1,0 +1,377 @@
+"""Receiver-side message processing — Algorithm 2 of the paper.
+
+The :class:`MorphReceiver` is the morphing middleware layer that sits
+between the wire and the application's handlers:
+
+1. the format of an incoming message is resolved from its wire id,
+2. if this format was seen before, the **cached** route (decode →
+   transform chain → reconciliation → handler) runs immediately,
+3. otherwise ``MaxMatch(fm, Fr)`` looks for a direct match among the
+   reader's registered formats of the same name; a perfect match
+   dispatches straight to its handler,
+4. failing that, ``MaxMatch(Ft, Fr)`` runs over the *transform closure*
+   ``Ft`` of the incoming format (the format itself plus everything
+   reachable through writer-supplied retro-transformations, chains
+   included — Figure 1), and the chosen chain is dynamically compiled,
+5. an imperfect final pair is reconciled by default-filling missing
+   fields and dropping unknown ones,
+6. the handler registered for the matched format is invoked; with no
+   acceptable match the message goes to the default handler or is
+   rejected with :class:`~repro.errors.NoMatchError`.
+
+Every decision is cached per incoming format id, so the expensive steps
+run once per format, not once per message — the cost structure the
+paper's evaluation relies on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    MorphError,
+    NoMatchError,
+    TransformError,
+    UnknownFormatError,
+)
+from repro.morph.compat import coerce_record, generate_coercion_ecode
+from repro.morph.maxmatch import (
+    DEFAULT_DIFF_THRESHOLD,
+    DEFAULT_MISMATCH_THRESHOLD,
+    MatchResult,
+    max_match,
+)
+from repro.morph.transform import TransformChain, Transformation, build_chain
+from repro.pbio.buffer import unpack_header
+from repro.pbio.context import PBIOContext
+from repro.pbio.format import IOFormat
+from repro.pbio.record import Record
+from repro.pbio.registry import FormatRegistry, TransformSpec
+
+Handler = Callable[[Record], Any]
+DefaultHandler = Callable[[IOFormat, Record], Any]
+
+
+@dataclass
+class ReceiverStats:
+    """Counters exposed for tests, benchmarks and monitoring."""
+
+    messages: int = 0
+    cache_hits: int = 0
+    perfect_matches: int = 0
+    morphed: int = 0
+    reconciled: int = 0
+    rejected: int = 0
+    compiled_chains: int = 0
+    broken_transforms: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class _Route:
+    """The cached per-format processing pipeline."""
+
+    wire_format: IOFormat
+    chain: Optional[TransformChain]
+    coercion: Optional[Tuple[IOFormat, IOFormat]]  # (from, to) for reconcile
+    handler_format: Optional[IOFormat]  # None -> default handler / reject
+    match: Optional[MatchResult] = None
+    #: when ecode_coercion is enabled and the shapes allow it, the
+    #: reconcile step runs as a DCG-compiled generated transform instead
+    #: of the structural Python walker
+    coercion_transform: Optional[Transformation] = None
+
+    @property
+    def is_reject(self) -> bool:
+        return self.handler_format is None
+
+
+class MorphReceiver:
+    """Morphing-aware message receiver for one endpoint.
+
+    Parameters
+    ----------
+    registry:
+        Format registry holding out-of-band meta-data (formats and their
+        writer-supplied transformations).  Shared or replicated with the
+        sending side.
+    diff_threshold / mismatch_threshold:
+        The MaxMatch acceptance constants.  ``diff_threshold=0,
+        mismatch_threshold=0.0`` admits only perfect matches.
+    use_codegen:
+        False switches both PBIO decoding and ECode transforms to their
+        interpretive implementations (ablation).
+    validate_transforms:
+        Forwarded to :class:`~repro.morph.transform.Transformation`.
+        Defaults to False on this hot path — the paper's system writes
+        transform output straight into a C struct with no re-check; turn
+        it on when debugging new transformations.
+    weighted:
+        True scores MaxMatch by field *importance*
+        (:func:`repro.morph.diff.weighted_diff`) instead of field counts —
+        the paper's future-work refinement.  Thresholds then bound
+        importance mass.
+    ecode_coercion:
+        True routes the imperfect-match reconcile step through
+        :func:`~repro.morph.compat.generate_coercion_ecode` — the fill/
+        drop mapping is emitted as ECode and DCG-compiled like any other
+        transform (falling back to the structural Python walker for
+        shapes the generator does not support, e.g. resized fixed
+        arrays).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[FormatRegistry] = None,
+        diff_threshold: int = DEFAULT_DIFF_THRESHOLD,
+        mismatch_threshold: float = DEFAULT_MISMATCH_THRESHOLD,
+        use_codegen: bool = True,
+        validate_transforms: bool = False,
+        weighted: bool = False,
+        ecode_coercion: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else FormatRegistry()
+        self.context = PBIOContext(self.registry, use_codegen=use_codegen)
+        self.diff_threshold = diff_threshold
+        self.mismatch_threshold = mismatch_threshold
+        self.use_codegen = use_codegen
+        self.validate_transforms = validate_transforms
+        self.weighted = weighted
+        self.ecode_coercion = ecode_coercion
+        self.stats = ReceiverStats()
+        self._lock = threading.RLock()
+        self._handlers: Dict[int, Handler] = {}
+        self._handler_formats: List[IOFormat] = []
+        self._default_handler: Optional[DefaultHandler] = None
+        self._routes: Dict[int, _Route] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_handler(self, fmt: IOFormat, handler: Handler) -> None:
+        """Declare that this reader understands *fmt*, delivering its
+        records to *handler*.  Mirrors PBIO's reader-side format+handler
+        registration."""
+        with self._lock:
+            self.registry.register(fmt)
+            self._handlers[fmt.format_id] = handler
+            if all(f.format_id != fmt.format_id for f in self._handler_formats):
+                self._handler_formats.append(fmt)
+            self._routes.clear()  # a new handler can change every route
+
+    def register_default_handler(self, handler: DefaultHandler) -> None:
+        """Handler of last resort, called as ``handler(fmt, record)`` for
+        messages no match admits (Algorithm 2's "default handler")."""
+        with self._lock:
+            self._default_handler = handler
+            self._routes.clear()
+
+    def known_formats(self) -> List[IOFormat]:
+        with self._lock:
+            return list(self._handler_formats)
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+
+    def process(self, data: bytes) -> Any:
+        """Process one wire message; returns whatever the handler returns.
+
+        Raises :class:`UnknownFormatError` for unregistered wire ids and
+        :class:`NoMatchError` for rejected messages when no default
+        handler is installed."""
+        self.stats.messages += 1
+        format_id = unpack_header(data).format_id
+        route = self._routes.get(format_id)
+        if route is not None:
+            self.stats.cache_hits += 1
+        else:
+            incoming = self.registry.lookup_id(format_id)
+            if incoming is None:
+                raise UnknownFormatError(format_id)
+            with self._lock:
+                route = self._routes.get(format_id)
+                if route is None:
+                    route = self._plan_route(incoming)
+                    self._routes[format_id] = route
+        return self._run_route(route, data)
+
+    def process_record(self, fmt: IOFormat, record: Record) -> Any:
+        """Process an already-decoded record (used when the transport
+        delivers in-process without a wire hop)."""
+        self.stats.messages += 1
+        self.registry.register(fmt)
+        route = self._routes.get(fmt.format_id)
+        if route is not None:
+            self.stats.cache_hits += 1
+        else:
+            with self._lock:
+                route = self._routes.get(fmt.format_id)
+                if route is None:
+                    route = self._plan_route(fmt)
+                    self._routes[fmt.format_id] = route
+        return self._deliver(route, record)
+
+    # ------------------------------------------------------------------
+    # Route planning (the expensive, once-per-format part)
+    # ------------------------------------------------------------------
+
+    def _plan_route(self, incoming: IOFormat) -> _Route:
+        # Line 4: Fr -- reader formats with the same name as fm
+        reader_formats = [
+            fmt for fmt in self._handler_formats if fmt.name == incoming.name
+        ]
+        # Line 11: direct MaxMatch(fm, Fr)
+        direct = max_match(
+            incoming,
+            reader_formats,
+            self.diff_threshold,
+            self.mismatch_threshold,
+            weighted=self.weighted,
+        )
+        if direct is not None and direct.is_perfect:
+            coercion = None
+            if direct.f2.format_id != incoming.format_id:
+                # perfect structural match but a different declaration
+                # (e.g. widened scalar sizes): reshape field-by-field
+                coercion = (incoming, direct.f2)
+            return _Route(
+                wire_format=incoming,
+                chain=None,
+                coercion=coercion,
+                handler_format=direct.f2,
+                match=direct,
+                coercion_transform=self._coercion_transform(coercion),
+            )
+        # Line 16: MaxMatch(Ft, Fr) over the transform closure.  A chain
+        # whose writer-supplied ECode fails to compile is dropped from the
+        # candidate set and planning retries — one broken transform must
+        # not take the whole receiver down (other candidates, including
+        # the untransformed format itself, may still match).
+        chains = self.registry.transform_closure(incoming)
+        while True:
+            candidates: List[IOFormat] = [incoming] + [c[-1].target for c in chains]
+            best = max_match(
+                candidates,
+                reader_formats,
+                self.diff_threshold,
+                self.mismatch_threshold,
+                weighted=self.weighted,
+            )
+            if best is None:
+                return _Route(
+                    wire_format=incoming, chain=None, coercion=None,
+                    handler_format=None,
+                )
+            chain: Optional[TransformChain] = None
+            if best.f1.format_id != incoming.format_id:
+                specs = next(
+                    c for c in chains if c[-1].target.format_id == best.f1.format_id
+                )
+                try:
+                    chain = build_chain(
+                        specs,
+                        use_codegen=self.use_codegen,
+                        validate_output=self.validate_transforms,
+                    )
+                except TransformError:
+                    self.stats.broken_transforms += 1
+                    chains = [
+                        c for c in chains
+                        if c[-1].target.format_id != best.f1.format_id
+                    ]
+                    continue
+                self.stats.compiled_chains += 1
+            coercion = None
+            if not best.is_perfect or best.f1.format_id != best.f2.format_id:
+                coercion = (best.f1, best.f2)
+            return _Route(
+                wire_format=incoming,
+                chain=chain,
+                coercion=coercion,
+                handler_format=best.f2,
+                match=best,
+                coercion_transform=self._coercion_transform(coercion),
+            )
+
+    def _coercion_transform(
+        self, coercion: Optional[Tuple[IOFormat, IOFormat]]
+    ) -> Optional[Transformation]:
+        """When enabled, compile the structural reconcile mapping as
+        generated ECode (None -> fall back to the Python walker)."""
+        if coercion is None or not self.ecode_coercion:
+            return None
+        src_fmt, dst_fmt = coercion
+        try:
+            code = generate_coercion_ecode(src_fmt, dst_fmt)
+            return Transformation(
+                TransformSpec(source=src_fmt, target=dst_fmt, code=code,
+                              description="auto-generated reconcile"),
+                use_codegen=self.use_codegen,
+                validate_output=self.validate_transforms,
+            )
+        except (MorphError, TransformError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Route execution (the cheap, per-message part)
+    # ------------------------------------------------------------------
+
+    def _run_route(self, route: _Route, data: bytes) -> Any:
+        record = self.context.decode_as(route.wire_format, data)
+        return self._deliver(route, record)
+
+    def _deliver(self, route: _Route, record: Record) -> Any:
+        if route.is_reject:
+            self.stats.rejected += 1
+            if self._default_handler is not None:
+                return self._default_handler(route.wire_format, record)
+            raise NoMatchError(
+                f"no acceptable match for incoming format "
+                f"{route.wire_format.name!r} v{route.wire_format.version} "
+                f"(diff_threshold={self.diff_threshold}, "
+                f"mismatch_threshold={self.mismatch_threshold})"
+            )
+        if route.chain is not None:
+            record = route.chain.apply(record)
+            self.stats.morphed += 1
+        if route.coercion is not None:
+            if route.coercion_transform is not None:
+                record = route.coercion_transform.apply(record)
+            else:
+                src_fmt, dst_fmt = route.coercion
+                record = coerce_record(src_fmt, dst_fmt, record)
+            self.stats.reconciled += 1
+        else:
+            self.stats.perfect_matches += 1
+        handler_format = route.handler_format
+        assert handler_format is not None
+        handler = self._handlers[handler_format.format_id]
+        return handler(record)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def route_for(self, fmt: IOFormat) -> Optional[_Route]:
+        """The cached route for *fmt*, if one was planned (tests use this
+        to assert which pipeline a message took)."""
+        return self._routes.get(fmt.format_id)
+
+    def compatibility_space(self) -> List[IOFormat]:
+        """Every registered format this receiver would accept — its
+        *compatibility space* (Section 3.1).  Computed by dry-planning a
+        route for each format in the registry."""
+        accepted: List[IOFormat] = []
+        for fmt in self.registry.formats():
+            route = self._routes.get(fmt.format_id)
+            if route is None:
+                route = self._plan_route(fmt)
+            if not route.is_reject:
+                accepted.append(fmt)
+        return accepted

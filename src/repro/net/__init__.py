@@ -1,0 +1,22 @@
+"""Simulated network substrate: nodes, links and a deterministic
+discrete-event message fabric."""
+
+from repro.net.link import (
+    FAST_ETHERNET,
+    GIGABIT_LAN,
+    WAN,
+    WIRELESS_11MBPS,
+    LinkSpec,
+)
+from repro.net.transport import Delivery, Network, Node
+
+__all__ = [
+    "Delivery",
+    "FAST_ETHERNET",
+    "GIGABIT_LAN",
+    "LinkSpec",
+    "Network",
+    "Node",
+    "WAN",
+    "WIRELESS_11MBPS",
+]

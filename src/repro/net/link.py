@@ -1,0 +1,49 @@
+"""Link model — latency + bandwidth for the simulated network.
+
+The paper's Table 1 discussion points out that message size "impacts
+network transmission time, a significant factor in overall message
+latency"; the link model lets examples and benchmarks quantify exactly
+that for PBIO-encoded vs XML-encoded traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransportError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link.
+
+    Parameters
+    ----------
+    latency:
+        One-way propagation delay in seconds.
+    bandwidth:
+        Bytes per second; ``0`` means infinite (no serialization delay).
+    """
+
+    latency: float = 0.0001  # 100 us, a LAN-ish default
+    bandwidth: float = 125_000_000.0  # 1 Gbit/s in bytes/s
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise TransportError("link latency must be >= 0")
+        if self.bandwidth < 0:
+            raise TransportError("link bandwidth must be >= 0")
+
+    def transmission_time(self, size: int) -> float:
+        """Seconds to deliver a *size*-byte message over this link."""
+        if size < 0:
+            raise TransportError("message size must be >= 0")
+        serialization = size / self.bandwidth if self.bandwidth else 0.0
+        return self.latency + serialization
+
+
+#: Handy presets used by examples and benchmarks.
+GIGABIT_LAN = LinkSpec(latency=0.0001, bandwidth=125_000_000.0)
+FAST_ETHERNET = LinkSpec(latency=0.0005, bandwidth=12_500_000.0)
+WIRELESS_11MBPS = LinkSpec(latency=0.002, bandwidth=1_375_000.0)
+WAN = LinkSpec(latency=0.040, bandwidth=1_250_000.0)

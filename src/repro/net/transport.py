@@ -1,0 +1,164 @@
+"""In-memory simulated transport.
+
+A deterministic discrete-event network: nodes register under string
+addresses, messages are scheduled onto a virtual-time event queue with
+per-link latency/serialization delays, and :meth:`Network.run` drains the
+queue delivering messages in timestamp order.  Handlers may send further
+messages during delivery; those are scheduled and processed in the same
+run.
+
+This substitutes for the paper's real sockets: it gives the middleware
+layers (ECho, B2B broker) an honest asynchronous message-passing
+substrate with measurable per-message transmission times, while keeping
+every test fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.net.link import LinkSpec
+
+MessageHandler = Callable[[str, bytes], None]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One delivered message, as recorded in the network trace."""
+
+    time: float
+    source: str
+    destination: str
+    size: int
+
+
+class Node:
+    """One endpoint of the simulated network."""
+
+    def __init__(self, network: "Network", address: str) -> None:
+        self.network = network
+        self.address = address
+        self._handler: Optional[MessageHandler] = None
+        self.received: List[Tuple[str, bytes]] = []
+        self.closed = False
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the receive callback ``handler(source, data)``.  Without
+        one, messages accumulate in :attr:`received` for polling."""
+        self._handler = handler
+
+    def send(self, destination: str, data: bytes) -> float:
+        """Send *data* to *destination*; returns the scheduled delivery
+        time (virtual seconds)."""
+        return self.network.send(self.address, destination, data)
+
+    def close(self) -> None:
+        """Closed nodes drop incoming messages (failure injection)."""
+        self.closed = True
+
+    def _deliver(self, source: str, data: bytes) -> None:
+        if self.closed:
+            self.network.dropped += 1
+            return
+        if self._handler is not None:
+            self._handler(source, data)
+        else:
+            self.received.append((source, data))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.address!r})"
+
+
+class Network:
+    """The simulated network fabric.
+
+    Parameters
+    ----------
+    default_link:
+        Link used between node pairs with no explicit link configured.
+    """
+
+    def __init__(self, default_link: Optional[LinkSpec] = None) -> None:
+        self.default_link = default_link if default_link is not None else LinkSpec()
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+        self._queue: List[Tuple[float, int, str, str, bytes]] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.dropped = 0
+        self.trace: List[Delivery] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def add_node(self, address: str) -> Node:
+        if address in self._nodes:
+            raise TransportError(f"address {address!r} already in use")
+        node = Node(self, address)
+        self._nodes[address] = node
+        return node
+
+    def node(self, address: str) -> Node:
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise TransportError(f"no node at address {address!r}") from None
+
+    def set_link(self, a: str, b: str, link: LinkSpec) -> None:
+        """Configure the link between *a* and *b* (both directions)."""
+        self._links[(a, b)] = link
+        self._links[(b, a)] = link
+
+    def link_between(self, a: str, b: str) -> LinkSpec:
+        return self._links.get((a, b), self.default_link)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send(self, source: str, destination: str, data: bytes) -> float:
+        if destination not in self._nodes:
+            raise TransportError(f"no node at address {destination!r}")
+        link = self.link_between(source, destination)
+        arrival = self.now + link.transmission_time(len(data))
+        heapq.heappush(
+            self._queue, (arrival, next(self._sequence), source, destination, data)
+        )
+        self.bytes_sent += len(data)
+        self.messages_sent += 1
+        return arrival
+
+    def run(self, max_time: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Deliver queued messages in timestamp order until the queue is
+        empty (or *max_time* / *max_events* is hit).  Returns the number
+        of deliveries performed."""
+        delivered = 0
+        while self._queue:
+            arrival, _seq, source, destination, data = self._queue[0]
+            if max_time is not None and arrival > max_time:
+                break
+            if delivered >= max_events:
+                raise TransportError(
+                    f"network did not quiesce within {max_events} events "
+                    "(possible message loop)"
+                )
+            heapq.heappop(self._queue)
+            self.now = max(self.now, arrival)
+            self.trace.append(
+                Delivery(time=self.now, source=source, destination=destination,
+                         size=len(data))
+            )
+            self._nodes[destination]._deliver(source, data)
+            delivered += 1
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

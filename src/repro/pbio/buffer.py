@@ -1,0 +1,174 @@
+"""Low-level wire buffer primitives.
+
+All multi-byte quantities are little-endian on the wire (real PBIO records
+native byte order in the meta-data and converts on the receiver only when
+needed; we fix the wire order and note the receiver-side conversion cost is
+paid symmetrically by both compared systems).
+
+Wire message layout::
+
+    +---------------------------- header (20 bytes) -----------------------------+
+    | magic u32 | version u8 | flags u8 | reserved u16 | format_id u64 | len u32 |
+    +-----------------------------------------------------------------------------+
+    | payload: fields in declared order                                           |
+    +-----------------------------------------------------------------------------+
+
+* scalars: fixed width per the field declaration,
+* strings: u32 byte length + UTF-8 bytes,
+* fixed arrays: elements inline,
+* variable arrays: elements inline; the element count is the value of the
+  (earlier) count field, so no extra length prefix is spent.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.errors import DecodeError, EncodeError
+
+MAGIC = 0x5042494F  # "PBIO"
+WIRE_VERSION = 1
+HEADER = struct.Struct("<IBBHQI")
+HEADER_SIZE = HEADER.size  # 20 bytes: the paper's "< 30 bytes" envelope
+
+#: Header flag bit: payload scalars are big-endian.  Real PBIO writes in
+#: the sender's *native* order and lets the receiver convert only when
+#: orders differ ("receiver makes right"); the flag carries that decision.
+FLAG_BIG_ENDIAN = 0x01
+
+#: struct prefix characters per byte-order name.
+ORDER_PREFIX = {"little": "<", "big": ">"}
+
+
+@dataclass(frozen=True)
+class MessageHeader:
+    """Decoded wire header."""
+
+    format_id: int
+    payload_length: int
+    flags: int = 0
+    version: int = WIRE_VERSION
+
+
+def pack_header(format_id: int, payload_length: int, flags: int = 0) -> bytes:
+    return HEADER.pack(MAGIC, WIRE_VERSION, flags, 0, format_id, payload_length)
+
+
+def unpack_header(data: bytes, offset: int = 0) -> MessageHeader:
+    if len(data) - offset < HEADER_SIZE:
+        raise DecodeError(
+            f"buffer too short for header: need {HEADER_SIZE} bytes, "
+            f"have {len(data) - offset}"
+        )
+    magic, version, flags, _reserved, format_id, length = HEADER.unpack_from(
+        data, offset
+    )
+    if magic != MAGIC:
+        raise DecodeError(f"bad magic {magic:#x} (expected {MAGIC:#x})")
+    if version != WIRE_VERSION:
+        raise DecodeError(f"unsupported wire version {version}")
+    if len(data) - offset - HEADER_SIZE < length:
+        raise DecodeError(
+            f"truncated payload: header declares {length} bytes, "
+            f"have {len(data) - offset - HEADER_SIZE}"
+        )
+    return MessageHeader(format_id=format_id, payload_length=length, flags=flags)
+
+
+class WireWriter:
+    """Append-only binary writer backed by a bytearray.
+
+    *order* is the struct prefix for scalar packing (``"<"`` little,
+    ``">"`` big — the writer's declared native order)."""
+
+    __slots__ = ("_buffer", "order")
+
+    def __init__(self, order: str = "<") -> None:
+        self._buffer = bytearray()
+        self.order = order
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+    def write_struct(self, packer: struct.Struct, *values: Any) -> None:
+        try:
+            self._buffer += packer.pack(*values)
+        except struct.error as exc:
+            raise EncodeError(f"cannot pack {values!r}: {exc}") from None
+
+    def write_scalar(self, code: str, value: Any) -> None:
+        try:
+            self._buffer += struct.pack(self.order + code, value)
+        except struct.error as exc:
+            raise EncodeError(f"cannot pack {value!r} as {code!r}: {exc}") from None
+
+    def write_string(self, value: str) -> None:
+        encoded = value.encode("utf-8")
+        self._buffer += struct.pack(self.order + "I", len(encoded))
+        self._buffer += encoded
+
+    def write_bytes(self, data: bytes) -> None:
+        self._buffer += data
+
+
+class WireReader:
+    """Sequential binary reader with bounds checking."""
+
+    __slots__ = ("_data", "_offset", "_end", "order")
+
+    def __init__(self, data: bytes, offset: int = 0, end: int = -1,
+                 order: str = "<") -> None:
+        self._data = data
+        self._offset = offset
+        self._end = len(data) if end < 0 else end
+        self.order = order
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        return self._end - self._offset
+
+    def _require(self, count: int) -> None:
+        if self._end - self._offset < count:
+            raise DecodeError(
+                f"truncated buffer: need {count} bytes at offset "
+                f"{self._offset}, have {self._end - self._offset}"
+            )
+
+    def read_struct(self, packer: struct.Struct) -> Tuple[Any, ...]:
+        self._require(packer.size)
+        values = packer.unpack_from(self._data, self._offset)
+        self._offset += packer.size
+        return values
+
+    def read_scalar(self, code: str, size: int) -> Any:
+        self._require(size)
+        (value,) = struct.unpack_from(self.order + code, self._data, self._offset)
+        self._offset += size
+        return value
+
+    def read_string(self) -> str:
+        self._require(4)
+        (length,) = struct.unpack_from(self.order + "I", self._data, self._offset)
+        self._offset += 4
+        self._require(length)
+        raw = self._data[self._offset : self._offset + length]
+        self._offset += length
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"invalid UTF-8 in string field: {exc}") from None
+
+    def read_bytes(self, count: int) -> bytes:
+        self._require(count)
+        raw = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return bytes(raw)

@@ -1,0 +1,240 @@
+"""The format server — out-of-band meta-data as a real protocol.
+
+PBIO's defining trick is that meta-data travels *out-of-band*: wire
+messages carry only an 8-byte format id, and readers resolve ids against
+a format server.  Elsewhere in this library the server is abstracted as
+a shared :class:`~repro.pbio.registry.FormatRegistry`; this module makes
+it a real networked service on the simulated transport:
+
+* :class:`FormatService` — the server process.  Writers push their
+  formats and transformations to it; readers fetch a format (plus its
+  whole transform closure) by id.
+* :class:`MetaClient` — an endpoint's client: a local registry replica,
+  `publish()` to upload it, and `fetch()` to pull missing entries.
+* :class:`RemoteMetaReceiver` — a :class:`~repro.morph.receiver.
+  MorphReceiver` wrapper that parks messages whose format is unknown,
+  fetches the meta-data, and drains the parked messages when the reply
+  arrives — so data can race ahead of meta-data without loss.
+
+The service protocol itself is JSON over the transport (deliberately not
+PBIO: the meta-data channel must not depend on the meta-data it serves).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import TransportError, UnknownFormatError
+from repro.morph.receiver import MorphReceiver
+from repro.net.transport import Network, Node
+from repro.pbio.registry import FormatRegistry
+from repro.pbio.serialization import (
+    format_from_dict,
+    format_to_dict,
+    transform_from_dict,
+    transform_to_dict,
+)
+
+
+def _encode(message: Dict[str, Any]) -> bytes:
+    return json.dumps(message, sort_keys=True).encode("utf-8")
+
+
+def _decode(data: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"malformed meta-service message: {exc}") from None
+    if not isinstance(message, dict) or "op" not in message:
+        raise TransportError("meta-service message missing 'op'")
+    return message
+
+
+class FormatService:
+    """The format server process."""
+
+    def __init__(self, network: Network, address: str = "format-service") -> None:
+        self.node: Node = network.add_node(address)
+        self.node.set_handler(self._on_message)
+        self.registry = FormatRegistry()
+        self.stats = {"registers": 0, "fetches": 0, "misses": 0}
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    def _on_message(self, source: str, data: bytes) -> None:
+        message = _decode(data)
+        op = message["op"]
+        if op == "register":
+            for fmt_dict in message.get("formats", ()):
+                self.registry.register(format_from_dict(fmt_dict))
+            for spec_dict in message.get("transforms", ()):
+                self.registry.register_transform(transform_from_dict(spec_dict))
+            self.stats["registers"] += 1
+        elif op == "fetch":
+            self._handle_fetch(source, message)
+        # unknown ops are dropped: the service must tolerate new clients
+
+    def _handle_fetch(self, source: str, message: Dict[str, Any]) -> None:
+        self.stats["fetches"] += 1
+        format_id = int(message["format_id"])
+        fmt = self.registry.lookup_id(format_id)
+        if fmt is None:
+            self.stats["misses"] += 1
+            reply: Dict[str, Any] = {
+                "op": "fetch_reply",
+                "format_id": str(format_id),
+                "found": False,
+            }
+        else:
+            # ship the format AND its transform closure so the fetcher
+            # can morph without a second round trip
+            chains = self.registry.transform_closure(fmt)
+            specs = {id(s): s for chain in chains for s in chain}
+            reply = {
+                "op": "fetch_reply",
+                "format_id": str(format_id),
+                "found": True,
+                "format": format_to_dict(fmt),
+                "transforms": [transform_to_dict(s) for s in specs.values()],
+            }
+        self.node.send(source, _encode(reply))
+
+
+class MetaClient:
+    """One endpoint's connection to the format server."""
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        service: str = "format-service",
+        registry: Optional[FormatRegistry] = None,
+    ) -> None:
+        self.node: Node = network.add_node(address)
+        self.node.set_handler(self._on_message)
+        self.service = service
+        self.registry = registry if registry is not None else FormatRegistry()
+        self._pending_fetches: Dict[int, List[Callable[[bool], None]]] = {}
+        #: non-meta traffic handler (a receiver, an application...)
+        self.data_handler: Optional[Callable[[str, bytes], None]] = None
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+
+    def publish(self) -> None:
+        """Upload the local registry (formats + transforms) to the
+        server — what a writer does at startup."""
+        formats = self.registry.formats()
+        transforms = [
+            spec for fmt in formats for spec in self.registry.transforms_from(fmt)
+        ]
+        self.node.send(
+            self.service,
+            _encode(
+                {
+                    "op": "register",
+                    "formats": [format_to_dict(f) for f in formats],
+                    "transforms": [transform_to_dict(s) for s in transforms],
+                }
+            ),
+        )
+
+    def fetch(
+        self, format_id: int, on_done: Optional[Callable[[bool], None]] = None
+    ) -> None:
+        """Request meta-data for *format_id*; *on_done(found)* fires when
+        the reply lands (duplicate in-flight fetches are coalesced)."""
+        callbacks = self._pending_fetches.setdefault(format_id, [])
+        if on_done is not None:
+            callbacks.append(on_done)
+        if len(callbacks) <= 1:
+            self.node.send(
+                self.service,
+                _encode({"op": "fetch", "format_id": str(format_id)}),
+            )
+
+    def send(self, destination: str, data: bytes) -> None:
+        self.node.send(destination, data)
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+
+    def _on_message(self, source: str, data: bytes) -> None:
+        if source == self.service and data[:1] == b"{":
+            message = _decode(data)
+            if message.get("op") == "fetch_reply":
+                self._handle_fetch_reply(message)
+                return
+        if self.data_handler is not None:
+            self.data_handler(source, data)
+
+    def _handle_fetch_reply(self, message: Dict[str, Any]) -> None:
+        format_id = int(message["format_id"])
+        found = bool(message.get("found"))
+        if found:
+            self.registry.register(format_from_dict(message["format"]))
+            for spec_dict in message.get("transforms", ()):
+                self.registry.register_transform(transform_from_dict(spec_dict))
+        for callback in self._pending_fetches.pop(format_id, ()):
+            callback(found)
+
+
+class RemoteMetaReceiver:
+    """A morphing receiver whose meta-data arrives over the network.
+
+    Wire messages whose format id is unknown locally are parked, a fetch
+    goes to the format server, and the parked messages are processed when
+    the meta-data lands.  Messages whose format the server does not know
+    either go to the MorphReceiver's default handler path (via
+    :class:`UnknownFormatError`) or are counted as drops.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        service: str = "format-service",
+        **receiver_kwargs: Any,
+    ) -> None:
+        self.client = MetaClient(network, address, service)
+        self.receiver = MorphReceiver(self.client.registry, **receiver_kwargs)
+        self.client.data_handler = lambda _source, data: self.process(data)
+        self._parked: Dict[int, List[bytes]] = {}
+        self.results: List[Any] = []
+        self.unresolved: List[bytes] = []
+
+    @property
+    def address(self) -> str:
+        return self.client.address
+
+    def register_handler(self, fmt, handler) -> None:
+        self.receiver.register_handler(fmt, handler)
+
+    def process(self, data: bytes) -> None:
+        """Process a wire message, fetching meta-data on demand."""
+        try:
+            self.results.append(self.receiver.process(data))
+            return
+        except UnknownFormatError as exc:
+            format_id = exc.format_id
+        parked = self._parked.setdefault(format_id, [])
+        parked.append(data)
+        if len(parked) == 1:
+            self.client.fetch(format_id, lambda found: self._drain(format_id, found))
+
+    def _drain(self, format_id: int, found: bool) -> None:
+        parked = self._parked.pop(format_id, [])
+        if not found:
+            self.unresolved.extend(parked)
+            return
+        for data in parked:
+            self.results.append(self.receiver.process(data))

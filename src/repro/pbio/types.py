@@ -1,0 +1,148 @@
+"""PBIO type system.
+
+The paper (Section 3.2) distinguishes two kinds of fields:
+
+* **basic** types: integer, unsigned integer, float, char, enumeration and
+  string (we also carry an explicit boolean, used by the ECho v2.0
+  ``ChannelOpenResponse`` format's ``is_Source``/``is_Sink`` flags),
+* **complex** types: records composed of other basic and complex fields.
+
+Each basic kind has a set of legal wire sizes and a Python-side default
+value used when morphing has to fill in a missing field.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Tuple
+
+from repro.errors import FormatError
+
+
+class TypeKind(enum.Enum):
+    """The kind of a PBIO field."""
+
+    INTEGER = "integer"
+    UNSIGNED = "unsigned"
+    FLOAT = "float"
+    CHAR = "char"
+    ENUMERATION = "enumeration"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    COMPLEX = "complex"
+
+    @property
+    def is_basic(self) -> bool:
+        """True for the scalar kinds the paper calls *basic*."""
+        return self is not TypeKind.COMPLEX
+
+
+#: Legal wire sizes (bytes) per scalar kind; strings are length-prefixed and
+#: have no fixed size, so they accept size 0 only.
+LEGAL_SIZES: Dict[TypeKind, Tuple[int, ...]] = {
+    TypeKind.INTEGER: (1, 2, 4, 8),
+    TypeKind.UNSIGNED: (1, 2, 4, 8),
+    TypeKind.FLOAT: (4, 8),
+    TypeKind.CHAR: (1,),
+    TypeKind.ENUMERATION: (1, 2, 4, 8),
+    TypeKind.BOOLEAN: (1,),
+    TypeKind.STRING: (0,),
+}
+
+#: Default wire size per scalar kind (mirrors common C sizes on the paper's
+#: 32-bit-era testbed: ``sizeof(int) == 4``).
+DEFAULT_SIZES: Dict[TypeKind, int] = {
+    TypeKind.INTEGER: 4,
+    TypeKind.UNSIGNED: 4,
+    TypeKind.FLOAT: 8,
+    TypeKind.CHAR: 1,
+    TypeKind.ENUMERATION: 4,
+    TypeKind.BOOLEAN: 1,
+    TypeKind.STRING: 0,
+}
+
+#: ``struct`` pack codes keyed by (kind, size).  Little-endian is applied by
+#: the buffer layer.
+STRUCT_CODES: Dict[Tuple[TypeKind, int], str] = {
+    (TypeKind.INTEGER, 1): "b",
+    (TypeKind.INTEGER, 2): "h",
+    (TypeKind.INTEGER, 4): "i",
+    (TypeKind.INTEGER, 8): "q",
+    (TypeKind.UNSIGNED, 1): "B",
+    (TypeKind.UNSIGNED, 2): "H",
+    (TypeKind.UNSIGNED, 4): "I",
+    (TypeKind.UNSIGNED, 8): "Q",
+    (TypeKind.ENUMERATION, 1): "B",
+    (TypeKind.ENUMERATION, 2): "H",
+    (TypeKind.ENUMERATION, 4): "I",
+    (TypeKind.ENUMERATION, 8): "Q",
+    (TypeKind.FLOAT, 4): "f",
+    (TypeKind.FLOAT, 8): "d",
+    (TypeKind.BOOLEAN, 1): "?",
+    (TypeKind.CHAR, 1): "c",
+}
+
+#: Signed integer value ranges keyed by size, for encode-time validation.
+SIGNED_RANGES: Dict[int, Tuple[int, int]] = {
+    1: (-(2**7), 2**7 - 1),
+    2: (-(2**15), 2**15 - 1),
+    4: (-(2**31), 2**31 - 1),
+    8: (-(2**63), 2**63 - 1),
+}
+
+UNSIGNED_RANGES: Dict[int, Tuple[int, int]] = {
+    1: (0, 2**8 - 1),
+    2: (0, 2**16 - 1),
+    4: (0, 2**32 - 1),
+    8: (0, 2**64 - 1),
+}
+
+
+def validate_size(kind: TypeKind, size: int) -> int:
+    """Return *size* (or the kind's default when size is 0/None) after
+    checking it is legal for *kind*.
+
+    Raises :class:`FormatError` for illegal (kind, size) combinations.
+    """
+    if kind is TypeKind.COMPLEX:
+        raise FormatError("complex fields have no scalar size")
+    if not size:
+        return DEFAULT_SIZES[kind]
+    if size not in LEGAL_SIZES[kind]:
+        raise FormatError(f"illegal size {size} for {kind.value} field")
+    return size
+
+
+def default_value(kind: TypeKind) -> Any:
+    """The fill-in value used by morphing when a field has no explicit
+    default (XML-style type mapping semantics, Section 2)."""
+    if kind in (TypeKind.INTEGER, TypeKind.UNSIGNED, TypeKind.ENUMERATION):
+        return 0
+    if kind is TypeKind.FLOAT:
+        return 0.0
+    if kind is TypeKind.BOOLEAN:
+        return False
+    if kind is TypeKind.CHAR:
+        return "\x00"
+    if kind is TypeKind.STRING:
+        return ""
+    raise FormatError(f"no scalar default for {kind.value}")
+
+
+def coerce_value(kind: TypeKind, value: Any) -> Any:
+    """Coerce a Python value to the canonical runtime representation of
+    *kind* (e.g. ints for enumerations, single-char str for char)."""
+    if kind in (TypeKind.INTEGER, TypeKind.UNSIGNED, TypeKind.ENUMERATION):
+        return int(value)
+    if kind is TypeKind.FLOAT:
+        return float(value)
+    if kind is TypeKind.BOOLEAN:
+        return bool(value)
+    if kind is TypeKind.CHAR:
+        text = str(value) if not isinstance(value, bytes) else value.decode("latin-1")
+        if len(text) != 1:
+            raise FormatError(f"char field requires a single character, got {value!r}")
+        return text
+    if kind is TypeKind.STRING:
+        return str(value)
+    raise FormatError(f"cannot coerce scalar for {kind.value}")

@@ -1,0 +1,20 @@
+"""Operational tooling built on the core library (capture/replay
+archives)."""
+
+from repro.tools.archive import (
+    ArchiveError,
+    ArchiveReader,
+    ArchiveWriter,
+    ReplayReport,
+    capture,
+    open_archive,
+)
+
+__all__ = [
+    "ArchiveError",
+    "ArchiveReader",
+    "ArchiveWriter",
+    "ReplayReport",
+    "capture",
+    "open_archive",
+]

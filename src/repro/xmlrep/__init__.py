@@ -1,0 +1,31 @@
+"""XML/XSLT baseline — the comparison arm of the paper's evaluation.
+
+A dependency-free textual pipeline: record → XML string
+(:func:`encode_xml`), XML string → element tree (:func:`parse_xml`),
+tree → tree transformation (:class:`Stylesheet`), tree → record
+(:func:`decode_xml` / :func:`record_from_tree`)."""
+
+from repro.xmlrep.decode import decode_xml, record_from_tree
+from repro.xmlrep.encode import encode_xml, xml_size
+from repro.xmlrep.morph import XMLMorphReceiver, XSLTTransformSpec
+from repro.xmlrep.parse import parse_xml
+from repro.xmlrep.tree import XMLElement, escape_attr, escape_text
+from repro.xmlrep.xpath import matches, select, string_value
+from repro.xmlrep.xslt import Stylesheet
+
+__all__ = [
+    "Stylesheet",
+    "XMLElement",
+    "XMLMorphReceiver",
+    "XSLTTransformSpec",
+    "decode_xml",
+    "encode_xml",
+    "escape_attr",
+    "escape_text",
+    "matches",
+    "parse_xml",
+    "record_from_tree",
+    "select",
+    "string_value",
+    "xml_size",
+]

@@ -1,0 +1,81 @@
+"""XML tree → Record decoder.
+
+The third component of the paper's XML/XSLT decode cost: "traversing the
+new tree to form a data structure block" of the receiver's type.  Walks
+an :class:`~repro.xmlrep.tree.XMLElement` tree against an
+:class:`~repro.pbio.format.IOFormat`, parsing text content back into
+typed scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import DecodeError
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.record import Record
+from repro.pbio.types import TypeKind
+from repro.xmlrep.parse import parse_xml
+from repro.xmlrep.tree import XMLElement
+
+
+def decode_xml(fmt: IOFormat, text: str) -> Record:
+    """Parse *text* and build a record of *fmt* from it."""
+    root = parse_xml(text)
+    return record_from_tree(fmt, root)
+
+
+def record_from_tree(fmt: IOFormat, element: XMLElement) -> Record:
+    """Build a record of *fmt* from an already-parsed element."""
+    if element.tag != fmt.name and fmt.version is None:
+        # nested complex fields arrive under the field's name, not the
+        # subformat's; tags are only authoritative at the document root
+        pass
+    record = Record()
+    for field in fmt.fields:
+        children = element.children_by_tag(field.name)
+        if field.is_array:
+            record[field.name] = [_decode_one(field, child) for child in children]
+        else:
+            if not children:
+                raise DecodeError(
+                    f"XML element <{element.tag}> missing child "
+                    f"<{field.name}> of format {fmt.name!r}"
+                )
+            record[field.name] = _decode_one(field, children[0])
+    # arrays are authoritative; re-synchronize declared counts
+    for field in fmt.fields:
+        spec = field.array
+        if spec is not None and spec.length_field is not None:
+            declared = record.get(spec.length_field)
+            actual = len(record[field.name])
+            if declared != actual:
+                raise DecodeError(
+                    f"XML count mismatch for {field.name!r}: "
+                    f"{spec.length_field}={declared} but {actual} elements"
+                )
+    return record
+
+
+def _decode_one(field: IOField, element: XMLElement) -> Any:
+    if field.is_complex:
+        assert field.subformat is not None
+        return record_from_tree(field.subformat, element)
+    text = element.text()
+    kind = field.kind
+    try:
+        if kind in (TypeKind.INTEGER, TypeKind.UNSIGNED, TypeKind.ENUMERATION):
+            return int(text.strip() or 0)
+        if kind is TypeKind.FLOAT:
+            return float(text.strip() or 0.0)
+        if kind is TypeKind.BOOLEAN:
+            return text.strip() in ("1", "true", "True")
+        if kind is TypeKind.CHAR:
+            return text[:1] or "\x00"
+        return text
+    except ValueError as exc:
+        raise DecodeError(
+            f"bad scalar text {text!r} for field {field.name!r} "
+            f"({kind.value}): {exc}"
+        ) from None

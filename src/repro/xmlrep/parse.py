@@ -1,0 +1,219 @@
+"""From-scratch XML parser.
+
+A character-level recursive parser producing
+:class:`~repro.xmlrep.tree.XMLElement` trees.  Supports elements,
+attributes, character data, comments, CDATA sections, processing
+instructions / XML declarations (skipped), and the five predefined
+entities plus numeric character references.  No namespaces, no DTDs —
+the subset the baseline needs, parsed honestly (every character is
+inspected, which is exactly the cost structure the paper attributes to
+"parsing ascii-based XML").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import XMLParseError
+from repro.xmlrep.tree import XMLElement
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Parser:
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def error(self, message: str) -> XMLParseError:
+        return XMLParseError(message, self.pos)
+
+    # ------------------------------------------------------------------
+
+    def parse_document(self) -> XMLElement:
+        self._skip_prolog()
+        root = self._parse_element()
+        self._skip_misc()
+        if self.pos != self.length:
+            raise self.error("content after document element")
+        return root
+
+    def _skip_prolog(self) -> None:
+        self._skip_whitespace()
+        while self.pos < self.length and self.text.startswith("<?", self.pos):
+            end = self.text.find("?>", self.pos)
+            if end < 0:
+                raise self.error("unterminated processing instruction")
+            self.pos = end + 2
+            self._skip_whitespace()
+        self._skip_misc()
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos + 4)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.text.startswith("<!DOCTYPE", self.pos):
+                end = self.text.find(">", self.pos)
+                if end < 0:
+                    raise self.error("unterminated DOCTYPE")
+                self.pos = end + 1
+            else:
+                return
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    # ------------------------------------------------------------------
+
+    def _parse_name(self) -> str:
+        start = self.pos
+        if self.pos >= self.length or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def _parse_element(self) -> XMLElement:
+        if not self.text.startswith("<", self.pos):
+            raise self.error("expected '<'")
+        self.pos += 1
+        tag = self._parse_name()
+        element = XMLElement(tag)
+        while True:
+            self._skip_whitespace()
+            if self.pos >= self.length:
+                raise self.error(f"unterminated start tag <{tag}>")
+            ch = self.text[self.pos]
+            if ch == ">":
+                self.pos += 1
+                self._parse_content(element)
+                return element
+            if self.text.startswith("/>", self.pos):
+                self.pos += 2
+                return element
+            name, value = self._parse_attribute()
+            if name in element.attributes:
+                raise self.error(f"duplicate attribute {name!r} on <{tag}>")
+            element.attributes[name] = value
+
+    def _parse_attribute(self) -> Tuple[str, str]:
+        name = self._parse_name()
+        self._skip_whitespace()
+        if not self.text.startswith("=", self.pos):
+            raise self.error(f"attribute {name!r} missing '='")
+        self.pos += 1
+        self._skip_whitespace()
+        if self.pos >= self.length or self.text[self.pos] not in "\"'":
+            raise self.error(f"attribute {name!r} value must be quoted")
+        quote = self.text[self.pos]
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated attribute value for {name!r}")
+        raw = self.text[self.pos : end]
+        self.pos = end + 1
+        return name, _expand_entities(raw, self)
+
+    def _parse_content(self, element: XMLElement) -> None:
+        tag = element.tag
+        buffer: list = []
+        while True:
+            if self.pos >= self.length:
+                raise self.error(f"unterminated element <{tag}>")
+            next_lt = self.text.find("<", self.pos)
+            if next_lt < 0:
+                raise self.error(f"unterminated element <{tag}>")
+            if next_lt > self.pos:
+                buffer.append(
+                    _expand_entities(self.text[self.pos : next_lt], self)
+                )
+                self.pos = next_lt
+            if self.text.startswith("</", self.pos):
+                self._flush_text(element, buffer)
+                self.pos += 2
+                closing = self._parse_name()
+                if closing != tag:
+                    raise self.error(
+                        f"mismatched close tag </{closing}> for <{tag}>"
+                    )
+                self._skip_whitespace()
+                if not self.text.startswith(">", self.pos):
+                    raise self.error(f"malformed close tag </{closing}>")
+                self.pos += 1
+                return
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos + 4)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+                continue
+            if self.text.startswith("<![CDATA[", self.pos):
+                end = self.text.find("]]>", self.pos + 9)
+                if end < 0:
+                    raise self.error("unterminated CDATA section")
+                buffer.append(self.text[self.pos + 9 : end])
+                self.pos = end + 3
+                continue
+            if self.text.startswith("<?", self.pos):
+                end = self.text.find("?>", self.pos)
+                if end < 0:
+                    raise self.error("unterminated processing instruction")
+                self.pos = end + 2
+                continue
+            self._flush_text(element, buffer)
+            element.append(self._parse_element())
+
+    @staticmethod
+    def _flush_text(element: XMLElement, buffer: list) -> None:
+        if buffer:
+            element.append("".join(buffer))
+            buffer.clear()
+
+
+def _expand_entities(text: str, parser: _Parser) -> str:
+    if "&" not in text:
+        return text
+    parts: list = []
+    pos = 0
+    while True:
+        amp = text.find("&", pos)
+        if amp < 0:
+            parts.append(text[pos:])
+            return "".join(parts)
+        parts.append(text[pos:amp])
+        semi = text.find(";", amp)
+        if semi < 0:
+            raise parser.error("unterminated entity reference")
+        name = text[amp + 1 : semi]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                parts.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise parser.error(f"bad character reference &{name};") from None
+        elif name.startswith("#"):
+            try:
+                parts.append(chr(int(name[1:])))
+            except ValueError:
+                raise parser.error(f"bad character reference &{name};") from None
+        elif name in _ENTITIES:
+            parts.append(_ENTITIES[name])
+        else:
+            raise parser.error(f"unknown entity &{name};")
+        pos = semi + 1
+
+
+def parse_xml(text: str) -> XMLElement:
+    """Parse an XML document string, returning the root element."""
+    return _Parser(text).parse_document()

@@ -1,0 +1,118 @@
+"""XML element tree.
+
+The in-memory document model for the XML baseline: a minimal, dependency-
+free analogue of libxml2's parse tree (paper Section 5 builds one per
+decode and one per XSL transformation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for inclusion in XML text content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attr(text: str) -> str:
+    out = escape_text(text)
+    return out.replace('"', "&quot;")
+
+
+class XMLElement:
+    """One element: tag, attributes, and an ordered list of children that
+    are either nested elements or text strings."""
+
+    __slots__ = ("tag", "attributes", "children", "parent")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[Dict[str, str]] = None,
+        children: Optional[List[Union["XMLElement", str]]] = None,
+    ) -> None:
+        self.tag = tag
+        self.attributes: Dict[str, str] = attributes or {}
+        self.children: List[Union[XMLElement, str]] = []
+        self.parent: Optional[XMLElement] = None
+        for child in children or ():
+            self.append(child)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append(self, child: Union["XMLElement", str]) -> None:
+        if isinstance(child, XMLElement):
+            child.parent = self
+        self.children.append(child)
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def element_children(self) -> Iterator["XMLElement"]:
+        return (c for c in self.children if isinstance(c, XMLElement))
+
+    def children_by_tag(self, tag: str) -> List["XMLElement"]:
+        return [c for c in self.element_children() if c.tag == tag]
+
+    def first_child(self, tag: str) -> Optional["XMLElement"]:
+        for child in self.element_children():
+            if child.tag == tag:
+                return child
+        return None
+
+    def text(self) -> str:
+        """Concatenated text content, recursing through children (the
+        XPath string-value of the element)."""
+        parts: List[str] = []
+        for child in self.children:
+            if isinstance(child, str):
+                parts.append(child)
+            else:
+                parts.append(child.text())
+        return "".join(parts)
+
+    def iter(self) -> Iterator["XMLElement"]:
+        """Depth-first pre-order iteration over this element and all
+        element descendants."""
+        yield self
+        for child in self.element_children():
+            yield from child.iter()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def serialize(self, parts: Optional[List[str]] = None) -> str:
+        top = parts is None
+        if parts is None:
+            parts = []
+        attrs = "".join(
+            f' {name}="{escape_attr(value)}"' for name, value in self.attributes.items()
+        )
+        if not self.children:
+            parts.append(f"<{self.tag}{attrs}/>")
+        else:
+            parts.append(f"<{self.tag}{attrs}>")
+            for child in self.children:
+                if isinstance(child, str):
+                    parts.append(escape_text(child))
+                else:
+                    child.serialize(parts)
+            parts.append(f"</{self.tag}>")
+        return "".join(parts) if top else ""
+
+    def deepcopy(self) -> "XMLElement":
+        clone = XMLElement(self.tag, dict(self.attributes))
+        for child in self.children:
+            clone.append(child.deepcopy() if isinstance(child, XMLElement) else child)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n_children = sum(1 for _ in self.element_children())
+        return f"XMLElement(<{self.tag}>, {n_children} child elements)"

@@ -1,0 +1,330 @@
+"""XPath-lite — the path subset the mini-XSLT engine evaluates.
+
+Supported location paths (relative to a context element)::
+
+    .                       the context node
+    name                    child elements with that tag
+    *                       all child elements
+    a/b/c                   nested steps
+    tag[child='value']      predicate: child string-value equals literal
+    tag[@attr='value']      predicate: attribute equals literal
+    tag[child]              predicate: child exists
+
+String-value expressions additionally allow a trailing ``@attr`` or
+``text()`` step and the aggregate functions ``count(path)`` and
+``sum(path)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from repro.errors import XSLTError
+from repro.xmlrep.tree import XMLElement
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``[lhs]`` or ``[lhs='literal']`` where lhs is ``@attr`` or a
+    child path."""
+
+    lhs: str
+    literal: Optional[str] = None  # None -> existence test
+
+    def holds(self, element: XMLElement) -> bool:
+        if self.lhs.startswith("@"):
+            value = element.attributes.get(self.lhs[1:])
+            if value is None:
+                return False
+            return self.literal is None or value == self.literal
+        nodes = select(element, self.lhs)
+        if not nodes:
+            return False
+        if self.literal is None:
+            return True
+        return any(node.text() == self.literal for node in nodes)
+
+
+@dataclass(frozen=True)
+class Step:
+    name: str  # tag, "*" or "."
+    predicates: Tuple[Predicate, ...] = ()
+
+
+@lru_cache(maxsize=1024)
+def compile_path(path: str) -> Tuple[Step, ...]:
+    """Parse a location path into steps (cached — stylesheets evaluate
+    the same handful of paths per node)."""
+    path = path.strip()
+    if not path:
+        raise XSLTError("empty location path")
+    steps: List[Step] = []
+    for raw in path.split("/"):
+        raw = raw.strip()
+        if not raw:
+            raise XSLTError(f"bad location path {path!r}")
+        steps.append(_compile_step(raw, path))
+    return tuple(steps)
+
+
+def _compile_step(raw: str, full_path: str) -> Step:
+    predicates: List[Predicate] = []
+    name = raw
+    while name.endswith("]"):
+        open_bracket = name.rfind("[")
+        if open_bracket < 0:
+            raise XSLTError(f"unbalanced predicate in {full_path!r}")
+        predicates.insert(0, _compile_predicate(name[open_bracket + 1 : -1], full_path))
+        name = name[:open_bracket]
+    if not name:
+        raise XSLTError(f"missing step name in {full_path!r}")
+    if "[" in name or "]" in name:
+        raise XSLTError(f"unbalanced predicate in {full_path!r}")
+    return Step(name=name, predicates=tuple(predicates))
+
+
+def _compile_predicate(text: str, full_path: str) -> Predicate:
+    text = text.strip()
+    if "=" in text:
+        lhs, _eq, rhs = text.partition("=")
+        rhs = rhs.strip()
+        if len(rhs) < 2 or rhs[0] not in "'\"" or rhs[-1] != rhs[0]:
+            raise XSLTError(
+                f"predicate literal must be quoted in {full_path!r}"
+            )
+        return Predicate(lhs=lhs.strip(), literal=rhs[1:-1])
+    if not text:
+        raise XSLTError(f"empty predicate in {full_path!r}")
+    return Predicate(lhs=text)
+
+
+def select(context: XMLElement, path: str) -> List[XMLElement]:
+    """Evaluate *path* relative to *context*, returning matched elements
+    in document order."""
+    nodes = [context]
+    for step in compile_path(path):
+        if step.name == ".":
+            matched = nodes
+        else:
+            matched = []
+            for node in nodes:
+                for child in node.element_children():
+                    if step.name == "*" or child.tag == step.name:
+                        matched.append(child)
+        if step.predicates:
+            matched = [
+                node
+                for node in matched
+                if all(p.holds(node) for p in step.predicates)
+            ]
+        nodes = matched
+        if not nodes:
+            return []
+    return nodes
+
+
+def string_value(context: XMLElement, expression: str) -> str:
+    """Evaluate a value expression.
+
+    Supported: a path (string-value of the first match), ``@attr``,
+    ``path/@attr``, ``path/text()``, string literals, the functions
+    ``count(path)``, ``sum(path)``, ``round(expr)``, ``floor(expr)``,
+    ``concat(a, b, ...)``, and XPath arithmetic (``+ - * div``, left
+    associative; ``-`` only between spaced operands so hyphenated tag
+    names keep working)."""
+    expression = expression.strip()
+    value = _evaluate(context, expression)
+    if isinstance(value, float):
+        return str(int(value)) if value == int(value) else repr(value)
+    return value
+
+
+def _evaluate(context: XMLElement, expression: str) -> "str | float":
+    """Left-associative additive expression over factor chains."""
+    expression = expression.strip()
+    terms = _split_operators(expression, ("+", "-"))
+    if terms is None:
+        return _evaluate_factor_chain(context, expression)
+    total = _to_number(_evaluate_factor_chain(context, terms[0][1]))
+    for op, chunk in terms[1:]:
+        value = _to_number(_evaluate_factor_chain(context, chunk))
+        total = total + value if op == "+" else total - value
+    return total
+
+
+def _evaluate_factor_chain(context: XMLElement, expression: str) -> "str | float":
+    factors = _split_operators(expression.strip(), ("*", "div"))
+    if factors is None:
+        return _evaluate_atom(context, expression)
+    product = _to_number(_evaluate_atom(context, factors[0][1]))
+    for op, chunk in factors[1:]:
+        value = _to_number(_evaluate_atom(context, chunk))
+        if op == "*":
+            product *= value
+        else:
+            if value == 0:
+                raise XSLTError("division by zero in XPath expression")
+            product /= value
+    return product
+
+
+def _evaluate_atom(context: XMLElement, expression: str) -> "str | float":
+    expression = expression.strip()
+    if not expression:
+        raise XSLTError("empty value expression")
+    if expression[0] in "'\"" and expression[-1] == expression[0]:
+        return expression[1:-1]
+    try:
+        return float(expression)
+    except ValueError:
+        pass
+    if expression.startswith("(") and expression.endswith(")"):
+        return _evaluate(context, expression[1:-1])
+    for fn in ("count", "sum", "round", "floor", "concat"):
+        if expression.startswith(fn + "(") and expression.endswith(")"):
+            inner = expression[len(fn) + 1 : -1]
+            if fn == "count":
+                return float(len(select(context, inner)))
+            if fn == "sum":
+                total = 0.0
+                for node in select(context, inner):
+                    try:
+                        total += float(node.text() or 0)
+                    except ValueError as exc:
+                        raise XSLTError(
+                            f"sum() over non-numeric node: {exc}"
+                        ) from None
+                return total
+            if fn == "round":
+                import math
+
+                return float(math.floor(_to_number(_evaluate(context, inner)) + 0.5))
+            if fn == "floor":
+                import math
+
+                return float(math.floor(_to_number(_evaluate(context, inner))))
+            parts = [
+                string_value(context, piece)
+                for piece in _split_args(inner)
+            ]
+            return "".join(parts)
+    if expression == ".":
+        return context.text()
+    path, _slash, last = expression.rpartition("/")
+    if last.startswith("@"):
+        holders = select(context, path) if path else [context]
+        if not holders:
+            return ""
+        return holders[0].attributes.get(last[1:], "")
+    if last == "text()":
+        holders = select(context, path) if path else [context]
+        return holders[0].text() if holders else ""
+    nodes = select(context, expression)
+    return nodes[0].text() if nodes else ""
+
+
+def _to_number(value: "str | float") -> float:
+    if isinstance(value, float):
+        return value
+    try:
+        return float(value or 0)
+    except ValueError:
+        raise XSLTError(f"non-numeric operand {value!r} in arithmetic") from None
+
+
+def _scan_top_level(expression: str):
+    """Yield (index, char) pairs at paren/bracket/quote depth zero."""
+    depth = 0
+    quote = ""
+    for index, ch in enumerate(expression):
+        if quote:
+            if ch == quote:
+                quote = ""
+            continue
+        if ch in "'\"":
+            quote = ch
+        elif ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif depth == 0:
+            yield index, ch
+
+
+def _split_operators(expression: str, operators) -> "Optional[List[Tuple[str, str]]]":
+    """Split *expression* on top-level binary operators.
+
+    Operators must be surrounded by spaces (so hyphenated/asterisked
+    names keep working; real XPath has the same ambiguity and resolves it
+    lexically).  Returns ``[(op_before, chunk), ...]`` with the first op
+    ``"+"``, or None when no operator occurs.
+    """
+    top_level = dict(_scan_top_level(expression))
+    cuts: List[Tuple[int, int, str]] = []  # (index, width, op)
+    for op in operators:
+        token = f" {op} "
+        pos = 0
+        while True:
+            found = expression.find(token, pos)
+            if found < 0:
+                break
+            # the operator's first character must be at top level
+            if found + 1 in top_level:
+                cuts.append((found, len(token), op))
+            pos = found + len(token)
+    if not cuts:
+        return None
+    cuts.sort()
+    chunks: List[Tuple[str, str]] = []
+    start = 0
+    op_before = "+"
+    for index, width, op in cuts:
+        chunks.append((op_before, expression[start:index]))
+        op_before = op
+        start = index + width
+    chunks.append((op_before, expression[start:]))
+    return chunks
+
+
+def _split_args(inner: str) -> List[str]:
+    """Split function arguments on top-level commas."""
+    args: List[str] = []
+    start = 0
+    for index, ch in _scan_top_level(inner):
+        if ch == ",":
+            args.append(inner[start:index])
+            start = index + 1
+    args.append(inner[start:])
+    return [a.strip() for a in args]
+
+
+def matches(element: XMLElement, pattern: str) -> bool:
+    """Match an element against an XSLT template pattern: ``tag``,
+    ``parent/tag``, ``*`` or ``/`` (the document root)."""
+    pattern = pattern.strip()
+    if pattern == "/":
+        return element.parent is None
+    steps = pattern.split("/")
+    node: Optional[XMLElement] = element
+    for raw in reversed(steps):
+        step = _compile_step(raw.strip(), pattern)
+        if node is None:
+            return False
+        if step.name != "*" and node.tag != step.name:
+            return False
+        if not all(p.holds(node) for p in step.predicates):
+            return False
+        node = node.parent
+    return True
+
+
+def pattern_specificity(pattern: str) -> Tuple[int, int]:
+    """Template priority proxy: more steps win, then named-over-``*``."""
+    pattern = pattern.strip()
+    if pattern == "/":
+        return (0, 1)
+    steps = pattern.split("/")
+    named = sum(1 for s in steps if not s.strip().startswith("*"))
+    return (len(steps), named)

@@ -1,0 +1,236 @@
+"""Mini-XSLT engine.
+
+Implements the XSLT 1.0 subset the paper's comparison workload needs —
+stylesheets are themselves XML parsed by :mod:`repro.xmlrep.parse`, and
+transformation produces a fresh element tree (mirroring libxslt's
+"apply the XSL transformation and generate the new parse-tree" cost).
+
+Supported instructions:
+
+* ``<xsl:template match="pattern">`` — pattern per
+  :func:`repro.xmlrep.xpath.matches`, priority by specificity or an
+  explicit ``priority`` attribute,
+* ``<xsl:value-of select="expr"/>``,
+* ``<xsl:for-each select="path">``,
+* ``<xsl:apply-templates [select="path"]/>``,
+* ``<xsl:if test="pred-expr">`` — existence or ``path='literal'``,
+* ``<xsl:choose>/<xsl:when test>/<xsl:otherwise>``,
+* ``<xsl:copy-of select="path"/>``,
+* ``<xsl:attribute name="n">``,
+* ``<xsl:text>``,
+* literal result elements (attributes support ``{expr}`` value
+  templates).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import XSLTError
+from repro.xmlrep.parse import parse_xml
+from repro.xmlrep.tree import XMLElement
+from repro.xmlrep.xpath import (
+    matches,
+    pattern_specificity,
+    select,
+    string_value,
+)
+
+_XSL_PREFIX = "xsl:"
+
+
+class Template:
+    def __init__(self, match: str, priority: Tuple[float, ...], body: List[Union[XMLElement, str]]) -> None:
+        self.match = match
+        self.priority = priority
+        self.body = body
+
+
+class Stylesheet:
+    """A compiled stylesheet; apply with :meth:`transform`."""
+
+    def __init__(self, templates: List[Template]) -> None:
+        if not templates:
+            raise XSLTError("stylesheet declares no templates")
+        self.templates = templates
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "Stylesheet":
+        root = parse_xml(text)
+        if root.tag not in ("xsl:stylesheet", "xsl:transform"):
+            raise XSLTError(f"not a stylesheet: root element <{root.tag}>")
+        templates: List[Template] = []
+        for child in root.element_children():
+            if child.tag != "xsl:template":
+                continue
+            match = child.attributes.get("match")
+            if not match:
+                raise XSLTError("xsl:template requires a match attribute")
+            if "priority" in child.attributes:
+                try:
+                    priority: Tuple[float, ...] = (float(child.attributes["priority"]),)
+                except ValueError:
+                    raise XSLTError("bad xsl:template priority") from None
+            else:
+                priority = tuple(float(x) for x in pattern_specificity(match))
+            templates.append(Template(match, priority, list(child.children)))
+        return cls(templates)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def transform(self, root: XMLElement) -> XMLElement:
+        """Apply the stylesheet to *root*; the result must be a single
+        element (the workloads produce one document element)."""
+        produced = self._apply_to(root)
+        elements = [node for node in produced if isinstance(node, XMLElement)]
+        if len(elements) != 1:
+            raise XSLTError(
+                f"transformation produced {len(elements)} root elements"
+            )
+        return elements[0]
+
+    def _find_template(self, node: XMLElement) -> Optional[Template]:
+        best: Optional[Template] = None
+        for template in self.templates:
+            if matches(node, template.match):
+                if best is None or template.priority > best.priority:
+                    best = template
+        return best
+
+    def _apply_to(self, node: XMLElement) -> List[Union[XMLElement, str]]:
+        template = self._find_template(node)
+        if template is None:
+            # builtin rule: recurse into children, copy text through
+            output: List[Union[XMLElement, str]] = []
+            for child in node.children:
+                if isinstance(child, str):
+                    output.append(child)
+                else:
+                    output.extend(self._apply_to(child))
+            return output
+        return self._instantiate(template.body, node)
+
+    def _instantiate(
+        self, body: List[Union[XMLElement, str]], context: XMLElement
+    ) -> List[Union[XMLElement, str]]:
+        output: List[Union[XMLElement, str]] = []
+        for item in body:
+            if isinstance(item, str):
+                if item.strip():
+                    output.append(item)
+                continue
+            if item.tag.startswith(_XSL_PREFIX):
+                output.extend(self._instruction(item, context))
+            else:
+                output.append(self._literal_element(item, context))
+        return output
+
+    def _literal_element(self, item: XMLElement, context: XMLElement) -> XMLElement:
+        element = XMLElement(item.tag)
+        for name, value in item.attributes.items():
+            element.attributes[name] = self._attribute_value(value, context)
+        body: List[Union[XMLElement, str]] = []
+        for child in item.children:
+            if isinstance(child, XMLElement) and child.tag == "xsl:attribute":
+                name = self._required(child, "name")
+                parts = self._instantiate(list(child.children), context)
+                element.attributes[name] = "".join(
+                    p if isinstance(p, str) else p.text() for p in parts
+                )
+            else:
+                body.append(child)
+        for child in self._instantiate(body, context):
+            element.append(child)
+        return element
+
+    def _attribute_value(self, value: str, context: XMLElement) -> str:
+        """Attribute value templates: ``{expr}`` substrings evaluate."""
+        if "{" not in value:
+            return value
+        out: List[str] = []
+        pos = 0
+        while True:
+            start = value.find("{", pos)
+            if start < 0:
+                out.append(value[pos:])
+                return "".join(out)
+            end = value.find("}", start)
+            if end < 0:
+                raise XSLTError(f"unterminated {{expr}} in attribute {value!r}")
+            out.append(value[pos:start])
+            out.append(string_value(context, value[start + 1 : end]))
+            pos = end + 1
+
+    def _instruction(
+        self, item: XMLElement, context: XMLElement
+    ) -> List[Union[XMLElement, str]]:
+        tag = item.tag
+        if tag == "xsl:value-of":
+            return [string_value(context, self._required(item, "select"))]
+        if tag == "xsl:text":
+            return [item.text()]
+        if tag == "xsl:for-each":
+            path = self._required(item, "select")
+            output: List[Union[XMLElement, str]] = []
+            for node in select(context, path):
+                output.extend(self._instantiate(list(item.children), node))
+            return output
+        if tag == "xsl:apply-templates":
+            path = item.attributes.get("select")
+            nodes = (
+                select(context, path)
+                if path
+                else list(context.element_children())
+            )
+            output = []
+            for node in nodes:
+                output.extend(self._apply_to(node))
+            return output
+        if tag == "xsl:if":
+            if self._test(item, context):
+                return self._instantiate(list(item.children), context)
+            return []
+        if tag == "xsl:choose":
+            for branch in item.element_children():
+                if branch.tag == "xsl:when" and self._test(branch, context):
+                    return self._instantiate(list(branch.children), context)
+                if branch.tag == "xsl:otherwise":
+                    return self._instantiate(list(branch.children), context)
+            return []
+        if tag == "xsl:copy-of":
+            path = self._required(item, "select")
+            return [node.deepcopy() for node in select(context, path)]
+        if tag == "xsl:attribute":
+            name = self._required(item, "name")
+            raise XSLTError(
+                f"xsl:attribute {name!r} must appear inside a literal "
+                "result element"
+            )
+        raise XSLTError(f"unsupported instruction <{tag}>")
+
+    @staticmethod
+    def _required(item: XMLElement, attr: str) -> str:
+        value = item.attributes.get(attr)
+        if not value:
+            raise XSLTError(f"<{item.tag}> requires a {attr!r} attribute")
+        return value
+
+    @staticmethod
+    def _test(item: XMLElement, context: XMLElement) -> bool:
+        expression = item.attributes.get("test")
+        if not expression:
+            raise XSLTError(f"<{item.tag}> requires a test attribute")
+        expression = expression.strip()
+        if "=" in expression:
+            lhs, _eq, rhs = expression.partition("=")
+            rhs = rhs.strip()
+            if len(rhs) >= 2 and rhs[0] in "'\"" and rhs[-1] == rhs[0]:
+                return string_value(context, lhs.strip()) == rhs[1:-1]
+            raise XSLTError(f"test literal must be quoted: {expression!r}")
+        return bool(select(context, expression))

@@ -1,0 +1,214 @@
+"""Integration tests for the B2B supply chain in both broker modes."""
+
+import pytest
+
+from repro.b2b.broker import Broker
+from repro.b2b.scenario import build_scenario
+from repro.errors import TransportError, XSLTError
+from repro.net.transport import Network
+from repro.pbio.registry import FormatRegistry
+
+pytestmark = pytest.mark.integration
+
+
+def place_orders(scenario):
+    rush_id = scenario.retailer.send_order("WIDGET-9", 3, 19.99, rush=True)
+    slow_id = scenario.retailer.send_order("SPROCKET-3", 50, 2.50)
+    scenario.run()
+    return rush_id, slow_id
+
+
+class TestMorphingMode:
+    def test_end_to_end_order_flow(self):
+        scenario = build_scenario(mode="morphing")
+        rush_id, slow_id = place_orders(scenario)
+        assert len(scenario.supplier.orders) == 2
+        by_id = {o["order_id"]: o for o in scenario.supplier.orders}
+        assert by_id[rush_id]["priority"] == 1
+        assert by_id[rush_id]["line_items"][0]["unit_price_cents"] == 1999
+        statuses = {s["order_id"]: s for s in scenario.retailer.statuses}
+        assert statuses[rush_id]["shipped"]
+        assert statuses[slow_id]["backordered"]  # only 5 sprockets in stock
+
+    def test_broker_does_no_transform_work(self):
+        scenario = build_scenario(mode="morphing")
+        place_orders(scenario)
+        assert scenario.broker.stats.transformed == 0
+        assert scenario.broker.stats.transform_seconds == 0.0
+        assert scenario.broker.stats.forwarded == 4
+
+    def test_receivers_morph(self):
+        scenario = build_scenario(mode="morphing")
+        place_orders(scenario)
+        assert scenario.supplier.receiver.stats.morphed == 2
+        assert scenario.retailer.receiver.stats.morphed == 2
+
+    def test_broker_passes_bytes_untouched(self):
+        scenario = build_scenario(mode="morphing")
+        place_orders(scenario)
+        assert scenario.broker.stats.bytes_in == scenario.broker.stats.bytes_out
+
+    def test_stock_decremented_on_shipment(self):
+        scenario = build_scenario(mode="morphing", stock={"WIDGET-9": 10})
+        scenario.retailer.send_order("WIDGET-9", 4, 1.0)
+        scenario.run()
+        assert scenario.supplier.stock["WIDGET-9"] == 6
+
+
+class TestXSLTMode:
+    def test_end_to_end_order_flow(self):
+        scenario = build_scenario(mode="xslt")
+        rush_id, slow_id = place_orders(scenario)
+        by_id = {o["order_id"]: o for o in scenario.supplier.orders}
+        assert by_id[rush_id]["priority"] == 1
+        assert by_id[slow_id]["line_items"][0]["unit_price_cents"] == 250
+        statuses = {s["order_id"]: s for s in scenario.retailer.statuses}
+        assert statuses[rush_id]["shipped"]
+        assert statuses[slow_id]["backordered"]
+
+    def test_broker_does_all_transform_work(self):
+        scenario = build_scenario(mode="xslt")
+        place_orders(scenario)
+        assert scenario.broker.stats.transformed == 4
+        assert scenario.broker.stats.transform_seconds > 0
+
+    def test_xml_traffic_is_larger(self):
+        morphing = build_scenario(mode="morphing")
+        place_orders(morphing)
+        xslt = build_scenario(mode="xslt")
+        place_orders(xslt)
+        assert xslt.broker.stats.bytes_in > morphing.broker.stats.bytes_in
+
+    def test_missing_stylesheet_fails_loudly(self):
+        net = Network()
+        registry = FormatRegistry()
+        broker = Broker(net, "broker", registry, mode="xslt")
+        net.add_node("x")
+        net.add_node("y")
+        broker.add_route("x", "y")
+        net.send("x", "broker", b"<PurchaseOrder/>")
+        with pytest.raises(XSLTError, match="no stylesheet"):
+            net.run()
+
+
+class TestModeEquivalence:
+    def test_both_modes_produce_identical_business_outcomes(self):
+        results = {}
+        for mode in ("morphing", "xslt"):
+            scenario = build_scenario(mode=mode)
+            place_orders(scenario)
+            results[mode] = (
+                [
+                    (o["order_id"], o["line_items"][0]["sku"],
+                     o["line_items"][0]["unit_price_cents"], o["priority"])
+                    for o in scenario.supplier.orders
+                ],
+                sorted(
+                    (s["order_id"], bool(s["shipped"]), bool(s["backordered"]),
+                     s["eta_days"], s["note"])
+                    for s in scenario.retailer.statuses
+                ),
+            )
+        assert results["morphing"] == results["xslt"]
+
+
+class TestBrokerEdgeCases:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TransportError, match="mode"):
+            Broker(Network(), "b", FormatRegistry(), mode="teleport")
+
+    def test_unroutable_traffic_dropped(self):
+        net = Network()
+        registry = FormatRegistry()
+        broker = Broker(net, "broker", registry, mode="morphing")
+        net.add_node("stranger")
+        net.send("stranger", "broker", b"anything")
+        net.run()
+        assert broker.stats.forwarded == 0
+
+
+class TestAddingANewVendor:
+    """The paper: "adding new vendors with completely different formats
+    becomes easier. The broker just has to be provided with the new ECode
+    segments"."""
+
+    def test_second_supplier_with_alien_format(self):
+        from repro.b2b.formats import RETAILER_PO, RETAILER_STATUS
+        from repro.morph.receiver import MorphReceiver
+        from repro.pbio.field import ArraySpec, IOField
+        from repro.pbio.format import IOFormat
+
+        scenario = build_scenario(mode="morphing")
+        registry = scenario.registry
+        net = scenario.network
+
+        # Globex's completely different order schema
+        globex_po = IOFormat(
+            "PurchaseOrder",
+            [
+                IOField("ref", "string"),
+                IOField("part_number", "string"),
+                IOField("units", "integer"),
+                IOField("total_cents", "integer", 8),
+                IOField("expedite", "integer"),
+            ],
+            version="globex-supply-7",
+        )
+        globex_status = IOFormat(
+            "OrderStatus",
+            [
+                IOField("ref", "string"),
+                IOField("disposition", "string"),  # "SHIPPED"/"BACKORDER"
+                IOField("days", "integer"),
+            ],
+            version="globex-supply-7",
+        )
+        # the only new artifacts: two ECode segments handed to the broker
+        registry.add_transform(RETAILER_PO, globex_po, """
+            old.ref = new.order_id;
+            old.part_number = new.sku;
+            old.units = new.quantity;
+            old.total_cents = floor(new.unit_price_dollars * new.quantity * 100.0 + 0.5);
+            old.expedite = 0;
+            if (new.rush) { old.expedite = 1; }
+        """)
+        registry.add_transform(globex_status, RETAILER_STATUS, """
+            old.order_id = new.ref;
+            old.shipped = 0;
+            old.backordered = 0;
+            if (strcmp(new.disposition, "SHIPPED") == 0) { old.shipped = 1; }
+            if (strcmp(new.disposition, "BACKORDER") == 0) { old.backordered = 1; }
+            old.eta_days = new.days;
+            old.note = "";
+        """)
+
+        # a hand-rolled Globex endpoint: receives its own format natively
+        globex_orders = []
+        globex_rx = MorphReceiver(registry)
+
+        def fulfil(order):
+            globex_orders.append(order)
+            from repro.pbio.context import PBIOContext
+
+            status = globex_status.make_record(
+                ref=order["ref"], disposition="SHIPPED", days=1
+            )
+            node.send("broker", PBIOContext(registry).encode(globex_status, status))
+
+        globex_rx.register_handler(globex_po, fulfil)
+        node = net.add_node("globex")
+        node.set_handler(lambda _src, data: globex_rx.process(data))
+
+        # re-point the routes at the new vendor — nothing else changes
+        scenario.broker.add_route("acme", "globex")
+        scenario.broker.add_route("globex", "acme")
+
+        order_id = scenario.retailer.send_order("WIDGET-9", 3, 19.99, rush=True)
+        scenario.run()
+
+        assert globex_orders[0]["part_number"] == "WIDGET-9"
+        assert globex_orders[0]["total_cents"] == 5997
+        assert globex_orders[0]["expedite"] == 1
+        status = scenario.retailer.statuses[0]
+        assert status["order_id"] == order_id
+        assert status["shipped"]

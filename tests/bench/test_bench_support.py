@@ -1,0 +1,113 @@
+"""Unit tests for the benchmark support modules (workloads, timing,
+reporting) — the harness itself must be trustworthy."""
+
+import pytest
+
+from repro.bench.reporting import format_kb, format_ms, format_table
+from repro.bench.timing import Measurement, measure
+from repro.bench.workloads import (
+    FIGURE_SIZES,
+    make_member,
+    members_for_size,
+    response_v1_from_v2,
+    response_v2,
+    response_v2_of_size,
+)
+from repro.echo.protocol import RESPONSE_V1, RESPONSE_V2
+from repro.pbio.encode import native_size
+
+
+class TestWorkloads:
+    def test_members_are_deterministic(self):
+        assert make_member(7) == make_member(7)
+        assert make_member(7) != make_member(8)
+
+    def test_role_densities(self):
+        members = [make_member(i) for i in range(300)]
+        sources = sum(1 for m in members if m["is_Source"])
+        sinks = sum(1 for m in members if m["is_Sink"])
+        assert sources == 200  # 2/3
+        assert sinks == 150  # 1/2
+
+    def test_records_validate(self):
+        record = response_v2(5)
+        RESPONSE_V2.validate_record(record)
+        RESPONSE_V1.validate_record(response_v1_from_v2(record))
+
+    @pytest.mark.parametrize("target", sorted(FIGURE_SIZES.values()))
+    def test_sizes_within_tolerance(self, target):
+        record = response_v2_of_size(target)
+        actual = native_size(RESPONSE_V2, record)
+        # within one member entry of the target (and never absurdly off)
+        assert abs(actual - target) < 120 or actual / target > 0.85
+
+    def test_members_for_size_monotone(self):
+        counts = [members_for_size(t) for t in (100, 1_000, 10_000, 100_000)]
+        assert counts == sorted(counts)
+        assert counts[0] >= 1
+
+    def test_v1_reference_rollback_counts(self):
+        record = response_v2(6)
+        v1 = response_v1_from_v2(record)
+        assert v1["src_count"] == len(v1["src_list"])
+        assert v1["sink_count"] == len(v1["sink_list"])
+        assert v1["member_count"] == 6
+        assert all("is_Source" not in m for m in v1["member_list"])
+
+
+class TestTiming:
+    def test_measure_returns_sane_numbers(self):
+        result = measure(lambda: sum(range(100)), rounds=3, number=50)
+        assert isinstance(result, Measurement)
+        assert 0 < result.best <= result.mean
+        assert result.rounds == 3 and result.number == 50
+        assert result.best_ms == result.best * 1e3
+
+    def test_autocalibration_picks_a_number(self):
+        result = measure(lambda: None, rounds=2)
+        assert result.number >= 1
+
+    def test_slow_callable_low_iteration_count(self):
+        import time
+
+        result = measure(lambda: time.sleep(0.01), rounds=2)
+        assert result.number <= 8
+        assert result.best >= 0.009
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+        assert "bbbb" in lines[3]
+
+    def test_format_ms_precision_bands(self):
+        assert format_ms(0.250) == "250"
+        assert format_ms(0.0042) == "4.20"
+        assert format_ms(0.0000042) == "0.0042"
+
+    def test_format_kb_bands(self):
+        assert format_kb(250_000) == "250"
+        assert format_kb(2_500) == "2.5"
+        assert format_kb(120) == "0.12"
+
+
+class TestFigureFunctions:
+    def test_fig8_rows_have_shape(self):
+        from repro.bench.figures import fig8_encoding
+
+        rows = fig8_encoding({"1KB": 1_000}, rounds=1)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.label == "1KB"
+        assert row.ratio == row.xml.best / row.pbio.best
+
+    def test_table1_columns(self):
+        from repro.bench.figures import table1_sizes
+
+        rows = table1_sizes([1.0])
+        row = rows[0]
+        assert row.target_kb == 1.0
+        assert row.unencoded_v2 < row.pbio_v2 < row.xml_v2

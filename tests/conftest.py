@@ -1,0 +1,56 @@
+"""Shared fixtures: the ECho evaluation formats and canned records."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.bench.workloads import response_v2
+from repro.echo.protocol import (
+    RESPONSE_V0,
+    RESPONSE_V1,
+    RESPONSE_V2,
+    V1_TO_V0_TRANSFORM,
+    V1_TO_V2_TRANSFORM,
+    V2_TO_V1_TRANSFORM,
+)
+from repro.pbio.registry import FormatRegistry
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=50,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def response_v2_record():
+    """A 6-member v2.0 ChannelOpenResponse covering all role combos."""
+    return response_v2(6)
+
+
+@pytest.fixture
+def echo_registry():
+    """Registry with the full ECho retro-transform graph registered."""
+    registry = FormatRegistry()
+    registry.register_transform(V2_TO_V1_TRANSFORM)
+    registry.register_transform(V1_TO_V0_TRANSFORM)
+    registry.register_transform(V1_TO_V2_TRANSFORM)
+    return registry
+
+
+@pytest.fixture
+def v0():
+    return RESPONSE_V0
+
+
+@pytest.fixture
+def v1():
+    return RESPONSE_V1
+
+
+@pytest.fixture
+def v2():
+    return RESPONSE_V2

@@ -1,0 +1,107 @@
+"""Unit tests for channel state bookkeeping."""
+
+import pytest
+
+from repro.echo.channel import ChannelState, Member
+from repro.echo.protocol import RESPONSE_V0, RESPONSE_V1, RESPONSE_V2
+from repro.errors import ChannelError
+
+
+def populated():
+    channel = ChannelState("telemetry", creator_contact="creator")
+    channel.add_member("src-1", is_source=True, is_sink=False)
+    channel.add_member("sink-1", is_source=False, is_sink=True)
+    channel.add_member("both-1", is_source=True, is_sink=True)
+    return channel
+
+
+class TestMembership:
+    def test_member_ids_are_sequential(self):
+        channel = populated()
+        assert [m.member_id for m in channel.member_list()] == [1, 2, 3]
+
+    def test_rejoin_merges_roles(self):
+        channel = ChannelState("c", "creator")
+        channel.add_member("x", is_source=True, is_sink=False)
+        member = channel.add_member("x", is_source=False, is_sink=True)
+        assert member.is_source and member.is_sink
+        assert len(channel.member_list()) == 1
+
+    def test_role_views(self):
+        channel = populated()
+        assert [m.contact for m in channel.sources()] == ["src-1", "both-1"]
+        assert [m.contact for m in channel.sinks()] == ["sink-1", "both-1"]
+
+    def test_seq_monotonic(self):
+        channel = populated()
+        assert [channel.next_seq() for _ in range(3)] == [1, 2, 3]
+
+
+class TestResponseConstruction:
+    def test_v2_record(self):
+        rec = populated().to_response_record(RESPONSE_V2)
+        RESPONSE_V2.validate_record(rec)
+        assert rec["member_count"] == 3
+        assert rec["member_list"][0]["is_Source"] is True
+
+    def test_v1_record(self):
+        rec = populated().to_response_record(RESPONSE_V1)
+        RESPONSE_V1.validate_record(rec)
+        assert rec["src_count"] == 2
+        assert rec["sink_count"] == 2
+        assert {m["info"] for m in rec["src_list"]} == {"src-1", "both-1"}
+
+    def test_v0_record(self):
+        rec = populated().to_response_record(RESPONSE_V0)
+        RESPONSE_V0.validate_record(rec)
+        assert rec["member_count"] == 3
+
+    def test_unknown_version_raises(self):
+        from repro.pbio.field import IOField
+        from repro.pbio.format import IOFormat
+
+        bogus = IOFormat("ChannelOpenResponse", [IOField("x", "integer")],
+                         version="7.7")
+        with pytest.raises(ChannelError):
+            populated().to_response_record(bogus)
+
+
+class TestResponseIngestion:
+    def test_v2_roundtrip(self):
+        src = populated()
+        rec = src.to_response_record(RESPONSE_V2)
+        replica = ChannelState("telemetry", "creator")
+        replica.update_from_response(rec)
+        assert replica.ready
+        assert [(m.contact, m.is_source, m.is_sink) for m in replica.member_list()] == [
+            (m.contact, m.is_source, m.is_sink) for m in src.member_list()
+        ]
+
+    def test_v1_roundtrip_derives_roles_from_lists(self):
+        src = populated()
+        rec = src.to_response_record(RESPONSE_V1)
+        replica = ChannelState("telemetry", "creator")
+        replica.update_from_response(rec)
+        roles = {m.contact: (m.is_source, m.is_sink) for m in replica.member_list()}
+        assert roles["src-1"] == (True, False)
+        assert roles["both-1"] == (True, True)
+
+    def test_v0_roles_unknown(self):
+        rec = populated().to_response_record(RESPONSE_V0)
+        replica = ChannelState("telemetry", "creator")
+        replica.update_from_response(rec)
+        assert all(not m.is_source and not m.is_sink
+                   for m in replica.member_list())
+
+    def test_replacement_not_merge(self):
+        replica = ChannelState("c", "creator")
+        replica.add_member("stale", True, True)
+        fresh = ChannelState("c", "creator")
+        fresh.add_member("current", False, True)
+        replica.update_from_response(fresh.to_response_record(RESPONSE_V2))
+        assert [m.contact for m in replica.member_list()] == ["current"]
+
+    def test_next_member_id_tracks_max(self):
+        replica = ChannelState("c", "creator")
+        replica.update_from_response(populated().to_response_record(RESPONSE_V2))
+        assert replica.next_member_id == 4

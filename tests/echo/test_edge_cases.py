@@ -1,0 +1,114 @@
+"""ECho edge cases: stray traffic, unknown channels, version quirks."""
+
+import pytest
+
+from repro.echo.process import EChoProcess
+from repro.echo.protocol import EVENT_ENVELOPE
+from repro.net.transport import Network
+from repro.pbio.context import PBIOContext
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry
+
+pytestmark = pytest.mark.integration
+
+EVT = IOFormat("Evt", [IOField("x", "integer")], version="1")
+
+
+def build():
+    net = Network()
+    registry = FormatRegistry()
+    process = EChoProcess(net, "p", registry, version="2.0")
+    return net, registry, process
+
+
+class TestStrayTraffic:
+    def test_event_for_unknown_channel_is_dropped(self):
+        net, registry, process = build()
+        sender = PBIOContext(registry)
+        registry.register(EVT)
+        envelope = EVENT_ENVELOPE.make_record(channel_id="ghost", seq=1)
+        datagram = sender.encode(EVENT_ENVELOPE, envelope) + sender.encode(
+            EVT, {"x": 1}
+        )
+        net.add_node("outsider")
+        net.send("outsider", "p", datagram)
+        net.run()  # no exception, message silently dropped
+
+    def test_event_for_channel_without_subscription_is_dropped(self):
+        net, registry, process = build()
+        process.create_channel("c")
+        sender = PBIOContext(registry)
+        registry.register(EVT)
+        envelope = EVENT_ENVELOPE.make_record(channel_id="c", seq=1)
+        datagram = sender.encode(EVENT_ENVELOPE, envelope) + sender.encode(
+            EVT, {"x": 1}
+        )
+        net.add_node("outsider")
+        net.send("outsider", "p", datagram)
+        net.run()
+
+    def test_open_response_for_unknown_channel_ignored(self):
+        net, registry, process = build()
+        other = EChoProcess(net, "creator", registry, version="2.0")
+        channel = other.create_channel("x")
+        channel.add_member("p", is_source=False, is_sink=True)
+        from repro.echo.protocol import RESPONSE_V2
+
+        wire = PBIOContext(registry).encode(
+            RESPONSE_V2, channel.to_response_record(RESPONSE_V2)
+        )
+        net.send("creator", "p", wire)
+        net.run()
+        assert "x" not in process.channels  # never joined; ignored
+
+    def test_double_open_merges_roles(self):
+        net, registry, process = build()
+        creator = EChoProcess(net, "creator", registry, version="2.0")
+        creator.create_channel("c")
+        process.open_channel("c", "creator", as_sink=True)
+        process.open_channel("c", "creator", as_source=True)
+        net.run()
+        channel = process.channel("c")
+        assert channel.is_source and channel.is_sink
+        member = next(
+            m for m in creator.channel("c").member_list() if m.contact == "p"
+        )
+        assert member.is_source and member.is_sink
+
+    def test_rejoining_after_leave(self):
+        net, registry, process = build()
+        creator = EChoProcess(net, "creator", registry, version="2.0")
+        creator.create_channel("c")
+        process.open_channel("c", "creator", as_sink=True)
+        net.run()
+        process.leave_channel("c")
+        net.run()
+        assert creator.channel("c").member_list() == []
+        process.open_channel("c", "creator", as_sink=True)
+        net.run()
+        assert process.channel("c").ready
+        assert [m.contact for m in creator.channel("c").sinks()] == ["p"]
+
+
+class TestVersionQuirks:
+    def test_v0_creator_serves_v0_responses(self):
+        net = Network()
+        registry = FormatRegistry()
+        creator = EChoProcess(net, "creator", registry, version="0.0")
+        sub = EChoProcess(net, "sub", registry, version="0.0")
+        creator.create_channel("c")
+        sub.open_channel("c", "creator", as_sink=True)
+        net.run()
+        assert sub.channel("c").ready
+        # v0 responses carry no role data; the replica has none
+        assert all(
+            not m.is_source and not m.is_sink
+            for m in sub.channel("c").member_list()
+        )
+
+    def test_event_seq_numbers_increase(self):
+        net, registry, process = build()
+        process.create_channel("c")
+        channel = process.channel("c")
+        assert [channel.next_seq() for _ in range(3)] == [1, 2, 3]

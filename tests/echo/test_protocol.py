@@ -1,0 +1,98 @@
+"""Unit tests for the ECho protocol formats and transforms."""
+
+import pytest
+
+from repro.bench.workloads import response_v1_from_v2, response_v2
+from repro.echo.protocol import (
+    EVENT_ENVELOPE,
+    OPEN_REQUEST,
+    RESPONSE_BY_VERSION,
+    RESPONSE_V0,
+    RESPONSE_V1,
+    RESPONSE_V2,
+    V1_TO_V0_TRANSFORM,
+    V1_TO_V2_TRANSFORM,
+    V2_TO_V1_TRANSFORM,
+    register_protocol,
+)
+from repro.morph.transform import Transformation
+from repro.pbio.encode import native_size
+from repro.pbio.record import records_equal
+from repro.pbio.registry import FormatRegistry
+
+
+class TestFormats:
+    def test_all_revisions_share_the_name(self):
+        assert RESPONSE_V0.name == RESPONSE_V1.name == RESPONSE_V2.name
+
+    def test_distinct_fingerprints(self):
+        ids = {RESPONSE_V0.format_id, RESPONSE_V1.format_id, RESPONSE_V2.format_id}
+        assert len(ids) == 3
+
+    def test_v1_weight_exceeds_v2(self):
+        # the paper: v1.0 lists contact info up to three times
+        assert RESPONSE_V1.weight > RESPONSE_V2.weight
+
+    def test_response_by_version_complete(self):
+        assert set(RESPONSE_BY_VERSION) == {"0.0", "1.0", "2.0"}
+
+    def test_v2_message_smaller_than_v1(self):
+        v2_rec = response_v2(50)
+        v1_rec = response_v1_from_v2(v2_rec)
+        v2_size = native_size(RESPONSE_V2, v2_rec)
+        v1_size = native_size(RESPONSE_V1, v1_rec)
+        # "reduced the size of the response message by more than half"
+        assert v1_size > 2 * v2_size
+
+
+class TestTransforms:
+    def test_v2_to_v1_rebuilds_role_lists(self):
+        incoming = response_v2(6)
+        out = Transformation(V2_TO_V1_TRANSFORM).apply(incoming)
+        assert records_equal(out, response_v1_from_v2(incoming))
+
+    def test_v1_to_v0_drops_roles(self):
+        v1_rec = response_v1_from_v2(response_v2(3))
+        out = Transformation(V1_TO_V0_TRANSFORM).apply(v1_rec)
+        assert set(out.keys()) == {"channel_id", "member_count", "member_list"}
+        assert out["member_count"] == 3
+
+    def test_v1_to_v2_derives_flags(self):
+        original = response_v2(5)
+        v1_rec = response_v1_from_v2(original)
+        out = Transformation(V1_TO_V2_TRANSFORM).apply(v1_rec)
+        assert records_equal(out, original)
+
+    def test_full_cycle_v2_v1_v2(self):
+        original = response_v2(4)
+        down = Transformation(V2_TO_V1_TRANSFORM).apply(original)
+        up = Transformation(V1_TO_V2_TRANSFORM).apply(down)
+        assert records_equal(up, original)
+
+
+class TestRegisterProtocol:
+    @pytest.mark.parametrize("version", ["0.0", "1.0", "2.0"])
+    def test_registers_control_formats(self, version):
+        registry = FormatRegistry()
+        register_protocol(registry, version)
+        assert OPEN_REQUEST in registry
+        assert EVENT_ENVELOPE in registry
+        assert RESPONSE_BY_VERSION[version] in registry
+
+    def test_v2_writer_attaches_retro_chain(self):
+        registry = FormatRegistry()
+        register_protocol(registry, "2.0")
+        chains = registry.transform_closure(RESPONSE_V2)
+        targets = {c[-1].target.version for c in chains}
+        assert targets == {"1.0", "0.0"}
+
+    def test_v1_writer_attaches_both_directions(self):
+        registry = FormatRegistry()
+        register_protocol(registry, "1.0")
+        targets = {c[-1].target.version
+                   for c in registry.transform_closure(RESPONSE_V1)}
+        assert targets == {"0.0", "2.0"}
+
+    def test_unknown_version_raises(self):
+        with pytest.raises(KeyError):
+            register_protocol(FormatRegistry(), "9.9")

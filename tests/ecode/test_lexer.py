@@ -1,0 +1,138 @@
+"""Unit tests for the ECode lexer."""
+
+import pytest
+
+from repro.ecode.lexer import Token, TokenType, tokenize
+from repro.errors import ECodeSyntaxError
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source) if t.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo _bar2") == [
+            (TokenType.KEYWORD, "int"),
+            (TokenType.IDENT, "foo"),
+            (TokenType.IDENT, "_bar2"),
+        ]
+
+    def test_all_c_keywords_recognized(self):
+        for word in ("if", "else", "for", "while", "do", "return", "break",
+                     "continue", "sizeof", "struct", "unsigned", "double"):
+            assert kinds(word)[0][0] is TokenType.KEYWORD
+
+
+class TestNumbers:
+    def test_integers(self):
+        assert kinds("0 42 123456")[0] == (TokenType.INT, "0")
+        assert kinds("42")[0] == (TokenType.INT, "42")
+
+    def test_hex(self):
+        assert kinds("0xFF")[0] == (TokenType.INT, "0xFF")
+        assert kinds("0x1a2B")[0] == (TokenType.INT, "0x1a2B")
+
+    def test_floats(self):
+        assert kinds("3.25")[0] == (TokenType.FLOAT, "3.25")
+        assert kinds(".5")[0] == (TokenType.FLOAT, ".5")
+        assert kinds("1e10")[0] == (TokenType.FLOAT, "1e10")
+        assert kinds("2.5e-3")[0] == (TokenType.FLOAT, "2.5e-3")
+
+    def test_suffixes_dropped(self):
+        assert kinds("10L")[0] == (TokenType.INT, "10")
+        assert kinds("10UL")[0] == (TokenType.INT, "10")
+        assert kinds("1.5f")[0] == (TokenType.FLOAT, "1.5")
+
+    def test_float_suffix_on_integer_literal(self):
+        # 10f is a float in C (with f suffix)
+        assert kinds("10f")[0] == (TokenType.FLOAT, "10")
+
+    def test_member_access_not_a_float(self):
+        assert kinds("a.b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OP, "."),
+            (TokenType.IDENT, "b"),
+        ]
+
+
+class TestStringsAndChars:
+    def test_string_literal(self):
+        assert kinds('"hello"')[0] == (TokenType.STRING, "hello")
+
+    def test_escapes(self):
+        assert kinds(r'"a\nb\t\\"')[0] == (TokenType.STRING, "a\nb\t\\")
+
+    def test_char_literal(self):
+        assert kinds("'x'")[0] == (TokenType.CHAR, "x")
+        assert kinds(r"'\n'")[0] == (TokenType.CHAR, "\n")
+        assert kinds(r"'\0'")[0] == (TokenType.CHAR, "\x00")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ECodeSyntaxError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(ECodeSyntaxError, match="newline"):
+            tokenize('"ab\ncd"')
+
+    def test_unterminated_char(self):
+        with pytest.raises(ECodeSyntaxError, match="unterminated char"):
+            tokenize("'ab'")
+
+    def test_unknown_escape(self):
+        with pytest.raises(ECodeSyntaxError, match="escape"):
+            tokenize(r'"\z"')
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert [v for _t, v in kinds("a<<=b")] == ["a", "<<=", "b"]
+        assert [v for _t, v in kinds("a<=b")] == ["a", "<=", "b"]
+        assert [v for _t, v in kinds("i++ + ++j")] == ["i", "++", "+", "++", "j"]
+
+    def test_arrow(self):
+        assert [v for _t, v in kinds("p->x")] == ["p", "->", "x"]
+
+    def test_all_compound_assignments(self):
+        for op in ("+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="):
+            assert kinds(f"a {op} b")[1] == (TokenType.OP, op)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ECodeSyntaxError, match="unexpected character"):
+            tokenize("a ` b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert [v for _t, v in kinds("a // comment\nb")] == ["a", "b"]
+
+    def test_block_comment(self):
+        assert [v for _t, v in kinds("a /* x\ny */ b")] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ECodeSyntaxError, match="unterminated block"):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  bb\n c")
+        a, bb, c = tokens[:3]
+        assert (a.line, a.column) == (1, 1)
+        assert (bb.line, bb.column) == (2, 3)
+        assert (c.line, c.column) == (3, 2)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("x\n  `")
+        except ECodeSyntaxError as exc:
+            assert exc.line == 2
+            assert exc.column == 3
+        else:  # pragma: no cover
+            pytest.fail("expected ECodeSyntaxError")

@@ -1,0 +1,180 @@
+"""Unit tests for the ECode parser (AST shapes and syntax errors)."""
+
+import pytest
+
+from repro.ecode import ast
+from repro.ecode.parser import parse, parse_expression
+from repro.errors import ECodeSyntaxError
+
+
+class TestExpressions:
+    def test_precedence_multiplication_over_addition(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expression("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.BinaryOp) and expr.left.op == "-"
+        assert expr.right.value == 3
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_and_logic_levels(self):
+        expr = parse_expression("a < b && c == d || e")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_unary_chain(self):
+        expr = parse_expression("!-x")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "!"
+        assert isinstance(expr.operand, ast.UnaryOp) and expr.operand.op == "-"
+
+    def test_ternary(self):
+        expr = parse_expression("a ? b : c ? d : e")
+        assert isinstance(expr, ast.TernaryOp)
+        assert isinstance(expr.if_false, ast.TernaryOp)  # right associative
+
+    def test_field_and_index_postfix(self):
+        expr = parse_expression("new.member_list[i].info")
+        assert isinstance(expr, ast.FieldAccess) and expr.name == "info"
+        assert isinstance(expr.base, ast.IndexAccess)
+        assert isinstance(expr.base.base, ast.FieldAccess)
+
+    def test_arrow_normalized_to_field_access(self):
+        dot = parse_expression("p.x")
+        arrow = parse_expression("p->x")
+        assert isinstance(arrow, ast.FieldAccess)
+        assert arrow.name == dot.name == "x"
+
+    def test_call_with_args(self):
+        expr = parse_expression("max(a, b + 1)")
+        assert isinstance(expr, ast.Call)
+        assert expr.name == "max"
+        assert len(expr.args) == 2
+
+    def test_sizeof(self):
+        expr = parse_expression("sizeof(unsigned long)")
+        assert isinstance(expr, ast.SizeOf)
+        assert expr.type_name == "unsigned long"
+
+    def test_postfix_incdec(self):
+        expr = parse_expression("i++")
+        assert isinstance(expr, ast.IncDec) and not expr.prefix
+
+    def test_prefix_incdec(self):
+        expr = parse_expression("--i")
+        assert isinstance(expr, ast.IncDec) and expr.prefix and expr.op == "--"
+
+    def test_assignment_is_right_associative(self):
+        expr = parse_expression("a = b = 1")
+        assert isinstance(expr, ast.Assignment)
+        assert isinstance(expr.value, ast.Assignment)
+
+    def test_hex_literal_value(self):
+        assert parse_expression("0xFF").value == 255
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ECodeSyntaxError, match="trailing"):
+            parse_expression("a b")
+
+
+class TestStatements:
+    def test_declaration_multiple_declarators(self):
+        program = parse("int i, count = 0, j = i;")
+        decl = program.body[0]
+        assert isinstance(decl, ast.Declaration)
+        assert [d.name for d in decl.declarators] == ["i", "count", "j"]
+        assert decl.declarators[0].init is None
+        assert decl.declarators[1].init.value == 0
+
+    def test_pointer_declarator_accepted(self):
+        decl = parse("char *name;").body[0]
+        assert decl.declarators[0].name == "name"
+
+    def test_struct_declaration(self):
+        decl = parse("struct Foo x;").body[0]
+        assert decl.type_name == "struct Foo"
+
+    def test_if_else(self):
+        stmt = parse("if (a) b = 1; else { b = 2; }").body[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_branch, ast.Block)
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse("if (a) if (b) x = 1; else x = 2;").body[0]
+        assert stmt.else_branch is None
+        assert stmt.then_branch.else_branch is not None
+
+    def test_while_and_do_while(self):
+        program = parse("while (a) x = 1; do x = 2; while (b);")
+        assert isinstance(program.body[0], ast.While)
+        assert isinstance(program.body[1], ast.DoWhile)
+
+    def test_for_full(self):
+        stmt = parse("for (i = 0; i < 10; i++) x = i;").body[0]
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, list)
+        assert stmt.condition is not None
+        assert len(stmt.update) == 1
+
+    def test_for_with_declaration_init(self):
+        stmt = parse("for (int i = 0; i < 3; i++) ;").body[0]
+        assert isinstance(stmt.init, ast.Declaration)
+
+    def test_for_empty_clauses(self):
+        stmt = parse("for (;;) break;").body[0]
+        assert stmt.init is None and stmt.condition is None and stmt.update == []
+
+    def test_for_comma_updates(self):
+        stmt = parse("for (i = 0, j = 9; i < j; i++, j--) ;").body[0]
+        assert len(stmt.init) == 2
+        assert len(stmt.update) == 2
+
+    def test_return_forms(self):
+        program = parse("return; return 1 + 2;")
+        assert program.body[0].value is None
+        assert program.body[1].value.op == "+"
+
+    def test_break_continue(self):
+        program = parse("while (1) { break; continue; }")
+        body = program.body[0].body.statements
+        assert isinstance(body[0], ast.Break)
+        assert isinstance(body[1], ast.Continue)
+
+    def test_empty_statement(self):
+        assert parse(";").body[0].statements == []
+
+    def test_nested_blocks(self):
+        program = parse("{ { int x = 1; } }")
+        outer = program.body[0]
+        assert isinstance(outer.statements[0], ast.Block)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int ;",
+            "if a) x = 1;",
+            "if (a x = 1;",
+            "for (i = 0; i < 1) x = 1;",
+            "while () x = 1;",
+            "x = ;",
+            "a = 1",  # missing semicolon
+            "{ x = 1;",  # unterminated block
+            "do x = 1; while (a)",  # missing semicolon
+            "sizeof(banana)",
+        ],
+    )
+    def test_malformed_sources(self, source):
+        with pytest.raises(ECodeSyntaxError):
+            parse(source)
+
+    def test_error_mentions_expectation(self):
+        with pytest.raises(ECodeSyntaxError, match="expected"):
+            parse("if (a x = 1;")

@@ -1,0 +1,149 @@
+"""Unit + property tests for the ECode runtime helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecode.runtime import (
+    AutoList,
+    BUILTINS,
+    c_div,
+    c_mod,
+    default_for_type,
+    sizeof,
+)
+from repro.errors import ECodeRuntimeError
+
+
+class TestAutoList:
+    def test_read_past_end_grows(self):
+        xs = AutoList(lambda: 0)
+        assert xs[3] == 0
+        assert len(xs) == 4
+
+    def test_write_past_end_grows(self):
+        xs = AutoList(lambda: 0)
+        xs[2] = 9
+        assert list(xs) == [0, 0, 9]
+
+    def test_factory_produces_fresh_elements(self):
+        xs = AutoList(lambda: {"v": 0})
+        xs[0]["v"] = 1
+        assert xs[1]["v"] == 0
+
+    def test_negative_indices_keep_python_semantics(self):
+        xs = AutoList(lambda: 0, [1, 2, 3])
+        assert xs[-1] == 3
+        xs[-1] = 9
+        assert xs[2] == 9
+
+    def test_is_a_list(self):
+        xs = AutoList(lambda: 0, [1])
+        assert isinstance(xs, list)
+        assert xs == [1]
+
+    def test_slice_read_does_not_grow(self):
+        xs = AutoList(lambda: 0, [1, 2])
+        assert xs[0:5] == [1, 2]
+
+    def test_initial_contents(self):
+        assert list(AutoList(lambda: 0, [7, 8])) == [7, 8]
+
+
+class TestCDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3), (6, 3, 2), (0, 5, 0)],
+    )
+    def test_truncation_toward_zero(self, a, b, expected):
+        assert c_div(a, b) == expected
+
+    def test_float_division(self):
+        assert c_div(7.0, 2) == 3.5
+        assert c_div(1, 4.0) == 0.25
+
+    def test_zero_division(self):
+        with pytest.raises(ECodeRuntimeError):
+            c_div(1, 0)
+        with pytest.raises(ECodeRuntimeError):
+            c_div(1.0, 0.0)
+
+    @given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9))
+    def test_matches_c_identity(self, a, b):
+        if b == 0:
+            return
+        q, r = c_div(a, b), c_mod(a, b)
+        assert q * b + r == a  # the C99 division identity
+        assert abs(r) < abs(b)
+        assert r == 0 or (r > 0) == (a > 0)  # remainder follows dividend
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 10**6))
+    def test_truncation_property(self, a, b):
+        import math
+
+        assert c_div(a, b) == math.trunc(a / b) or abs(a) > 2**52
+
+
+class TestCMod:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(7, 3, 1), (-7, 3, -1), (7, -3, 1), (-7, -3, -1)]
+    )
+    def test_dividend_sign(self, a, b, expected):
+        assert c_mod(a, b) == expected
+
+    def test_float_fmod(self):
+        assert c_mod(7.5, 2) == 1.5
+
+    def test_zero_modulo(self):
+        with pytest.raises(ECodeRuntimeError):
+            c_mod(5, 0)
+
+
+class TestBuiltins:
+    def test_printf_returns_char_count(self, capsys):
+        count = BUILTINS["printf"]("%d-%s\n", 42, "ok")
+        assert capsys.readouterr().out == "42-ok\n"
+        assert count == 6
+
+    def test_printf_strips_length_modifiers(self, capsys):
+        BUILTINS["printf"]("%ld %lu\n", 1, 2)
+        assert capsys.readouterr().out == "1 2\n"
+
+    def test_printf_bad_format(self):
+        with pytest.raises(ECodeRuntimeError, match="printf"):
+            BUILTINS["printf"]("%d", "not-an-int")
+
+    def test_strcmp_sign_convention(self):
+        strcmp = BUILTINS["strcmp"]
+        assert strcmp("a", "b") == -1
+        assert strcmp("b", "a") == 1
+        assert strcmp("a", "a") == 0
+
+    def test_atoi_atof_tolerate_blank(self):
+        assert BUILTINS["atoi"]("") == 0
+        assert BUILTINS["atof"]("  ") == 0.0
+
+
+class TestSizeof:
+    @pytest.mark.parametrize(
+        "name,size",
+        [("char", 1), ("short", 2), ("int", 4), ("long", 8), ("float", 4),
+         ("double", 8), ("unsigned int", 4), ("long  long", 8)],
+    )
+    def test_known(self, name, size):
+        assert sizeof(name) == size
+
+    def test_unknown(self):
+        with pytest.raises(ECodeRuntimeError):
+            sizeof("banana")
+
+
+class TestDefaults:
+    def test_numeric_types(self):
+        assert default_for_type("int") == 0
+        assert default_for_type("unsigned long") == 0
+        assert default_for_type("double") == 0.0
+        assert default_for_type("float") == 0.0
+
+    def test_char_defaults_to_empty_string(self):
+        assert default_for_type("char") == ""

@@ -1,0 +1,201 @@
+"""Tests for the ECode switch statement (no-fallthrough subset)."""
+
+import pytest
+
+from repro.ecode.codegen import compile_procedure
+from repro.ecode.interp import interpret_procedure
+from repro.ecode.parser import parse
+from repro.ecode import ast
+from repro.errors import ECodeSyntaxError, ECodeTypeError
+
+
+def run_both(source, *args, params=("a", "b")):
+    compiled = compile_procedure(source, params)(*args)
+    interpreted = interpret_procedure(source, params)(*args)
+    assert compiled == interpreted
+    return compiled
+
+
+SWITCH_PROGRAM = """
+int out = 0;
+switch (a) {
+    case 0:
+        out = 100;
+        break;
+    case 1:
+    case 2:
+        out = 200;
+        break;
+    case -3:
+        out = 300;
+        break;
+    default:
+        out = 999;
+        break;
+}
+return out;
+"""
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 100), (1, 200), (2, 200), (-3, 300), (7, 999), (100, 999)],
+    )
+    def test_dispatch(self, value, expected):
+        assert run_both(SWITCH_PROGRAM, value, None) == expected
+
+    def test_no_default_no_match_is_noop(self):
+        source = """
+        int out = 5;
+        switch (a) { case 1: out = 1; break; }
+        return out;
+        """
+        assert run_both(source, 9, None) == 5
+        assert run_both(source, 1, None) == 1
+
+    def test_return_terminates_case(self):
+        source = """
+        switch (a) {
+            case 1: return 10;
+            default: return 20;
+        }
+        """
+        assert run_both(source, 1, None) == 10
+        assert run_both(source, 2, None) == 20
+
+    def test_char_labels(self):
+        source = """
+        switch (a) {
+            case 'x': return 1;
+            case 'y': return 2;
+            default: return 0;
+        }
+        """
+        assert run_both(source, "x", None) == 1
+        assert run_both(source, "y", None) == 2
+        assert run_both(source, "z", None) == 0
+
+    def test_switch_inside_loop_continue_targets_loop(self):
+        source = """
+        int i;
+        int s = 0;
+        for (i = 0; i < 6; i++) {
+            switch (i % 3) {
+                case 0:
+                    s += 100;
+                    break;
+                case 1:
+                    break;
+                default:
+                    s += 1;
+                    break;
+            }
+        }
+        return s;
+        """
+        # i = 0,3 -> +100 each; i = 2,5 -> +1 each
+        assert run_both(source, None, None) == 202
+
+    def test_loop_break_inside_case_body_loop(self):
+        source = """
+        int s = 0;
+        switch (a) {
+            case 1: {
+                int i;
+                for (i = 0; i < 10; i++) {
+                    if (i == 3) break;
+                    s += 1;
+                }
+                break;
+            }
+            default:
+                break;
+        }
+        return s;
+        """
+        assert run_both(source, 1, None) == 3
+
+    def test_empty_case_body_is_noop(self):
+        source = """
+        int out = 7;
+        switch (a) { case 1: case 2: }
+        return out;
+        """
+        assert run_both(source, 1, None) == 7
+
+    def test_default_only(self):
+        source = "switch (a) { default: return 42; }"
+        assert run_both(source, 0, None) == 42
+
+    def test_nested_switch(self):
+        source = """
+        switch (a) {
+            case 1:
+                switch (b) {
+                    case 2: return 12;
+                    default: return 10;
+                }
+                break;
+            default:
+                return 0;
+        }
+        """
+        assert run_both(source, 1, 2) == 12
+        assert run_both(source, 1, 9) == 10
+        assert run_both(source, 5, 2) == 0
+
+
+class TestRestrictions:
+    def test_fallthrough_rejected(self):
+        source = """
+        int out = 0;
+        switch (a) {
+            case 1:
+                out = 1;
+            case 2:
+                out = 2;
+                break;
+        }
+        """
+        with pytest.raises(ECodeTypeError, match="fall-through"):
+            compile_procedure(source, ("a", "b"))
+
+    def test_non_constant_label_rejected(self):
+        with pytest.raises(ECodeTypeError, match="constant"):
+            compile_procedure(
+                "switch (a) { case b: return 1; }", ("a", "b")
+            )
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ECodeTypeError, match="duplicate"):
+            compile_procedure(
+                "switch (a) { case 1: break; case 1: break; }", ("a", "b")
+            )
+
+    def test_case_mixed_with_default_rejected(self):
+        with pytest.raises(ECodeTypeError, match="mix"):
+            compile_procedure(
+                "switch (a) { case 1: default: return 1; }", ("a", "b")
+            )
+
+    def test_multiple_defaults_rejected(self):
+        with pytest.raises(ECodeSyntaxError, match="default"):
+            parse("switch (a) { default: break; default: break; }")
+
+    def test_empty_switch_rejected(self):
+        with pytest.raises(ECodeSyntaxError, match="at least one case"):
+            parse("switch (a) { }")
+
+    def test_statements_before_first_case_rejected(self):
+        with pytest.raises(ECodeSyntaxError, match="case"):
+            parse("switch (a) { int x; case 1: break; }")
+
+
+class TestParsing:
+    def test_shared_labels_parse_into_one_case(self):
+        program = parse("switch (a) { case 1: case 2: break; }")
+        switch = program.body[0]
+        assert isinstance(switch, ast.Switch)
+        assert len(switch.cases) == 1
+        assert len(switch.cases[0].labels) == 2

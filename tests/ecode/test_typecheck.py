@@ -1,0 +1,138 @@
+"""Unit tests for the ECode semantic checker."""
+
+import pytest
+
+from repro.ecode.parser import parse
+from repro.ecode.typecheck import check
+from repro.errors import ECodeTypeError
+
+
+def ok(source, params=("new", "old")):
+    check(parse(source), params)
+
+
+def bad(source, match, params=("new", "old")):
+    with pytest.raises(ECodeTypeError, match=match):
+        check(parse(source), params)
+
+
+class TestDeclarations:
+    def test_declared_before_use(self):
+        ok("int x; x = 1;")
+
+    def test_undeclared_use_rejected(self):
+        bad("x = 1;", "undeclared")
+        bad("int y = x;", "undeclared")
+
+    def test_parameters_predeclared(self):
+        ok("old.a = new.b;")
+
+    def test_redeclaration_rejected(self):
+        bad("int x; int x;", "redeclaration")
+
+    def test_shadowing_rejected(self):
+        bad("int x; { int x; }", "redeclaration")
+
+    def test_sibling_blocks_may_reuse_names(self):
+        # disjoint blocks may reuse a name: declarations always emit an
+        # initialization, so the flattened Python translation stays sound
+        ok("{ int x; x = 1; } { int x; old.a = x; }")
+
+    def test_initializer_sees_earlier_declarators(self):
+        ok("int a = 1, b = a;")
+
+    def test_initializer_cannot_see_later_names(self):
+        bad("int a = b, b = 1;", "undeclared")
+
+    def test_for_loop_declaration(self):
+        ok("for (int i = 0; i < 3; i++) { old.x = i; }")
+
+
+class TestAssignmentPositions:
+    def test_statement_assignment_ok(self):
+        ok("int x; x = 1; x += 2;")
+
+    def test_assignment_as_value_rejected(self):
+        bad("int x; int y = (x = 1);", "statement position")
+
+    def test_incdec_as_value_rejected(self):
+        bad("int x; int y = x++;", "statement position")
+
+    def test_chained_plain_assignment_ok(self):
+        ok("int a; int b; a = b = 0;")
+
+    def test_chained_compound_assignment_rejected(self):
+        bad("int a; int b; a += b = 1;", "chained")
+
+    def test_incdec_in_for_update_ok(self):
+        ok("int i; for (i = 0; i < 3; i++) ;")
+
+    def test_literal_not_assignable(self):
+        bad("1 = 2;", "not assignable")
+
+    def test_call_result_not_assignable(self):
+        bad("abs(1) = 2;", "not assignable")
+
+    def test_field_and_index_are_lvalues(self):
+        ok("old.a = 1; old.xs[0] = 2; old.ys[0].z = 3;")
+
+    def test_assignment_to_undeclared_identifier(self):
+        bad("zz = 1;", "undeclared")
+
+
+class TestLoopsAndJumps:
+    def test_break_inside_loop(self):
+        ok("while (1) break;")
+        ok("for (;;) break;")
+        ok("do break; while (1);")
+
+    def test_break_outside_loop_rejected(self):
+        bad("break;", "outside")
+
+    def test_continue_outside_loop_rejected(self):
+        bad("continue;", "outside")
+
+    def test_continue_in_if_inside_loop(self):
+        ok("int i; for (i = 0; i < 3; i++) { if (i) continue; }")
+
+    def test_break_in_if_outside_loop_rejected(self):
+        bad("if (new.a) break;", "outside")
+
+
+class TestCalls:
+    def test_known_builtin(self):
+        ok("int x = abs(-1) + max(1, 2);")
+
+    def test_unknown_function_rejected(self):
+        bad("int x = frobnicate(1);", "unknown function")
+
+    def test_arity_checked(self):
+        bad("int x = strlen();", "argument")
+        bad('int x = strcmp("a");', "argument")
+
+    def test_string_builtins(self):
+        ok('old.s = strcat("a", "b"); old.n = strlen(new.s);')
+
+
+class TestSizeof:
+    def test_known_types(self):
+        ok("old.a = sizeof(int) + sizeof(long) + sizeof(double);")
+
+    def test_unknown_type_rejected(self):
+        # the parser requires a type keyword, so an unknown *combination*
+        # exercises the checker
+        bad("old.a = sizeof(char double);", "sizeof")
+
+
+class TestCustomParams:
+    def test_single_param(self):
+        ok("return x + 1;", params=("x",))
+
+    def test_wrong_param_name_fails(self):
+        bad("return new.a;", "undeclared", params=("x",))
+
+
+class TestErrorsCarryLines:
+    def test_line_number_in_message(self):
+        with pytest.raises(ECodeTypeError, match="line 3"):
+            check(parse("int a;\nint b;\nundeclared_name = 1;"), ("new", "old"))

@@ -1,0 +1,151 @@
+"""Thread-safety: registries and receivers are shared across threads in a
+real middleware process; hammer them concurrently."""
+
+import threading
+
+import pytest
+
+from repro.bench.workloads import response_v2
+from repro.echo.protocol import RESPONSE_V1, RESPONSE_V2, V2_TO_V1_TRANSFORM
+from repro.morph.receiver import MorphReceiver
+from repro.pbio.context import PBIOContext
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry
+
+pytestmark = pytest.mark.integration
+
+THREADS = 8
+MESSAGES_PER_THREAD = 50
+
+
+class TestConcurrentReceiver:
+    def test_concurrent_morphing_of_one_format(self):
+        registry = FormatRegistry()
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        sender = PBIOContext(registry)
+        receiver = MorphReceiver(registry)
+        delivered = []
+        lock = threading.Lock()
+
+        def handler(record):
+            with lock:
+                delivered.append(record["member_count"])
+
+        receiver.register_handler(RESPONSE_V1, handler)
+        wire = sender.encode(RESPONSE_V2, response_v2(3))
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(MESSAGES_PER_THREAD):
+                    receiver.process(wire)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(delivered) == THREADS * MESSAGES_PER_THREAD
+        assert set(delivered) == {3}
+        # the expensive planning ran a bounded number of times (the lock
+        # serializes planning; rare benign duplicates are acceptable but
+        # runaway recompilation is not)
+        assert receiver.stats.compiled_chains <= THREADS
+
+    def test_concurrent_distinct_formats(self):
+        registry = FormatRegistry()
+        sender = PBIOContext(registry)
+        receiver = MorphReceiver(registry)
+        counts = {}
+        lock = threading.Lock()
+        formats = []
+        for i in range(THREADS):
+            fmt = IOFormat(
+                f"Msg{i}", [IOField("v", "integer")], version=str(i)
+            )
+            formats.append(fmt)
+
+            def handler(record, index=i):
+                with lock:
+                    counts[index] = counts.get(index, 0) + 1
+
+            receiver.register_handler(fmt, handler)
+        wires = [
+            sender.encode(fmt, {"v": i}) for i, fmt in enumerate(formats)
+        ]
+        errors = []
+
+        def worker(index):
+            try:
+                for _ in range(MESSAGES_PER_THREAD):
+                    receiver.process(wires[index])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert all(counts[i] == MESSAGES_PER_THREAD for i in range(THREADS))
+
+
+class TestConcurrentRegistry:
+    def test_concurrent_registration(self):
+        registry = FormatRegistry()
+        errors = []
+
+        def worker(start):
+            try:
+                for i in range(50):
+                    fmt = IOFormat(
+                        f"F{start}_{i}", [IOField("x", "integer")]
+                    )
+                    registry.register(fmt)
+                    assert registry.lookup_id(fmt.format_id) is not None
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(registry) == THREADS * 50
+
+    def test_concurrent_encode_decode_contexts(self):
+        registry = FormatRegistry()
+        fmt = IOFormat("Shared", [IOField("n", "integer")])
+        registry.register(fmt)
+        ctx = PBIOContext(registry)
+        errors = []
+
+        def worker(value):
+            try:
+                for _ in range(100):
+                    wire = ctx.encode(fmt, {"n": value})
+                    _fmt, record = ctx.decode(wire)
+                    assert record["n"] == value
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert ctx.generated_encoder_count == 1
+        assert ctx.generated_decoder_count == 1

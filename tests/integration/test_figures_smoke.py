@@ -1,0 +1,66 @@
+"""Smoke tests for the evaluation harness: every figure/table function
+runs on tiny sizes and reproduces the paper's qualitative shape."""
+
+import pytest
+
+from repro.bench.figures import (
+    fig8_encoding,
+    fig9_decoding,
+    fig10_morphing,
+    table1_sizes,
+)
+
+pytestmark = pytest.mark.integration
+
+SMALL = {"1KB": 1_000, "10KB": 10_000}
+
+
+class TestFig8:
+    def test_shape(self):
+        rows = fig8_encoding(SMALL, rounds=2)
+        assert [r.label for r in rows] == ["1KB", "10KB"]
+        for row in rows:
+            assert row.pbio.best > 0 and row.xml.best > 0
+            # paper: XML encoding is at least ~2x PBIO
+            assert row.ratio > 1.5
+
+
+class TestFig9:
+    def test_shape(self):
+        rows = fig9_decoding(SMALL, rounds=2)
+        for row in rows:
+            # paper: PBIO decode is much cheaper than XML parse+traverse
+            assert row.ratio > 5
+
+
+class TestFig10:
+    def test_shape(self):
+        rows = fig10_morphing(SMALL, rounds=2)
+        for row in rows:
+            # paper: XML/XSLT is ~an order of magnitude slower than
+            # PBIO-based morphing; require a conservative 3x here to keep
+            # CI robust on noisy machines
+            assert row.ratio > 3
+
+
+class TestTable1:
+    def test_shape(self):
+        rows = table1_sizes([0.1, 1.0, 10.0])
+        for row in rows:
+            # PBIO adds a < 30B header plus 3 bytes per string field
+            # (4-byte length prefix replacing the NUL); relative overhead
+            # shrinks quickly with size
+            assert row.pbio_v2 < row.unencoded_v2 * 1.10 + 30 + 40
+            # rollback to v1.0 roughly triples the data (members appear
+            # in up to three lists)
+            assert 1.5 < row.unencoded_v1 / row.unencoded_v2 < 3.5
+            # XML inflates massively
+            assert row.xml_v2 > 2.5 * row.unencoded_v2
+            assert row.xml_v1 > row.xml_v2
+        assert rows[-1].pbio_v2 < rows[-1].unencoded_v2 * 1.10
+
+    def test_monotone_in_target(self):
+        rows = table1_sizes([0.1, 1.0, 10.0])
+        sizes = [r.unencoded_v2 for r in rows]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 5 * sizes[0]

@@ -1,0 +1,130 @@
+"""Unit + property tests for Algorithm 1 (diff) and the Mismatch Ratio."""
+
+import pytest
+from hypothesis import given
+
+from repro.morph.diff import diff, is_perfect_match, mismatch_ratio
+from repro.pbio.field import ArraySpec, IOField
+from repro.pbio.format import IOFormat
+
+from tests.strategies import io_formats
+
+
+def fmt(name, *fields, version=None):
+    return IOFormat(name, list(fields), version=version)
+
+
+class TestFlatDiff:
+    def test_identical_formats_diff_zero(self):
+        a = fmt("F", IOField("x", "integer"), IOField("y", "float"))
+        b = fmt("F", IOField("x", "integer"), IOField("y", "float"))
+        assert diff(a, b) == 0
+        assert diff(b, a) == 0
+        assert is_perfect_match(a, b)
+
+    def test_missing_field_counts_one(self):
+        a = fmt("F", IOField("x", "integer"), IOField("y", "float"))
+        b = fmt("F", IOField("x", "integer"))
+        assert diff(a, b) == 1
+        assert diff(b, a) == 0
+
+    def test_type_change_counts_both_ways(self):
+        a = fmt("F", IOField("x", "integer"))
+        b = fmt("F", IOField("x", "float"))
+        assert diff(a, b) == 1
+        assert diff(b, a) == 1
+
+    def test_field_order_is_irrelevant(self):
+        a = fmt("F", IOField("x", "integer"), IOField("y", "float"))
+        b = fmt("F", IOField("y", "float"), IOField("x", "integer"))
+        assert is_perfect_match(a, b)
+
+    def test_size_widening_still_matches(self):
+        a = fmt("F", IOField("x", "integer", 4))
+        b = fmt("F", IOField("x", "integer", 8))
+        assert is_perfect_match(a, b)
+
+    def test_arrayness_mismatch_counts(self):
+        a = fmt("F", IOField("x", "integer"))
+        b = fmt("F", IOField("n", "integer"),
+                IOField("x", "integer", array=ArraySpec(length_field="n")))
+        assert diff(a, b) == 1
+
+
+class TestComplexDiff:
+    def test_complex_field_recurses(self):
+        inner_a = fmt("I", IOField("p", "integer"), IOField("q", "integer"))
+        inner_b = fmt("I", IOField("p", "integer"))
+        a = fmt("F", IOField("sub", "complex", subformat=inner_a))
+        b = fmt("F", IOField("sub", "complex", subformat=inner_b))
+        assert diff(a, b) == 1  # q missing
+        assert diff(b, a) == 0
+
+    def test_missing_complex_contributes_weight(self):
+        inner = fmt("I", IOField("p", "integer"), IOField("q", "integer"),
+                    IOField("r", "string"))
+        a = fmt("F", IOField("sub", "complex", subformat=inner))
+        b = fmt("F", IOField("other", "integer"))
+        assert diff(a, b) == inner.weight == 3
+
+    def test_complex_vs_basic_same_name(self):
+        inner = fmt("I", IOField("p", "integer"))
+        a = fmt("F", IOField("sub", "complex", subformat=inner))
+        b = fmt("F", IOField("sub", "integer"))
+        assert diff(a, b) == 1  # weight of the complex field
+        assert diff(b, a) == 1  # basic field has no basic counterpart
+
+    def test_echo_formats(self, v1, v2):
+        # hand-computed in the paper's example: v2's member entries carry
+        # two flags v1 lacks; v1 carries 2 counts + 2 two-field lists
+        assert diff(v2, v1) == 2
+        assert diff(v1, v2) == 6
+
+
+class TestMismatchRatio:
+    def test_perfect_pair_ratio_zero(self, v1):
+        assert mismatch_ratio(v1, v1) == 0.0
+
+    def test_echo_ratio(self, v1, v2):
+        # W_v1 = channel_id + member_count + member_list{info,ID}
+        #        + src_count + src_list{2} + sink_count + sink_list{2} = 10
+        # Mr(v2, v1) = diff(v1, v2) / W_v1 = 6 / 10
+        # W_v2 = channel_id + member_count + member_list{info,ID,2 flags} = 6
+        assert v1.weight == 10 and v2.weight == 6
+        assert mismatch_ratio(v2, v1) == pytest.approx(6 / 10)
+        # Mr(v1, v2) = diff(v2, v1) / W_v2 = 2 / 6
+        assert mismatch_ratio(v1, v2) == pytest.approx(2 / 6)
+
+    def test_papers_normalization_example(self):
+        # two 1-field formats, totally different: small diff, Mr = 1
+        a = fmt("F", IOField("only_a", "integer"))
+        b = fmt("F", IOField("only_b", "integer"))
+        # vs a 100-field pair sharing 98 fields: bigger diff, tiny Mr
+        shared = [IOField(f"s{i}", "integer") for i in range(98)]
+        big_a = fmt("G", *(shared + [IOField("xa", "integer"), IOField("ya", "integer")]))
+        big_b = fmt("G", *(shared + [IOField("xb", "integer"), IOField("yb", "integer")]))
+        assert mismatch_ratio(a, b) == 1.0
+        assert mismatch_ratio(big_a, big_b) == pytest.approx(2 / 100)
+        assert diff(a, b) < diff(big_a, big_b)  # diff alone misleads
+        assert mismatch_ratio(big_a, big_b) < mismatch_ratio(a, b)
+
+
+class TestDiffProperties:
+    @given(io_formats())
+    def test_reflexive(self, fmt_):
+        assert diff(fmt_, fmt_) == 0
+        assert mismatch_ratio(fmt_, fmt_) == 0.0
+
+    @given(io_formats(), io_formats())
+    def test_bounded_by_weight(self, f1, f2):
+        assert 0 <= diff(f1, f2) <= f1.weight
+        assert 0.0 <= mismatch_ratio(f1, f2) <= 1.0
+
+    @given(io_formats(), io_formats())
+    def test_perfect_match_is_symmetric(self, f1, f2):
+        assert is_perfect_match(f1, f2) == is_perfect_match(f2, f1)
+
+    @given(io_formats())
+    def test_structural_copy_is_perfect(self, fmt_):
+        clone = IOFormat(fmt_.name, list(fmt_.fields), version=fmt_.version)
+        assert is_perfect_match(fmt_, clone)

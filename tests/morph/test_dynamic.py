@@ -1,0 +1,100 @@
+"""Tests for hot-swappable ECode handlers (Service Morphing hooks)."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.morph.dynamic import ECodeHandler
+from repro.morph.receiver import MorphReceiver
+from repro.pbio.context import PBIOContext
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry
+
+REQUEST = IOFormat(
+    "Request", [IOField("a", "integer"), IOField("b", "integer")], version="1"
+)
+REPLY = IOFormat(
+    "Reply", [IOField("value", "integer"), IOField("note", "string")], version="1"
+)
+
+
+class TestECodeHandler:
+    def test_reply_record_handler(self):
+        handler = ECodeHandler(
+            'reply.value = input.a + input.b; reply.note = "sum";',
+            reply_format=REPLY,
+        )
+        out = handler(REQUEST.make_record(a=2, b=3))
+        assert out == {"value": 5, "note": "sum"}
+        REPLY.validate_record(out)
+
+    def test_return_value_handler(self):
+        handler = ECodeHandler("return input.a * input.b;")
+        assert handler(REQUEST.make_record(a=4, b=5)) == 20
+
+    def test_bad_code_rejected_at_construction(self):
+        with pytest.raises(TransformError, match="compile"):
+            ECodeHandler("not c code $$$")
+
+    def test_runtime_fault_wrapped(self):
+        handler = ECodeHandler("return input.missing;")
+        with pytest.raises(TransformError, match="runtime"):
+            handler(REQUEST.make_record(a=1, b=2))
+
+    def test_interpreted_mode_agrees(self):
+        code = "reply.value = input.a - input.b; reply.note = \"d\";"
+        compiled = ECodeHandler(code, REPLY, use_codegen=True)
+        interpreted = ECodeHandler(code, REPLY, use_codegen=False)
+        record = REQUEST.make_record(a=9, b=4)
+        assert compiled(record) == interpreted(record)
+
+
+class TestHotSwap:
+    def test_swap_changes_behaviour_between_messages(self):
+        handler = ECodeHandler("return input.a + input.b;")
+        record = REQUEST.make_record(a=10, b=2)
+        assert handler(record) == 12
+        generation = handler.swap("return input.a - input.b;")
+        assert generation == 2
+        assert handler(record) == 8
+        assert handler.invocations == 2
+
+    def test_failed_swap_keeps_old_behaviour(self):
+        handler = ECodeHandler("return 1;")
+        with pytest.raises(TransformError):
+            handler.swap("$$$")
+        assert handler(REQUEST.make_record(a=0, b=0)) == 1
+        assert handler.generation == 1
+
+    def test_swap_log_records_history(self):
+        handler = ECodeHandler("return 1;")
+        handler.swap("return 2;")
+        handler.swap("return 3;")
+        assert [gen for gen, _code in handler.swap_log] == [2, 3]
+        assert handler.code == "return 3;"
+
+
+class TestWithReceiver:
+    def test_registered_as_normal_handler_with_morphing(self):
+        """An ECode handler behind the morph layer: v2 wire messages,
+        v1 handler format, ECode behaviour, hot-swapped mid-stream."""
+        from repro.bench.workloads import response_v2
+        from repro.echo.protocol import (
+            RESPONSE_V1,
+            RESPONSE_V2,
+            V2_TO_V1_TRANSFORM,
+        )
+
+        registry = FormatRegistry()
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        sender = PBIOContext(registry)
+        receiver = MorphReceiver(registry)
+        handler = ECodeHandler("return input.src_count;")
+        receiver.register_handler(RESPONSE_V1, handler)
+        wire = sender.encode(RESPONSE_V2, response_v2(3))
+        assert receiver.process(wire) == 2  # members 0,1 are sources
+        handler.swap("return input.sink_count;")
+        assert receiver.process(wire) == 2  # members 0,2 are sinks
+        handler.swap("return input.member_count;")
+        assert receiver.process(wire) == 3
+        assert receiver.stats.cache_hits == 2  # swaps did not disturb routes

@@ -1,0 +1,151 @@
+"""Unit tests for compiled Transformations and TransformChains."""
+
+import pytest
+
+from repro.bench.workloads import response_v1_from_v2, response_v2
+from repro.echo.protocol import (
+    RESPONSE_V0,
+    RESPONSE_V1,
+    RESPONSE_V2,
+    V1_TO_V0_TRANSFORM,
+    V1_TO_V2_TRANSFORM,
+    V2_TO_V1_TRANSFORM,
+)
+from repro.errors import TransformError
+from repro.morph.transform import (
+    TransformChain,
+    Transformation,
+    build_chain,
+    growable_record,
+)
+from repro.pbio.field import ArraySpec, IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.record import records_equal
+from repro.pbio.registry import TransformSpec
+
+
+class TestGrowableRecord:
+    def test_defaults_match_format(self, v1):
+        rec = growable_record(v1)
+        assert rec["member_count"] == 0
+        assert rec["member_list"] == []
+        assert rec["channel_id"] == ""
+
+    def test_arrays_autogrow_with_complex_elements(self, v1):
+        rec = growable_record(v1)
+        rec["member_list"][2]["info"] = "late"
+        assert len(rec["member_list"]) == 3
+        assert rec["member_list"][0] == {"info": "", "ID": 0}
+
+    def test_grown_elements_are_fresh(self, v1):
+        rec = growable_record(v1)
+        rec["member_list"][0]["ID"] = 5
+        assert rec["member_list"][1]["ID"] == 0
+
+    def test_nested_growable(self):
+        inner = IOFormat(
+            "Inner",
+            [IOField("m", "integer"),
+             IOField("vals", "integer", array=ArraySpec(length_field="m"))],
+        )
+        outer = IOFormat(
+            "Outer",
+            [IOField("n", "integer"),
+             IOField("rows", "complex", subformat=inner,
+                     array=ArraySpec(length_field="n"))],
+        )
+        rec = growable_record(outer)
+        rec["rows"][0]["vals"][1] = 7
+        assert rec["rows"][0]["vals"] == [0, 7]
+
+    def test_fixed_arrays_prefilled(self):
+        fmt = IOFormat("F", [IOField("xs", "integer", array=ArraySpec(fixed_length=2))])
+        assert growable_record(fmt)["xs"] == [0, 0]
+
+
+class TestTransformation:
+    def test_figure5_paper_example(self, v2):
+        xform = Transformation(V2_TO_V1_TRANSFORM)
+        incoming = response_v2(5)
+        out = xform.apply(incoming)
+        assert records_equal(out, response_v1_from_v2(incoming))
+
+    def test_source_and_target_exposed(self):
+        xform = Transformation(V2_TO_V1_TRANSFORM)
+        assert xform.source == RESPONSE_V2
+        assert xform.target == RESPONSE_V1
+
+    def test_interpreted_mode_agrees_with_compiled(self):
+        compiled = Transformation(V2_TO_V1_TRANSFORM, use_codegen=True)
+        interpreted = Transformation(V2_TO_V1_TRANSFORM, use_codegen=False)
+        incoming = response_v2(4)
+        assert records_equal(compiled.apply(incoming), interpreted.apply(incoming))
+
+    def test_bad_ecode_raises_transform_error_at_compile(self):
+        spec = TransformSpec(RESPONSE_V2, RESPONSE_V1, "this is not C;")
+        with pytest.raises(TransformError, match="compile"):
+            Transformation(spec)
+
+    def test_runtime_failure_wrapped(self):
+        spec = TransformSpec(RESPONSE_V2, RESPONSE_V1, "old.x = new.missing;")
+        xform = Transformation(spec, validate_output=False)
+        with pytest.raises(TransformError, match="runtime"):
+            xform.apply(response_v2(1))
+
+    def test_validation_catches_inconsistent_output(self):
+        # sets a count without populating the list
+        spec = TransformSpec(
+            RESPONSE_V2, RESPONSE_V1, "old.member_count = new.member_count;"
+        )
+        xform = Transformation(spec, validate_output=True)
+        with pytest.raises(TransformError, match="invalid record"):
+            xform.apply(response_v2(2))
+
+    def test_validation_off_delivers_anyway(self):
+        spec = TransformSpec(
+            RESPONSE_V2, RESPONSE_V1, "old.member_count = new.member_count;"
+        )
+        out = Transformation(spec, validate_output=False).apply(response_v2(2))
+        assert out["member_count"] == 2 and out["member_list"] == []
+
+    def test_unwritten_fields_keep_defaults(self):
+        spec = TransformSpec(
+            RESPONSE_V2, RESPONSE_V0, "old.channel_id = new.channel_id;"
+        )
+        out = Transformation(spec, validate_output=False).apply(response_v2(1))
+        assert out["member_count"] == 0
+        assert out["member_list"] == []
+
+    def test_callable_protocol(self):
+        xform = Transformation(V2_TO_V1_TRANSFORM)
+        assert xform(response_v2(1)) == xform.apply(response_v2(1))
+
+
+class TestTransformChain:
+    def test_two_hop_chain(self):
+        chain = build_chain([V2_TO_V1_TRANSFORM, V1_TO_V0_TRANSFORM])
+        assert chain.source == RESPONSE_V2
+        assert chain.target == RESPONSE_V0
+        assert len(chain) == 2
+        incoming = response_v2(3)
+        out = chain.apply(incoming)
+        assert out["member_count"] == 3
+        assert set(out.keys()) == {"channel_id", "member_count", "member_list"}
+        assert out["member_list"][0]["info"] == incoming["member_list"][0]["info"]
+
+    def test_roundtrip_v1_v2_v1_preserves_information(self):
+        v1_rec = response_v1_from_v2(response_v2(4))
+        forward = Transformation(V1_TO_V2_TRANSFORM)
+        backward = Transformation(V2_TO_V1_TRANSFORM)
+        assert records_equal(backward.apply(forward.apply(v1_rec)), v1_rec)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(TransformError):
+            TransformChain([])
+
+    def test_non_contiguous_chain_rejected(self):
+        with pytest.raises(TransformError, match="contiguous"):
+            TransformChain(
+                [Transformation(V2_TO_V1_TRANSFORM),
+                 Transformation(V2_TO_V1_TRANSFORM)]
+            )

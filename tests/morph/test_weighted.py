@@ -1,0 +1,158 @@
+"""Tests for importance-weighted diff / MaxMatch (the paper's future-work
+refinement: "the ability to weight different fields and sub-fields based
+on some measure of importance")."""
+
+import pytest
+from hypothesis import given
+
+from repro.morph.diff import (
+    diff,
+    mismatch_ratio,
+    weighted_diff,
+    weighted_mismatch_ratio,
+)
+from repro.morph.maxmatch import max_match, score_pair
+from repro.morph.receiver import MorphReceiver
+from repro.pbio.context import PBIOContext
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry
+
+from tests.strategies import io_formats
+
+
+def fmt(name, fields, version=None):
+    return IOFormat(name, fields, version=version)
+
+
+class TestWeightedWeight:
+    def test_defaults_match_unweighted(self):
+        f = fmt("F", [IOField("a", "integer"), IOField("b", "string")])
+        assert f.weighted_weight == f.weight == 2
+
+    def test_importance_sums(self):
+        f = fmt("F", [IOField("a", "integer", importance=3.0),
+                      IOField("b", "string", importance=0.5)])
+        assert f.weighted_weight == 3.5
+
+    def test_complex_importance_scales_subtree(self):
+        inner = fmt("I", [IOField("x", "integer"), IOField("y", "integer")])
+        f = fmt("F", [IOField("sub", "complex", subformat=inner, importance=2.0)])
+        assert f.weighted_weight == 4.0
+
+    def test_negative_importance_rejected(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError, match="importance"):
+            IOField("a", "integer", importance=-1)
+
+    def test_importance_not_part_of_identity(self):
+        a = fmt("F", [IOField("x", "integer", importance=1.0)])
+        b = fmt("F", [IOField("x", "integer", importance=9.0)])
+        assert a == b
+        assert a.format_id == b.format_id
+
+
+class TestWeightedDiff:
+    def test_missing_field_contributes_importance(self):
+        a = fmt("F", [IOField("critical", "integer", importance=10.0),
+                      IOField("shared", "integer")])
+        b = fmt("F", [IOField("shared", "integer")])
+        assert weighted_diff(a, b) == 10.0
+        assert diff(a, b) == 1  # the unweighted metric sees one field
+
+    def test_missing_complex_scales(self):
+        inner = fmt("I", [IOField("x", "integer"), IOField("y", "integer")])
+        a = fmt("F", [IOField("sub", "complex", subformat=inner, importance=3.0)])
+        b = fmt("F", [IOField("other", "integer")])
+        assert weighted_diff(a, b) == 6.0
+
+    def test_nested_recursion_scales(self):
+        inner_a = fmt("I", [IOField("x", "integer", importance=4.0),
+                            IOField("y", "integer")])
+        inner_b = fmt("I", [IOField("y", "integer")])
+        a = fmt("F", [IOField("sub", "complex", subformat=inner_a, importance=0.5)])
+        b = fmt("F", [IOField("sub", "complex", subformat=inner_b)])
+        assert weighted_diff(a, b) == 2.0  # 0.5 * 4.0
+
+    def test_weighted_ratio(self):
+        a = fmt("F", [IOField("vital", "integer", importance=9.0),
+                      IOField("meh", "string", importance=1.0)])
+        b = fmt("F", [IOField("meh", "string")])
+        # b is missing 'vital': 9 of a's 10 importance mass
+        assert weighted_mismatch_ratio(b, a) == pytest.approx(0.9)
+
+    @given(io_formats(), io_formats())
+    def test_default_importance_reduces_to_unweighted(self, f1, f2):
+        assert weighted_diff(f1, f2) == diff(f1, f2)
+        assert weighted_mismatch_ratio(f1, f2) == pytest.approx(
+            mismatch_ratio(f1, f2)
+        )
+
+
+class TestWeightedMaxMatch:
+    def build(self):
+        # the reader wants 'payload' badly and barely cares about 'trace'
+        reader = fmt(
+            "M",
+            [
+                IOField("payload", "string", importance=10.0),
+                IOField("trace", "string", importance=0.1),
+            ],
+            version="reader",
+        )
+        # candidate A supplies payload but not trace
+        cand_a = fmt("M", [IOField("payload", "string"),
+                           IOField("extra", "integer")], version="a")
+        # candidate B supplies trace but not payload
+        cand_b = fmt("M", [IOField("trace", "string"),
+                           IOField("extra", "integer")], version="b")
+        return reader, cand_a, cand_b
+
+    def test_unweighted_cannot_tell_the_candidates_apart(self):
+        reader, cand_a, cand_b = self.build()
+        score_a = score_pair(cand_a, reader)
+        score_b = score_pair(cand_b, reader)
+        assert score_a.sort_key() == score_b.sort_key()
+
+    def test_weighted_prefers_the_important_field(self):
+        reader, cand_a, cand_b = self.build()
+        best = max_match([cand_b, cand_a], [reader], 100, 1.0, weighted=True)
+        assert best is not None
+        assert best.f1 is cand_a  # supplies the importance-10 field
+
+    def test_weighted_threshold_bounds_importance_mass(self):
+        reader, cand_a, cand_b = self.build()
+        # cand_b misses 10.0 of reader's 10.1 mass: Mr_w ~ 0.99
+        assert max_match(cand_b, [reader], 100, 0.5, weighted=True) is None
+        # cand_a misses only 0.1 of 10.1: Mr_w ~ 0.0099
+        assert max_match(cand_a, [reader], 100, 0.5, weighted=True) is not None
+
+
+class TestWeightedReceiver:
+    def test_weighted_receiver_accepts_what_matters(self):
+        reader = fmt(
+            "M",
+            [
+                IOField("payload", "string", importance=10.0),
+                IOField("trace", "string", importance=0.1),
+            ],
+            version="reader",
+        )
+        sender_fmt = fmt("M", [IOField("payload", "string")], version="new")
+        registry = FormatRegistry()
+        sender = PBIOContext(registry)
+        wire = sender.encode(sender_fmt, {"payload": "the data"})
+
+        strict_by_count = MorphReceiver(registry, mismatch_threshold=0.3)
+        strict_by_count.register_handler(reader, lambda rec: rec)
+        # unweighted: missing 1 of 2 fields -> Mr 0.5 > 0.3 -> reject
+        from repro.errors import NoMatchError
+
+        with pytest.raises(NoMatchError):
+            strict_by_count.process(wire)
+
+        weighted = MorphReceiver(registry, mismatch_threshold=0.3, weighted=True)
+        weighted.register_handler(reader, lambda rec: rec)
+        out = weighted.process(wire)
+        assert out == {"payload": "the data", "trace": ""}

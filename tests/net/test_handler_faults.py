@@ -1,0 +1,55 @@
+"""Behaviour of the simulated network when handlers misbehave."""
+
+import pytest
+
+from repro.net.link import LinkSpec
+from repro.net.transport import Network
+
+
+class TestHandlerFaults:
+    def test_handler_exception_propagates_out_of_run(self):
+        """A crashing handler surfaces at run() — the simulator never
+        swallows application bugs (tests would silently pass otherwise)."""
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+
+        def bad_handler(_source, _data):
+            raise ValueError("application bug")
+
+        net.node("b").set_handler(bad_handler)
+        net.send("a", "b", b"x")
+        with pytest.raises(ValueError, match="application bug"):
+            net.run()
+
+    def test_messages_after_crash_remain_queued(self):
+        net = Network(default_link=LinkSpec(latency=0.1, bandwidth=0))
+        net.add_node("a")
+        net.add_node("b")
+        calls = []
+
+        def flaky(_source, data):
+            calls.append(data)
+            if len(calls) == 1:
+                raise RuntimeError("first delivery crashes")
+
+        net.node("b").set_handler(flaky)
+        net.send("a", "b", b"one")
+        net.send("a", "b", b"two")
+        with pytest.raises(RuntimeError):
+            net.run()
+        assert net.pending == 1  # second message survived the crash
+        net.run()
+        assert calls == [b"one", b"two"]
+
+    def test_virtual_time_monotone_across_many_messages(self):
+        net = Network(default_link=LinkSpec(latency=0.001, bandwidth=1000))
+        net.add_node("a")
+        sink = net.add_node("b")
+        times = []
+        sink.set_handler(lambda _s, _d: times.append(net.now))
+        for i in range(20):
+            net.send("a", "b", bytes(i + 1))
+        net.run()
+        assert times == sorted(times)
+        assert len(times) == 20

@@ -1,0 +1,44 @@
+"""Unit tests for the link model."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.link import GIGABIT_LAN, WAN, WIRELESS_11MBPS, LinkSpec
+
+
+class TestLinkSpec:
+    def test_transmission_time_combines_latency_and_serialization(self):
+        link = LinkSpec(latency=0.01, bandwidth=1000)
+        assert link.transmission_time(500) == pytest.approx(0.01 + 0.5)
+
+    def test_zero_bandwidth_means_infinite(self):
+        link = LinkSpec(latency=0.001, bandwidth=0)
+        assert link.transmission_time(10**9) == pytest.approx(0.001)
+
+    def test_zero_byte_message_costs_latency_only(self):
+        link = LinkSpec(latency=0.002, bandwidth=100)
+        assert link.transmission_time(0) == pytest.approx(0.002)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(TransportError):
+            LinkSpec(latency=-1)
+        with pytest.raises(TransportError):
+            LinkSpec(bandwidth=-1)
+        with pytest.raises(TransportError):
+            LinkSpec().transmission_time(-1)
+
+    def test_size_matters_more_on_slow_links(self):
+        # the Table 1 discussion: XML's size inflation costs real latency
+        # on constrained links
+        small, large = 1_000, 12_000  # representative PBIO vs XML sizes
+        lan_penalty = GIGABIT_LAN.transmission_time(large) / GIGABIT_LAN.transmission_time(small)
+        wifi_penalty = WIRELESS_11MBPS.transmission_time(large) / WIRELESS_11MBPS.transmission_time(small)
+        assert wifi_penalty > lan_penalty
+
+    def test_presets_ordered_by_speed(self):
+        size = 100_000
+        assert (
+            GIGABIT_LAN.transmission_time(size)
+            < WIRELESS_11MBPS.transmission_time(size)
+            < WAN.transmission_time(size)
+        )

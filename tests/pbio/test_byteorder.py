@@ -1,0 +1,126 @@
+"""Byte-order tests: PBIO's receiver-makes-right conversion.
+
+The writer encodes in its native order (recorded in the header flags);
+the reader converts only when the incoming order differs from its own,
+generating an opposite-order decode routine on first need.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given
+
+from repro.errors import EncodeError
+from repro.pbio import codegen
+from repro.pbio.buffer import FLAG_BIG_ENDIAN, HEADER_SIZE, unpack_header
+from repro.pbio.context import PBIOContext
+from repro.pbio.decode import decode_record
+from repro.pbio.encode import encode_record
+from repro.pbio.field import ArraySpec, IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.record import records_equal
+from repro.pbio.registry import FormatRegistry
+
+from tests.strategies import format_and_record
+
+FMT = IOFormat(
+    "Mix",
+    [
+        IOField("i", "integer"),
+        IOField("f", "float"),
+        IOField("s", "string"),
+        IOField("n", "integer"),
+        IOField("xs", "unsigned", 2, array=ArraySpec(length_field="n")),
+    ],
+)
+REC = FMT.make_record(i=-123456, f=2.5, s="héllo", n=3, xs=[1, 2, 60000])
+
+
+class TestWireFlag:
+    def test_little_endian_default_flag_clear(self):
+        wire = encode_record(FMT, REC)
+        assert unpack_header(wire).flags & FLAG_BIG_ENDIAN == 0
+
+    def test_big_endian_sets_flag(self):
+        wire = encode_record(FMT, REC, byte_order="big")
+        assert unpack_header(wire).flags & FLAG_BIG_ENDIAN
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(EncodeError, match="byte order"):
+            encode_record(FMT, REC, byte_order="middle")
+        with pytest.raises(EncodeError, match="byte order"):
+            codegen.make_encoder(FMT, byte_order="pdp")
+
+    def test_payload_bytes_actually_differ(self):
+        little = encode_record(FMT, REC)
+        big = encode_record(FMT, REC, byte_order="big")
+        assert little[HEADER_SIZE:] != big[HEADER_SIZE:]
+        # first field: i32 = -123456
+        (le_val,) = struct.unpack_from("<i", little, HEADER_SIZE)
+        (be_val,) = struct.unpack_from(">i", big, HEADER_SIZE)
+        assert le_val == be_val == -123456
+
+
+class TestReceiverMakesRight:
+    def test_generic_decoder_honours_flag(self):
+        wire = encode_record(FMT, REC, byte_order="big")
+        assert records_equal(decode_record(FMT, wire), REC)
+
+    def test_generated_decoder_honours_flag(self):
+        decode = codegen.make_decoder(FMT)
+        for order in ("little", "big"):
+            wire = encode_record(FMT, REC, byte_order=order)
+            assert records_equal(decode(wire), REC)
+
+    def test_generated_encoder_roundtrip_big(self):
+        encode = codegen.make_encoder(FMT, byte_order="big")
+        decode = codegen.make_decoder(FMT)
+        assert records_equal(decode(encode(REC)), REC)
+
+    def test_generated_big_encoder_matches_generic(self):
+        encode = codegen.make_encoder(FMT, byte_order="big")
+        assert encode(REC) == encode_record(FMT, REC, byte_order="big")
+
+    def test_cross_order_contexts(self):
+        registry = FormatRegistry()
+        big_endian_host = PBIOContext(registry, byte_order="big")
+        little_endian_host = PBIOContext(registry, byte_order="little")
+        wire = big_endian_host.encode(FMT, REC)
+        fmt, record = little_endian_host.decode(wire)
+        assert fmt == FMT and records_equal(record, REC)
+        # and the reverse direction
+        wire2 = little_endian_host.encode(FMT, REC)
+        _, record2 = big_endian_host.decode(wire2)
+        assert records_equal(record2, REC)
+
+    def test_morphing_across_byte_orders(self):
+        """A big-endian v2.0 writer, a little-endian v1.0 reader: both
+        the order conversion and the format morph happen receiver-side."""
+        from repro.bench.workloads import response_v1_from_v2, response_v2
+        from repro.echo.protocol import RESPONSE_V1, RESPONSE_V2, V2_TO_V1_TRANSFORM
+        from repro.morph.receiver import MorphReceiver
+
+        registry = FormatRegistry()
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        writer = PBIOContext(registry, byte_order="big")
+        receiver = MorphReceiver(registry)
+        got = []
+        receiver.register_handler(RESPONSE_V1, got.append)
+        incoming = response_v2(3)
+        receiver.process(writer.encode(RESPONSE_V2, incoming))
+        assert records_equal(got[0], response_v1_from_v2(incoming))
+
+
+class TestPropertyRoundtrip:
+    @given(format_and_record())
+    def test_big_endian_roundtrip(self, fmt_rec):
+        fmt, rec = fmt_rec
+        wire = encode_record(fmt, rec, byte_order="big")
+        assert records_equal(decode_record(fmt, wire), rec)
+
+    @given(format_and_record())
+    def test_generated_big_endian_agrees_with_generic(self, fmt_rec):
+        fmt, rec = fmt_rec
+        generated = codegen.make_encoder(fmt, byte_order="big")(rec)
+        assert generated == encode_record(fmt, rec, byte_order="big")
+        assert records_equal(codegen.make_decoder(fmt)(generated), rec)

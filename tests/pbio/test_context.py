@@ -1,0 +1,82 @@
+"""Unit tests for PBIOContext (per-endpoint encode/decode state)."""
+
+import pytest
+
+from repro.errors import UnknownFormatError
+from repro.pbio.context import PBIOContext
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.record import records_equal
+from repro.pbio.registry import FormatRegistry
+
+
+FMT = IOFormat("Msg", [IOField("load", "integer"), IOField("mem", "integer")])
+REC = FMT.make_record(load=1, mem=2)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        ctx = PBIOContext()
+        fmt, rec = ctx.decode(ctx.encode(FMT, REC))
+        assert fmt == FMT
+        assert records_equal(rec, REC)
+
+    def test_encode_registers_format(self):
+        ctx = PBIOContext()
+        ctx.encode(FMT, REC)
+        assert FMT in ctx.registry
+
+    def test_unknown_format_raises(self):
+        sender = PBIOContext()
+        wire = sender.encode(FMT, REC)
+        receiver = PBIOContext()  # empty private registry
+        with pytest.raises(UnknownFormatError) as exc_info:
+            receiver.decode(wire)
+        assert exc_info.value.format_id == FMT.format_id
+
+    def test_shared_registry_is_the_out_of_band_channel(self):
+        registry = FormatRegistry()
+        sender = PBIOContext(registry)
+        receiver = PBIOContext(registry)
+        wire = sender.encode(FMT, REC)
+        fmt, rec = receiver.decode(wire)
+        assert fmt == FMT and rec["load"] == 1
+
+    def test_peek_format(self):
+        ctx = PBIOContext()
+        wire = ctx.encode(FMT, REC)
+        assert ctx.peek_format(wire) == FMT
+        assert PBIOContext().peek_format(wire) is None
+
+
+class TestCodegenCaching:
+    def test_coders_generated_once_per_format(self):
+        ctx = PBIOContext()
+        for _ in range(5):
+            wire = ctx.encode(FMT, REC)
+            ctx.decode(wire)
+        assert ctx.generated_encoder_count == 1
+        assert ctx.generated_decoder_count == 1
+
+    def test_one_coder_pair_per_format(self):
+        ctx = PBIOContext()
+        other = IOFormat("Other", [IOField("x", "float")])
+        ctx.decode(ctx.encode(FMT, REC))
+        ctx.decode(ctx.encode(other, other.make_record(x=1.0)))
+        assert ctx.generated_encoder_count == 2
+        assert ctx.generated_decoder_count == 2
+
+
+class TestInterpretiveMode:
+    def test_no_codegen_flag_uses_generic_paths(self):
+        ctx = PBIOContext(use_codegen=False)
+        wire = ctx.encode(FMT, REC)
+        fmt, rec = ctx.decode(wire)
+        assert records_equal(rec, REC)
+        assert ctx.generated_encoder_count == 0
+        assert ctx.generated_decoder_count == 0
+
+    def test_wire_format_identical_across_modes(self):
+        fast = PBIOContext()
+        slow = PBIOContext(use_codegen=False)
+        assert fast.encode(FMT, REC) == slow.encode(FMT, REC)

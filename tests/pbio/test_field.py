@@ -1,0 +1,135 @@
+"""Unit tests for IOField and ArraySpec."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.pbio.field import ArraySpec, IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.types import TypeKind
+
+
+SUB = IOFormat("Point", [IOField("x", "integer"), IOField("y", "integer")])
+
+
+class TestArraySpec:
+    def test_fixed(self):
+        spec = ArraySpec(fixed_length=3)
+        assert not spec.is_variable
+
+    def test_variable(self):
+        spec = ArraySpec(length_field="count")
+        assert spec.is_variable
+
+    def test_requires_exactly_one(self):
+        with pytest.raises(FormatError):
+            ArraySpec()
+        with pytest.raises(FormatError):
+            ArraySpec(fixed_length=1, length_field="n")
+
+    def test_negative_fixed_rejected(self):
+        with pytest.raises(FormatError):
+            ArraySpec(fixed_length=-1)
+
+    def test_zero_fixed_allowed(self):
+        assert ArraySpec(fixed_length=0).fixed_length == 0
+
+
+class TestIOFieldConstruction:
+    def test_kind_from_string(self):
+        field = IOField("load", "integer")
+        assert field.kind is TypeKind.INTEGER
+        assert field.size == 4  # default
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FormatError):
+            IOField("x", "quaternion")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FormatError):
+            IOField("", "integer")
+
+    def test_complex_requires_subformat(self):
+        with pytest.raises(FormatError):
+            IOField("p", "complex")
+
+    def test_basic_rejects_subformat(self):
+        with pytest.raises(FormatError):
+            IOField("x", "integer", subformat=SUB)
+
+    def test_explicit_size(self):
+        assert IOField("x", "integer", 8).size == 8
+
+    def test_illegal_size(self):
+        with pytest.raises(FormatError):
+            IOField("x", "integer", 3)
+
+    def test_is_basic_and_complex(self):
+        assert IOField("x", "integer").is_basic
+        assert not IOField("x", "integer").is_complex
+        complex_field = IOField("p", "complex", subformat=SUB)
+        assert complex_field.is_complex
+        assert not complex_field.is_basic
+
+
+class TestDefaults:
+    def test_scalar_default(self):
+        assert IOField("x", "integer").default_instance() == 0
+        assert IOField("s", "string").default_instance() == ""
+
+    def test_explicit_default(self):
+        assert IOField("x", "integer", default=7).default_instance() == 7
+
+    def test_complex_default_is_default_record(self):
+        value = IOField("p", "complex", subformat=SUB).default_instance()
+        assert value == {"x": 0, "y": 0}
+
+    def test_variable_array_default_empty(self):
+        field = IOField("xs", "integer", array=ArraySpec(length_field="n"))
+        assert field.default_instance() == []
+
+    def test_fixed_array_default_filled(self):
+        field = IOField("xs", "integer", array=ArraySpec(fixed_length=3), default=5)
+        assert field.default_instance() == [5, 5, 5]
+
+    def test_fixed_complex_array_defaults_are_fresh(self):
+        field = IOField(
+            "ps", "complex", subformat=SUB, array=ArraySpec(fixed_length=2)
+        )
+        value = field.default_instance()
+        value[0]["x"] = 99
+        assert value[1]["x"] == 0
+
+
+class TestMatching:
+    def test_same_name_same_kind(self):
+        assert IOField("x", "integer").matches(IOField("x", "integer"))
+
+    def test_size_differences_still_match(self):
+        # a widened integer is the same field for diff purposes
+        assert IOField("x", "integer", 4).matches(IOField("x", "integer", 8))
+
+    def test_kind_mismatch(self):
+        assert not IOField("x", "integer").matches(IOField("x", "float"))
+
+    def test_name_mismatch(self):
+        assert not IOField("x", "integer").matches(IOField("y", "integer"))
+
+    def test_arrayness_must_agree(self):
+        scalar = IOField("x", "integer")
+        array = IOField("x", "integer", array=ArraySpec(fixed_length=2))
+        assert not scalar.matches(array)
+
+
+class TestIdentity:
+    def test_equality_by_signature(self):
+        assert IOField("x", "integer", 4) == IOField("x", "integer", 4)
+        assert IOField("x", "integer", 4) != IOField("x", "integer", 8)
+
+    def test_hashable(self):
+        assert len({IOField("x", "integer"), IOField("x", "integer")}) == 1
+
+    def test_signature_recurses_into_subformat(self):
+        other_sub = IOFormat("Point", [IOField("x", "integer"), IOField("y", "float")])
+        f1 = IOField("p", "complex", subformat=SUB)
+        f2 = IOField("p", "complex", subformat=other_sub)
+        assert f1 != f2

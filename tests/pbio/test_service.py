@@ -1,0 +1,176 @@
+"""Integration tests for the networked format server (out-of-band
+meta-data as a real protocol)."""
+
+import pytest
+
+from repro.bench.workloads import response_v1_from_v2, response_v2
+from repro.echo.protocol import (
+    RESPONSE_V1,
+    RESPONSE_V2,
+    V2_TO_V1_TRANSFORM,
+)
+from repro.net.transport import Network
+from repro.pbio.context import PBIOContext
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.record import records_equal
+from repro.pbio.registry import FormatRegistry
+from repro.pbio.service import FormatService, MetaClient, RemoteMetaReceiver
+
+pytestmark = pytest.mark.integration
+
+
+def build_world():
+    net = Network()
+    service = FormatService(net)
+    return net, service
+
+
+class TestPublishAndFetch:
+    def test_writer_publishes_reader_fetches(self):
+        net, service = build_world()
+        writer = MetaClient(net, "writer")
+        writer.registry.register_transform(V2_TO_V1_TRANSFORM)
+        writer.publish()
+        net.run()
+        assert RESPONSE_V2 in service.registry
+        assert RESPONSE_V1 in service.registry
+
+        reader = MetaClient(net, "reader")
+        outcomes = []
+        reader.fetch(RESPONSE_V2.format_id, outcomes.append)
+        net.run()
+        assert outcomes == [True]
+        assert RESPONSE_V2 in reader.registry
+        # the transform closure came along for the ride
+        assert reader.registry.transforms_from(RESPONSE_V2)
+
+    def test_fetch_of_unknown_format(self):
+        net, _service = build_world()
+        reader = MetaClient(net, "reader")
+        outcomes = []
+        reader.fetch(12345, outcomes.append)
+        net.run()
+        assert outcomes == [False]
+
+    def test_duplicate_fetches_coalesce(self):
+        net, service = build_world()
+        writer = MetaClient(net, "writer")
+        writer.registry.register(RESPONSE_V2)
+        writer.publish()
+        net.run()
+        reader = MetaClient(net, "reader")
+        outcomes = []
+        reader.fetch(RESPONSE_V2.format_id, outcomes.append)
+        reader.fetch(RESPONSE_V2.format_id, outcomes.append)
+        net.run()
+        assert outcomes == [True, True]
+        assert service.stats["fetches"] == 1  # one wire round trip
+
+
+class TestRemoteMetaReceiver:
+    def build_flow(self):
+        net, service = build_world()
+        # the writer knows the new format and its retro-transform
+        writer_registry = FormatRegistry()
+        writer_registry.register_transform(V2_TO_V1_TRANSFORM)
+        writer_meta = MetaClient(net, "writer", registry=writer_registry)
+        writer_meta.publish()
+        writer_ctx = PBIOContext(writer_registry)
+        # the reader starts with an EMPTY registry: only v1 handler local
+        reader = RemoteMetaReceiver(net, "reader")
+        got = []
+        reader.register_handler(RESPONSE_V1, got.append)
+        return net, service, writer_meta, writer_ctx, reader, got
+
+    def test_data_races_ahead_of_metadata(self):
+        net, service, _meta, ctx, reader, got = self.build_flow()
+        incoming = response_v2(3)
+        wire = ctx.encode(RESPONSE_V2, incoming)
+        # three messages land before any meta-data exists locally
+        for _ in range(3):
+            net.send("writer", "reader", wire)
+        net.run()
+        assert len(got) == 3
+        assert records_equal(got[0], response_v1_from_v2(incoming))
+        assert service.stats["fetches"] == 1  # parked + coalesced
+        assert reader.unresolved == []
+
+    def test_after_first_fetch_messages_flow_directly(self):
+        net, _service, _meta, ctx, reader, got = self.build_flow()
+        wire = ctx.encode(RESPONSE_V2, response_v2(2))
+        net.send("writer", "reader", wire)
+        net.run()
+        net.send("writer", "reader", wire)
+        net.run()
+        assert len(got) == 2
+        assert reader.receiver.stats.cache_hits >= 1
+
+    def test_unknown_everywhere_parks_as_unresolved(self):
+        net, _service, _meta, _ctx, reader, got = self.build_flow()
+        alien = IOFormat("Alien", [IOField("x", "integer")])
+        alien_wire = PBIOContext().encode(alien, {"x": 1})
+        net.send("writer", "reader", alien_wire)
+        net.run()
+        assert got == []
+        assert len(reader.unresolved) == 1
+
+
+class TestProtocolRobustness:
+    def test_malformed_json_to_service_raises_transport_error(self):
+        from repro.errors import TransportError
+
+        net, service = build_world()
+        net.add_node("hostile")
+        net.send("hostile", service.address, b"\xff\x00 not json")
+        with pytest.raises(TransportError, match="malformed"):
+            net.run()
+
+    def test_message_without_op_rejected(self):
+        from repro.errors import TransportError
+
+        net, service = build_world()
+        net.add_node("hostile")
+        net.send("hostile", service.address, b'{"hello": 1}')
+        with pytest.raises(TransportError, match="op"):
+            net.run()
+
+    def test_unknown_op_ignored(self):
+        net, service = build_world()
+        net.add_node("future-client")
+        net.send("future-client", service.address, b'{"op": "hologram"}')
+        net.run()  # no exception: old servers tolerate new clients
+        assert service.stats["fetches"] == 0
+
+    def test_register_with_malformed_format_raises(self):
+        from repro.errors import FormatError
+
+        net, service = build_world()
+        net.add_node("writer")
+        net.send(
+            "writer",
+            service.address,
+            b'{"op": "register", "formats": [{"broken": true}]}',
+        )
+        with pytest.raises(FormatError):
+            net.run()
+
+    def test_non_meta_traffic_reaches_data_handler(self):
+        net, service = build_world()
+        client = MetaClient(net, "client")
+        seen = []
+        client.data_handler = lambda source, data: seen.append((source, data))
+        net.add_node("peer")
+        net.send("peer", "client", b"raw application bytes")
+        net.run()
+        assert seen == [("peer", b"raw application bytes")]
+
+    def test_json_from_non_service_peer_is_data(self):
+        net, service = build_world()
+        client = MetaClient(net, "client")
+        seen = []
+        client.data_handler = lambda source, data: seen.append(data)
+        net.add_node("peer")
+        net.send("peer", "client", b'{"op": "fetch_reply", "found": false}')
+        net.run()
+        assert seen  # only the service address speaks the meta protocol

@@ -1,0 +1,121 @@
+"""Unit tests for the PBIO type system."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.pbio.types import (
+    DEFAULT_SIZES,
+    LEGAL_SIZES,
+    STRUCT_CODES,
+    TypeKind,
+    coerce_value,
+    default_value,
+    validate_size,
+)
+
+
+class TestTypeKind:
+    def test_all_scalars_are_basic(self):
+        for kind in TypeKind:
+            assert kind.is_basic == (kind is not TypeKind.COMPLEX)
+
+    def test_kind_from_string(self):
+        assert TypeKind("integer") is TypeKind.INTEGER
+        assert TypeKind("string") is TypeKind.STRING
+
+    def test_every_scalar_kind_has_default_size(self):
+        for kind in TypeKind:
+            if kind is TypeKind.COMPLEX:
+                continue
+            assert kind in DEFAULT_SIZES
+            assert DEFAULT_SIZES[kind] in LEGAL_SIZES[kind] or kind is TypeKind.STRING
+
+
+class TestValidateSize:
+    def test_zero_selects_default(self):
+        assert validate_size(TypeKind.INTEGER, 0) == 4
+        assert validate_size(TypeKind.FLOAT, 0) == 8
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_integer_sizes(self, size):
+        assert validate_size(TypeKind.INTEGER, size) == size
+
+    @pytest.mark.parametrize("size", [3, 5, 16, -1])
+    def test_illegal_integer_size(self, size):
+        with pytest.raises(FormatError):
+            validate_size(TypeKind.INTEGER, size)
+
+    def test_float_rejects_two_bytes(self):
+        with pytest.raises(FormatError):
+            validate_size(TypeKind.FLOAT, 2)
+
+    def test_complex_has_no_size(self):
+        with pytest.raises(FormatError):
+            validate_size(TypeKind.COMPLEX, 4)
+
+    def test_char_only_one_byte(self):
+        assert validate_size(TypeKind.CHAR, 1) == 1
+        with pytest.raises(FormatError):
+            validate_size(TypeKind.CHAR, 2)
+
+
+class TestStructCodes:
+    def test_every_legal_scalar_size_has_a_code(self):
+        for kind, sizes in LEGAL_SIZES.items():
+            if kind is TypeKind.STRING:
+                continue
+            for size in sizes:
+                assert (kind, size) in STRUCT_CODES
+
+
+class TestDefaults:
+    def test_numeric_defaults_are_zero(self):
+        assert default_value(TypeKind.INTEGER) == 0
+        assert default_value(TypeKind.UNSIGNED) == 0
+        assert default_value(TypeKind.ENUMERATION) == 0
+        assert default_value(TypeKind.FLOAT) == 0.0
+
+    def test_boolean_default_false(self):
+        assert default_value(TypeKind.BOOLEAN) is False
+
+    def test_string_default_empty(self):
+        assert default_value(TypeKind.STRING) == ""
+
+    def test_char_default_nul(self):
+        assert default_value(TypeKind.CHAR) == "\x00"
+
+    def test_complex_has_no_scalar_default(self):
+        with pytest.raises(FormatError):
+            default_value(TypeKind.COMPLEX)
+
+
+class TestCoerceValue:
+    def test_int_kinds_coerce_to_int(self):
+        assert coerce_value(TypeKind.INTEGER, 3.9) == 3
+        assert coerce_value(TypeKind.UNSIGNED, True) == 1
+        assert coerce_value(TypeKind.ENUMERATION, "7") == 7
+
+    def test_float_coerces(self):
+        assert coerce_value(TypeKind.FLOAT, 3) == 3.0
+        assert isinstance(coerce_value(TypeKind.FLOAT, 3), float)
+
+    def test_boolean_coerces_truthiness(self):
+        assert coerce_value(TypeKind.BOOLEAN, 2) is True
+        assert coerce_value(TypeKind.BOOLEAN, 0) is False
+
+    def test_char_requires_single_character(self):
+        assert coerce_value(TypeKind.CHAR, "x") == "x"
+        with pytest.raises(FormatError):
+            coerce_value(TypeKind.CHAR, "xy")
+        with pytest.raises(FormatError):
+            coerce_value(TypeKind.CHAR, "")
+
+    def test_char_accepts_bytes(self):
+        assert coerce_value(TypeKind.CHAR, b"z") == "z"
+
+    def test_string_coerces_via_str(self):
+        assert coerce_value(TypeKind.STRING, 42) == "42"
+
+    def test_complex_not_coercible(self):
+        with pytest.raises(FormatError):
+            coerce_value(TypeKind.COMPLEX, {})

@@ -1,0 +1,62 @@
+"""The public API surface: everything advertised in __all__ exists,
+imports cleanly, and the package version is sane."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.pbio",
+    "repro.ecode",
+    "repro.morph",
+    "repro.echo",
+    "repro.net",
+    "repro.xmlrep",
+    "repro.b2b",
+    "repro.bench",
+    "repro.tools",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} has no module docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_exist(name):
+    module = importlib.import_module(name)
+    for entry in getattr(module, "__all__", ()):
+        assert hasattr(module, entry), f"{name}.__all__ lists missing {entry!r}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_classes_have_docstrings():
+    import repro
+
+    for entry in repro.__all__:
+        obj = getattr(repro, entry)
+        if isinstance(obj, type) or callable(obj):
+            assert getattr(obj, "__doc__", None), f"repro.{entry} lacks a docstring"
+
+
+def test_errors_form_one_hierarchy():
+    from repro import errors
+
+    roots = [
+        getattr(errors, name)
+        for name in dir(errors)
+        if isinstance(getattr(errors, name), type)
+        and issubclass(getattr(errors, name), Exception)
+    ]
+    for exc_type in roots:
+        if exc_type is errors.ReproError:
+            continue
+        assert issubclass(exc_type, errors.ReproError), exc_type

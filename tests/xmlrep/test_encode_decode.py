@@ -1,0 +1,111 @@
+"""XML encode/decode round-trips against PBIO formats (incl. property
+tests mirroring the PBIO round-trip suite)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import DecodeError, EncodeError
+from repro.pbio.field import ArraySpec, IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.record import records_equal
+from repro.xmlrep.decode import decode_xml
+from repro.xmlrep.encode import encode_xml, xml_size
+
+from tests.strategies import format_and_record
+
+
+FMT = IOFormat(
+    "Sample",
+    [
+        IOField("n", "integer"),
+        IOField(
+            "entries",
+            "complex",
+            subformat=IOFormat(
+                "E", [IOField("name", "string"), IOField("score", "float")]
+            ),
+            array=ArraySpec(length_field="n"),
+        ),
+        IOField("flag", "boolean"),
+        IOField("c", "char"),
+    ],
+    version="9",
+)
+
+REC = FMT.make_record(
+    n=2,
+    entries=[{"name": "a&b", "score": 1.5}, {"name": "<tag>", "score": -2.0}],
+    flag=True,
+    c="x",
+)
+
+
+class TestEncode:
+    def test_root_carries_name_and_version(self):
+        text = encode_xml(FMT, REC)
+        assert text.startswith('<Sample version="9">')
+        assert text.endswith("</Sample>")
+
+    def test_arrays_repeat_elements(self):
+        assert encode_xml(FMT, REC).count("<entries>") == 2
+
+    def test_special_characters_escaped(self):
+        text = encode_xml(FMT, REC)
+        assert "a&amp;b" in text
+        assert "&lt;tag&gt;" in text
+
+    def test_booleans_encode_as_01(self):
+        assert "<flag>1</flag>" in encode_xml(FMT, REC)
+
+    def test_missing_field_raises(self):
+        with pytest.raises(EncodeError, match="missing field"):
+            encode_xml(FMT, {"n": 0})
+
+    def test_xml_size_is_utf8_bytes(self):
+        assert xml_size(FMT, REC) == len(encode_xml(FMT, REC).encode("utf-8"))
+
+    def test_xml_significantly_larger_than_native(self):
+        from repro.pbio.encode import native_size
+
+        assert xml_size(FMT, REC) > 2 * native_size(FMT, REC)
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        out = decode_xml(FMT, encode_xml(FMT, REC))
+        assert records_equal(out, REC)
+
+    def test_missing_child_raises(self):
+        with pytest.raises(DecodeError, match="missing child"):
+            decode_xml(FMT, "<Sample><n>0</n></Sample>")
+
+    def test_count_mismatch_detected(self):
+        text = (
+            '<Sample version="9"><n>5</n>'
+            "<flag>0</flag><c>x</c></Sample>"
+        )
+        with pytest.raises(DecodeError, match="count mismatch"):
+            decode_xml(FMT, text)
+
+    def test_bad_scalar_text(self):
+        fmt = IOFormat("T", [IOField("x", "integer")])
+        with pytest.raises(DecodeError, match="bad scalar"):
+            decode_xml(fmt, "<T><x>noise</x></T>")
+
+    def test_boolean_text_forms(self):
+        fmt = IOFormat("T", [IOField("b", "boolean")])
+        assert decode_xml(fmt, "<T><b>1</b></T>")["b"] is True
+        assert decode_xml(fmt, "<T><b>true</b></T>")["b"] is True
+        assert decode_xml(fmt, "<T><b>0</b></T>")["b"] is False
+
+    def test_empty_numeric_text_defaults_to_zero(self):
+        fmt = IOFormat("T", [IOField("x", "integer"), IOField("f", "float")])
+        assert decode_xml(fmt, "<T><x></x><f/></T>") == {"x": 0, "f": 0.0}
+
+
+class TestPropertyRoundtrip:
+    @given(format_and_record())
+    def test_xml_roundtrip(self, fmt_rec):
+        fmt, rec = fmt_rec
+        out = decode_xml(fmt, encode_xml(fmt, rec))
+        assert records_equal(out, rec)

@@ -1,0 +1,134 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlrep.parse import parse_xml
+from repro.xmlrep.tree import XMLElement
+
+
+class TestWellFormed:
+    def test_minimal(self):
+        root = parse_xml("<a/>")
+        assert root.tag == "a"
+        assert root.children == []
+
+    def test_nested_elements_and_text(self):
+        root = parse_xml("<a><b>one</b>mid<b>two</b></a>")
+        assert [c.tag for c in root.element_children()] == ["b", "b"]
+        assert root.text() == "onemidtwo"
+
+    def test_attributes(self):
+        root = parse_xml('<a x="1" y=\'two\'/>')
+        assert root.attributes == {"x": "1", "y": "two"}
+
+    def test_xml_declaration_skipped(self):
+        root = parse_xml('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert root.tag == "a"
+
+    def test_doctype_skipped(self):
+        root = parse_xml("<!DOCTYPE html><a/>")
+        assert root.tag == "a"
+
+    def test_comments_skipped(self):
+        root = parse_xml("<!-- lead --><a>x<!-- in -->y</a><!-- tail -->")
+        assert root.text() == "xy"
+
+    def test_cdata_passes_raw_text(self):
+        root = parse_xml("<a><![CDATA[x < y & z]]></a>")
+        assert root.text() == "x < y & z"
+
+    def test_processing_instruction_in_content(self):
+        root = parse_xml("<a>x<?php nope ?>y</a>")
+        assert root.text() == "xy"
+
+    def test_whitespace_around_document(self):
+        assert parse_xml("  \n <a/> \n ").tag == "a"
+
+    def test_entities(self):
+        root = parse_xml("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+        assert root.text() == "<>&\"'"
+
+    def test_numeric_character_references(self):
+        root = parse_xml("<a>&#65;&#x42;</a>")
+        assert root.text() == "AB"
+
+    def test_entities_in_attributes(self):
+        root = parse_xml('<a v="&amp;&#33;"/>')
+        assert root.attributes["v"] == "&!"
+
+    def test_deep_nesting(self):
+        xml = "<a>" * 50 + "</a>" * 50
+        root = parse_xml(xml)
+        depth = 0
+        node = root
+        while list(node.element_children()):
+            node = next(node.element_children())
+            depth += 1
+        assert depth == 49
+
+    def test_name_characters(self):
+        root = parse_xml("<ns:tag-name_1.x/>")
+        assert root.tag == "ns:tag-name_1.x"
+
+    def test_roundtrip_serialize_parse(self):
+        text = '<r a="1"><c>x &amp; y</c><d/></r>'
+        assert parse_xml(text).serialize() == text
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("", "expected '<'"),
+            ("<a>", "unterminated element"),
+            ("<a></b>", "mismatched close tag"),
+            ("<a><b></a></b>", "mismatched"),
+            ("<a/><b/>", "content after document"),
+            ("plain text", "expected"),
+            ("<a x=1/>", "quoted"),
+            ("<a x='1' x='2'/>", "duplicate attribute"),
+            ("<a x></a>", "missing '='"),
+            ("<a>&unknown;</a>", "unknown entity"),
+            ("<a>&#xGG;</a>", "bad character reference"),
+            ("<a>&noend</a>", "unterminated entity"),
+            ("<!-- never closed", "unterminated comment"),
+            ("<a><!-- never closed</a>", "unterminated comment"),
+            ("<a><![CDATA[never closed</a>", "unterminated CDATA"),
+            ("<?xml never closed", "unterminated processing"),
+            ("<a", "unterminated start tag"),
+            ("<1tag/>", "expected a name"),
+            ('<a x="never closed/>', "unterminated attribute"),
+        ],
+    )
+    def test_rejects(self, text, match):
+        with pytest.raises(XMLParseError, match=match):
+            parse_xml(text)
+
+    def test_error_carries_offset(self):
+        try:
+            parse_xml("<a></b>")
+        except XMLParseError as exc:
+            assert exc.position > 0
+        else:  # pragma: no cover
+            pytest.fail("expected XMLParseError")
+
+
+class TestSerializeParseFixpoint:
+    """serialize(parse(x)) is a fixpoint: one round normalizes, further
+    rounds are identity."""
+
+    from hypothesis import given, settings
+
+    from tests.strategies import format_and_record
+
+    @given(format_and_record())
+    @settings(max_examples=40)
+    def test_fixpoint(self, fmt_rec):
+        from repro.xmlrep.encode import encode_xml
+
+        fmt, rec = fmt_rec
+        text = encode_xml(fmt, rec)
+        once = parse_xml(text).serialize()
+        twice = parse_xml(once).serialize()
+        assert once == twice

@@ -1,0 +1,77 @@
+"""Unit tests for the XML element tree."""
+
+from repro.xmlrep.tree import XMLElement, escape_attr, escape_text
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a & b < c > d") == "a &amp; b &lt; c &gt; d"
+
+    def test_attr_also_escapes_quotes(self):
+        assert escape_attr('say "hi"') == "say &quot;hi&quot;"
+
+    def test_ampersand_escaped_first(self):
+        assert escape_text("&lt;") == "&amp;lt;"
+
+
+class TestNavigation:
+    def build(self):
+        root = XMLElement("root")
+        root.append(XMLElement("a", children=["one"]))
+        root.append("text between")
+        root.append(XMLElement("a", children=["two"]))
+        root.append(XMLElement("b", {"k": "v"}))
+        return root
+
+    def test_element_children_skip_text(self):
+        root = self.build()
+        assert [c.tag for c in root.element_children()] == ["a", "a", "b"]
+
+    def test_children_by_tag(self):
+        root = self.build()
+        assert len(root.children_by_tag("a")) == 2
+        assert root.children_by_tag("zzz") == []
+
+    def test_first_child(self):
+        root = self.build()
+        assert root.first_child("b").attributes == {"k": "v"}
+        assert root.first_child("zzz") is None
+
+    def test_text_concatenates_recursively(self):
+        root = self.build()
+        assert root.text() == "onetext betweentwo"
+
+    def test_parent_links(self):
+        root = self.build()
+        for child in root.element_children():
+            assert child.parent is root
+        assert root.parent is None
+
+    def test_iter_preorder(self):
+        root = self.build()
+        tags = [e.tag for e in root.iter()]
+        assert tags == ["root", "a", "a", "b"]
+
+
+class TestSerialization:
+    def test_empty_element_self_closes(self):
+        assert XMLElement("e").serialize() == "<e/>"
+
+    def test_attributes_and_children(self):
+        e = XMLElement("e", {"x": "1"}, children=[XMLElement("c"), "hi"])
+        assert e.serialize() == '<e x="1"><c/>hi</e>'
+
+    def test_text_is_escaped(self):
+        e = XMLElement("e", children=["a < b"])
+        assert e.serialize() == "<e>a &lt; b</e>"
+
+    def test_attr_is_escaped(self):
+        e = XMLElement("e", {"q": 'say "hi" & bye'})
+        assert 'q="say &quot;hi&quot; &amp; bye"' in e.serialize()
+
+    def test_deepcopy_is_independent(self):
+        root = XMLElement("r", children=[XMLElement("c", {"a": "1"})])
+        clone = root.deepcopy()
+        clone.children[0].attributes["a"] = "2"
+        assert root.children[0].attributes["a"] == "1"
+        assert clone.serialize() != root.serialize()

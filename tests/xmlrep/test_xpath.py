@@ -1,0 +1,157 @@
+"""Unit tests for the XPath-lite evaluator."""
+
+import pytest
+
+from repro.errors import XSLTError
+from repro.xmlrep.parse import parse_xml
+from repro.xmlrep.xpath import (
+    compile_path,
+    matches,
+    pattern_specificity,
+    select,
+    string_value,
+)
+
+DOC = parse_xml(
+    """
+    <order id="7">
+      <customer tier="gold"><name>Ada</name></customer>
+      <line><sku>A</sku><qty>2</qty><price>10</price></line>
+      <line><sku>B</sku><qty>1</qty><price>5</price><gift/></line>
+      <line><sku>C</sku><qty>4</qty><price>2.5</price></line>
+      <total>30</total>
+    </order>
+    """
+)
+
+
+class TestSelect:
+    def test_child_step(self):
+        assert len(select(DOC, "line")) == 3
+
+    def test_nested_path(self):
+        assert select(DOC, "customer/name")[0].text() == "Ada"
+
+    def test_dot_is_context(self):
+        assert select(DOC, ".") == [DOC]
+
+    def test_wildcard(self):
+        assert len(select(DOC, "*")) == 5
+
+    def test_no_match_returns_empty(self):
+        assert select(DOC, "nothing/here") == []
+
+    def test_predicate_equality(self):
+        lines = select(DOC, "line[sku='B']")
+        assert len(lines) == 1
+        assert lines[0].first_child("qty").text() == "1"
+
+    def test_predicate_existence(self):
+        assert len(select(DOC, "line[gift]")) == 1
+
+    def test_attribute_predicate(self):
+        assert len(select(DOC, "customer[@tier='gold']")) == 1
+        assert select(DOC, "customer[@tier='tin']") == []
+
+    def test_multiple_predicates(self):
+        assert len(select(DOC, "line[sku='A'][qty='2']")) == 1
+        assert select(DOC, "line[sku='A'][qty='9']") == []
+
+    def test_document_order_preserved(self):
+        skus = [e.first_child("sku").text() for e in select(DOC, "line")]
+        assert skus == ["A", "B", "C"]
+
+
+class TestCompilePath:
+    def test_cached(self):
+        assert compile_path("a/b") is compile_path("a/b")
+
+    @pytest.mark.parametrize("bad", ["", "a//b", "a[", "a[x=unquoted]", "a[]"])
+    def test_malformed(self, bad):
+        with pytest.raises(XSLTError):
+            compile_path(bad)
+
+
+class TestStringValue:
+    def test_path_takes_first_match(self):
+        assert string_value(DOC, "line/sku") == "A"
+
+    def test_attribute(self):
+        assert string_value(DOC, "@id") == "7"
+        assert string_value(DOC, "customer/@tier") == "gold"
+        assert string_value(DOC, "@missing") == ""
+
+    def test_text_function(self):
+        assert string_value(DOC, "total/text()") == "30"
+
+    def test_dot(self):
+        assert string_value(select(DOC, "total")[0], ".") == "30"
+
+    def test_count(self):
+        assert string_value(DOC, "count(line)") == "3"
+        assert string_value(DOC, "count(line[gift])") == "1"
+
+    def test_sum(self):
+        assert string_value(DOC, "sum(line/qty)") == "7"
+        assert string_value(DOC, "sum(line/price)") == "17.5"
+
+    def test_arithmetic(self):
+        assert string_value(DOC, "total * 2") == "60"
+        assert string_value(DOC, "total + 5 - 1") == "34"
+        assert string_value(DOC, "total div 4") == "7.5"
+
+    def test_round_and_floor(self):
+        assert string_value(DOC, "round(total div 4)") == "8"
+        assert string_value(DOC, "floor(total div 4)") == "7"
+
+    def test_concat(self):
+        assert string_value(DOC, "concat('#', @id, '!')") == "#7!"
+
+    def test_string_literal(self):
+        assert string_value(DOC, "'verbatim'") == "verbatim"
+
+    def test_number_literal(self):
+        assert string_value(DOC, "42") == "42"
+
+    def test_missing_path_is_empty_string(self):
+        assert string_value(DOC, "nonexistent") == ""
+
+    def test_non_numeric_arithmetic_raises(self):
+        with pytest.raises(XSLTError, match="non-numeric"):
+            string_value(DOC, "customer/name * 2")
+
+    def test_division_by_zero(self):
+        with pytest.raises(XSLTError, match="zero"):
+            string_value(DOC, "total div 0")
+
+
+class TestMatches:
+    def test_tag_pattern(self):
+        line = select(DOC, "line")[0]
+        assert matches(line, "line")
+        assert not matches(line, "order")
+
+    def test_path_pattern_checks_ancestors(self):
+        name = select(DOC, "customer/name")[0]
+        assert matches(name, "customer/name")
+        assert matches(name, "order/customer/name")
+        assert not matches(name, "line/name")
+
+    def test_wildcard_pattern(self):
+        assert matches(select(DOC, "line")[0], "*")
+
+    def test_root_pattern(self):
+        assert matches(DOC, "/")
+        assert not matches(select(DOC, "line")[0], "/")
+
+    def test_predicate_in_pattern(self):
+        gift_line = select(DOC, "line[gift]")[0]
+        assert matches(gift_line, "line[gift]")
+        plain_line = select(DOC, "line[sku='A']")[0]
+        assert not matches(plain_line, "line[gift]")
+
+
+class TestSpecificity:
+    def test_longer_paths_win(self):
+        assert pattern_specificity("a/b") > pattern_specificity("b")
+        assert pattern_specificity("b") > pattern_specificity("*")

@@ -1,0 +1,211 @@
+"""Unit tests for the mini-XSLT engine."""
+
+import pytest
+
+from repro.bench.workloads import (
+    V2_TO_V1_STYLESHEET,
+    response_v1_from_v2,
+    response_v2,
+)
+from repro.echo.protocol import RESPONSE_V1, RESPONSE_V2
+from repro.errors import XSLTError
+from repro.pbio.record import records_equal
+from repro.xmlrep.decode import record_from_tree
+from repro.xmlrep.encode import encode_xml
+from repro.xmlrep.parse import parse_xml
+from repro.xmlrep.xslt import Stylesheet
+
+
+def transform(stylesheet_text, doc_text):
+    return Stylesheet.from_string(stylesheet_text).transform(parse_xml(doc_text))
+
+
+class TestStylesheetParsing:
+    def test_requires_stylesheet_root(self):
+        with pytest.raises(XSLTError, match="not a stylesheet"):
+            Stylesheet.from_string("<html/>")
+
+    def test_requires_templates(self):
+        with pytest.raises(XSLTError, match="no templates"):
+            Stylesheet.from_string("<xsl:stylesheet/>")
+
+    def test_template_requires_match(self):
+        with pytest.raises(XSLTError, match="match"):
+            Stylesheet.from_string(
+                "<xsl:stylesheet><xsl:template>x</xsl:template></xsl:stylesheet>"
+            )
+
+    def test_xsl_transform_alias(self):
+        sheet = Stylesheet.from_string(
+            '<xsl:transform><xsl:template match="a"><b/></xsl:template></xsl:transform>'
+        )
+        assert sheet.transform(parse_xml("<a/>")).tag == "b"
+
+
+class TestInstructions:
+    def test_value_of(self):
+        out = transform(
+            '<xsl:stylesheet><xsl:template match="a">'
+            '<r><xsl:value-of select="x"/></r>'
+            "</xsl:template></xsl:stylesheet>",
+            "<a><x>42</x></a>",
+        )
+        assert out.serialize() == "<r>42</r>"
+
+    def test_for_each(self):
+        out = transform(
+            '<xsl:stylesheet><xsl:template match="a">'
+            '<r><xsl:for-each select="i"><v><xsl:value-of select="."/></v>'
+            "</xsl:for-each></r></xsl:template></xsl:stylesheet>",
+            "<a><i>1</i><i>2</i></a>",
+        )
+        assert out.serialize() == "<r><v>1</v><v>2</v></r>"
+
+    def test_for_each_with_predicate(self):
+        out = transform(
+            '<xsl:stylesheet><xsl:template match="a">'
+            "<r><xsl:for-each select=\"i[@k='y']\">"
+            '<v><xsl:value-of select="."/></v></xsl:for-each></r>'
+            "</xsl:template></xsl:stylesheet>",
+            '<a><i k="x">1</i><i k="y">2</i></a>',
+        )
+        assert out.serialize() == "<r><v>2</v></r>"
+
+    def test_if(self):
+        sheet = (
+            '<xsl:stylesheet><xsl:template match="a">'
+            '<r><xsl:if test="flag=\'1\'"><yes/></xsl:if></r>'
+            "</xsl:template></xsl:stylesheet>"
+        )
+        assert transform(sheet, "<a><flag>1</flag></a>").serialize() == "<r><yes/></r>"
+        assert transform(sheet, "<a><flag>0</flag></a>").serialize() == "<r/>"
+
+    def test_if_existence(self):
+        sheet = (
+            '<xsl:stylesheet><xsl:template match="a">'
+            '<r><xsl:if test="opt"><yes/></xsl:if></r>'
+            "</xsl:template></xsl:stylesheet>"
+        )
+        assert transform(sheet, "<a><opt/></a>").serialize() == "<r><yes/></r>"
+        assert transform(sheet, "<a/>").serialize() == "<r/>"
+
+    def test_choose(self):
+        sheet = (
+            '<xsl:stylesheet><xsl:template match="a"><r>'
+            "<xsl:choose>"
+            "<xsl:when test=\"v='1'\">one</xsl:when>"
+            "<xsl:when test=\"v='2'\">two</xsl:when>"
+            "<xsl:otherwise>many</xsl:otherwise>"
+            "</xsl:choose></r></xsl:template></xsl:stylesheet>"
+        )
+        assert transform(sheet, "<a><v>2</v></a>").text() == "two"
+        assert transform(sheet, "<a><v>9</v></a>").text() == "many"
+
+    def test_apply_templates_with_select(self):
+        sheet = (
+            "<xsl:stylesheet>"
+            '<xsl:template match="a"><r><xsl:apply-templates select="i"/></r>'
+            "</xsl:template>"
+            '<xsl:template match="i"><v><xsl:value-of select="."/></v></xsl:template>'
+            "</xsl:stylesheet>"
+        )
+        assert transform(sheet, "<a><i>1</i><skip/><i>2</i></a>").serialize() == (
+            "<r><v>1</v><v>2</v></r>"
+        )
+
+    def test_builtin_rule_recurses(self):
+        sheet = (
+            "<xsl:stylesheet>"
+            '<xsl:template match="leaf"><L/></xsl:template>'
+            '<xsl:template match="root"><R><xsl:apply-templates/></R></xsl:template>'
+            "</xsl:stylesheet>"
+        )
+        # 'mid' has no template: builtin rule descends into its children
+        out = transform(sheet, "<root><mid><leaf/></mid></root>")
+        assert out.serialize() == "<R><L/></R>"
+
+    def test_copy_of(self):
+        sheet = (
+            '<xsl:stylesheet><xsl:template match="a">'
+            '<r><xsl:copy-of select="sub"/></r></xsl:template></xsl:stylesheet>'
+        )
+        out = transform(sheet, '<a><sub k="v"><x>1</x></sub></a>')
+        assert out.serialize() == '<r><sub k="v"><x>1</x></sub></r>'
+
+    def test_xsl_text_preserves_whitespace(self):
+        sheet = (
+            '<xsl:stylesheet><xsl:template match="a">'
+            "<r><xsl:text>  spaced  </xsl:text></r></xsl:template></xsl:stylesheet>"
+        )
+        assert transform(sheet, "<a/>").text() == "  spaced  "
+
+    def test_attribute_value_templates(self):
+        sheet = (
+            '<xsl:stylesheet><xsl:template match="a">'
+            '<r id="x-{@id}"/></xsl:template></xsl:stylesheet>'
+        )
+        assert transform(sheet, '<a id="9"/>').attributes["id"] == "x-9"
+
+    def test_xsl_attribute(self):
+        sheet = (
+            '<xsl:stylesheet><xsl:template match="a">'
+            '<r><xsl:attribute name="k"><xsl:value-of select="v"/></xsl:attribute>'
+            "</r></xsl:template></xsl:stylesheet>"
+        )
+        assert transform(sheet, "<a><v>7</v></a>").attributes["k"] == "7"
+
+    def test_priority_explicit_beats_specificity(self):
+        sheet = (
+            "<xsl:stylesheet>"
+            '<xsl:template match="x/i"><specific/></xsl:template>'
+            '<xsl:template match="i" priority="10"><forced/></xsl:template>'
+            "</xsl:stylesheet>"
+        )
+        out = Stylesheet.from_string(sheet).transform(parse_xml("<x><i/></x>"))
+        assert out.tag == "forced"
+
+    def test_unsupported_instruction(self):
+        with pytest.raises(XSLTError, match="unsupported instruction"):
+            transform(
+                '<xsl:stylesheet><xsl:template match="a">'
+                '<xsl:number/></xsl:template></xsl:stylesheet>',
+                "<a/>",
+            )
+
+    def test_multiple_result_roots_rejected(self):
+        with pytest.raises(XSLTError, match="root elements"):
+            transform(
+                '<xsl:stylesheet><xsl:template match="a"><x/><y/>'
+                "</xsl:template></xsl:stylesheet>",
+                "<a/>",
+            )
+
+
+class TestPaperTransformation:
+    def test_v2_to_v1_stylesheet_matches_reference(self):
+        incoming = response_v2(5)
+        xml_text = encode_xml(RESPONSE_V2, incoming)
+        sheet = Stylesheet.from_string(V2_TO_V1_STYLESHEET)
+        transformed = sheet.transform(parse_xml(xml_text))
+        out = record_from_tree(RESPONSE_V1, transformed)
+        assert records_equal(out, response_v1_from_v2(incoming))
+
+    def test_v2_to_v1_agrees_with_ecode_transform(self):
+        from repro.echo.protocol import V2_TO_V1_TRANSFORM
+        from repro.morph.transform import Transformation
+
+        incoming = response_v2(7)
+        via_ecode = Transformation(V2_TO_V1_TRANSFORM).apply(incoming)
+        sheet = Stylesheet.from_string(V2_TO_V1_STYLESHEET)
+        tree = parse_xml(encode_xml(RESPONSE_V2, incoming))
+        via_xslt = record_from_tree(RESPONSE_V1, sheet.transform(tree))
+        assert records_equal(via_ecode, via_xslt)
+
+    def test_empty_member_list(self):
+        incoming = RESPONSE_V2.make_record(channel_id="c", member_count=0,
+                                           member_list=[])
+        sheet = Stylesheet.from_string(V2_TO_V1_STYLESHEET)
+        tree = parse_xml(encode_xml(RESPONSE_V2, incoming))
+        out = record_from_tree(RESPONSE_V1, sheet.transform(tree))
+        assert out["member_count"] == 0
+        assert out["src_count"] == 0 and out["sink_count"] == 0
