@@ -4,15 +4,28 @@ Usage::
 
     python -m repro.bench                  # figure sizes up to 1 MB
     python -m repro.bench --quick          # up to 10 KB (CI-friendly)
-    python -m repro.bench --json out.json  # machine-readable results too
+    python -m repro.bench --json out.json  # machine-readable BENCH_* results
+    python -m repro.bench --obs            # attach the observability
+                                           # registry: per-stage breakdown
+                                           # (decode vs transform vs codegen)
+                                           # per figure, printed and included
+                                           # in the JSON
+
+The ``--json`` document carries one ``BENCH_fig8`` / ``BENCH_fig9`` /
+``BENCH_fig10`` record per figure — ``{figure, workloads: [{label,
+unencoded_bytes, timings}], stages?}`` — so later perf PRs can diff
+per-stage numbers instead of end-to-end wall time.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.bench.figures import (
+    ComparisonRow,
     fig8_encoding,
     fig9_decoding,
     fig10_morphing,
@@ -20,9 +33,88 @@ from repro.bench.figures import (
 )
 from repro.bench.reporting import format_kb, format_ms, format_table
 from repro.bench.workloads import FIGURE_SIZES
+from repro.obs.metrics import Histogram
 
 
-def main(argv: "list[str] | None" = None) -> int:
+def _rows_record(figure: str, rows: "List[ComparisonRow]") -> Dict[str, Any]:
+    """One BENCH_fig* JSON record (sans stage breakdown)."""
+    return {
+        "figure": figure,
+        "workloads": [
+            {
+                "label": row.label,
+                "unencoded_bytes": row.unencoded_bytes,
+                "timings": {
+                    "pbio_seconds": row.pbio.best,
+                    "pbio_mean_seconds": row.pbio.mean,
+                    "xml_seconds": row.xml.best,
+                    "xml_mean_seconds": row.xml.mean,
+                    "ratio": row.ratio,
+                },
+            }
+            for row in rows
+        ],
+    }
+
+
+def _stage_breakdown(registry: "obs.Registry") -> Dict[str, Any]:
+    """Compact per-stage summary of one figure's run: every ``*.seconds``
+    histogram (where the time went) plus every counter (how much work)."""
+    timings: Dict[str, Any] = {}
+    distributions: Dict[str, Any] = {}
+    counters: Dict[str, int] = {}
+    for instrument in registry.instruments():
+        key = instrument.name + instrument.label_suffix()
+        if isinstance(instrument, Histogram):
+            if not instrument.count:
+                continue
+            entry = {
+                "count": instrument.count,
+                "total": instrument.sum,
+                "mean": instrument.mean,
+                "p50": instrument.p50,
+                "p95": instrument.p95,
+                "p99": instrument.p99,
+            }
+            if instrument.name.endswith(".seconds"):
+                timings[key] = {
+                    "count": entry["count"],
+                    "total_seconds": entry["total"],
+                    "mean_seconds": entry["mean"],
+                    "p50_seconds": entry["p50"],
+                    "p95_seconds": entry["p95"],
+                    "p99_seconds": entry["p99"],
+                }
+            else:
+                distributions[key] = entry
+        elif instrument.kind == "counter" and instrument.value:
+            counters[key] = instrument.value
+    return {"timings": timings, "distributions": distributions,
+            "counters": counters}
+
+
+def _print_stage_table(stages: Dict[str, Any]) -> None:
+    timings = stages["timings"]
+    if timings:
+        print("\n-- stage breakdown (obs) --")
+        print(
+            format_table(
+                ["stage", "count", "total(ms)", "mean(ms)", "p95(ms)"],
+                [
+                    (
+                        name,
+                        entry["count"],
+                        format_ms(entry["total_seconds"]),
+                        format_ms(entry["mean_seconds"]),
+                        format_ms(entry["p95_seconds"]),
+                    )
+                    for name, entry in sorted(timings.items())
+                ],
+            )
+        )
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if "--quick" in args:
         sizes = {k: v for k, v in FIGURE_SIZES.items() if v <= 10_000}
@@ -37,19 +129,19 @@ def main(argv: "list[str] | None" = None) -> int:
             print("error: --json requires a file path", file=sys.stderr)
             return 2
         json_path = args[index + 1]
-    collected: "dict[str, list]" = {}
+    obs_mode = "--obs" in args
+    registry: "Optional[obs.Registry]" = None
+    if obs_mode:
+        registry = obs.Registry()
+        obs.enable(registry=registry)
 
-    def comparison(title: str, rows) -> None:
-        collected[title] = [
-            {
-                "label": r.label,
-                "unencoded_bytes": r.unencoded_bytes,
-                "pbio_seconds": r.pbio.best,
-                "xml_seconds": r.xml.best,
-                "ratio": r.ratio,
-            }
-            for r in rows
-        ]
+    payload: Dict[str, Any] = {
+        "schema": "repro-bench/v1",
+        "quick": "--quick" in args,
+        "obs": obs_mode,
+    }
+
+    def comparison(key: str, figure: str, title: str, rows) -> None:
         print(f"\n== {title} ==")
         print(
             format_table(
@@ -66,27 +158,45 @@ def main(argv: "list[str] | None" = None) -> int:
                 ],
             )
         )
+        record = _rows_record(figure, rows)
+        if obs_mode and registry is not None:
+            record["stages"] = _stage_breakdown(registry)
+            _print_stage_table(record["stages"])
+        payload[key] = record
 
-    comparison("Figure 8: encoding cost", fig8_encoding(sizes))
-    comparison("Figure 9: decoding cost (no evolution)", fig9_decoding(sizes))
-    comparison(
-        "Figure 10: decoding cost with evolution (morphing vs XSLT)",
-        fig10_morphing(sizes),
-    )
+    figures = [
+        ("BENCH_fig8", "fig8_encoding", "Figure 8: encoding cost",
+         fig8_encoding),
+        ("BENCH_fig9", "fig9_decoding", "Figure 9: decoding cost (no evolution)",
+         fig9_decoding),
+        ("BENCH_fig10", "fig10_morphing",
+         "Figure 10: decoding cost with evolution (morphing vs XSLT)",
+         fig10_morphing),
+    ]
+    for key, figure, title, fn in figures:
+        if obs_mode and registry is not None:
+            registry.reset()  # isolate each figure's stage numbers
+            obs.get_tracer().clear()
+        comparison(key, figure, title, fn(sizes))
 
     print("\n== Table 1: ChannelOpenResponse message size (KB) ==")
     rows = table1_sizes(table_kb)
-    collected["Table 1"] = [
-        {
-            "target_kb": r.target_kb,
-            "unencoded_v2": r.unencoded_v2,
-            "pbio_v2": r.pbio_v2,
-            "unencoded_v1": r.unencoded_v1,
-            "xml_v2": r.xml_v2,
-            "xml_v1": r.xml_v1,
-        }
-        for r in rows
-    ]
+    payload["BENCH_table1"] = {
+        "figure": "table1_sizes",
+        "workloads": [
+            {
+                "label": f"{r.target_kb:g}KB",
+                "sizes_bytes": {
+                    "unencoded_v2": r.unencoded_v2,
+                    "pbio_v2": r.pbio_v2,
+                    "unencoded_v1": r.unencoded_v1,
+                    "xml_v2": r.xml_v2,
+                    "xml_v1": r.xml_v1,
+                },
+            }
+            for r in rows
+        ],
+    }
     print(
         format_table(
             ["", *(format_kb(int(r.target_kb * 1000)) for r in rows)],
@@ -99,9 +209,11 @@ def main(argv: "list[str] | None" = None) -> int:
             ],
         )
     )
+    if obs_mode:
+        obs.disable(reset=True)
     if json_path is not None:
         with open(json_path, "w", encoding="utf-8") as handle:
-            json.dump(collected, handle, indent=2)
+            json.dump(payload, handle, indent=2)
         print(f"\nwrote JSON results to {json_path}")
     return 0
 

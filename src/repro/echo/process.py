@@ -36,6 +36,7 @@ from repro.morph.maxmatch import (
 )
 from repro.morph.receiver import MorphReceiver
 from repro.net.transport import Network, Node
+from repro.obs import OBS
 from repro.pbio.buffer import HEADER_SIZE, unpack_header
 from repro.pbio.context import PBIOContext
 from repro.pbio.format import IOFormat
@@ -268,10 +269,31 @@ class EChoProcess:
                 continue
             self.node.send(member.contact, datagram)
             pushed += 1
+        if OBS.enabled and pushed:
+            OBS.metrics.counter(
+                "echo.channel.events_pushed", channel=channel_id
+            ).inc(pushed)
         if channel.is_sink and channel_id in self._event_receivers:
-            self._event_receivers[channel_id].process(payload)
+            self._deliver_event(channel_id, self._event_receivers[channel_id],
+                                payload)
         pushed += self._submit_derived(channel_id, record, payload)
         return pushed
+
+    def _deliver_event(
+        self, channel_id: str, receiver: MorphReceiver, payload: bytes
+    ) -> None:
+        """Hand one event payload to the channel's morphing receiver,
+        recording per-channel delivery metrics when observability is on."""
+        if not OBS.enabled:
+            receiver.process(payload)
+            return
+        with OBS.tracer.span(
+            "echo.deliver", channel=channel_id, process=self.address
+        ):
+            receiver.process(payload)
+        OBS.metrics.counter(
+            "echo.channel.events_delivered", channel=channel_id
+        ).inc()
 
     def _submit_derived(self, parent_id: str, record: Record, payload: bytes) -> int:
         """Run each derived channel's compiled filter on *record* at the
@@ -302,6 +324,11 @@ class EChoProcess:
                 continue
             if not keep:
                 self.filtered_out += 1
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "echo.channel.filtered_out",
+                        channel=derived.channel_id,
+                    ).inc()
                 continue
             envelope = EVENT_ENVELOPE.make_record(
                 channel_id=derived.channel_id, seq=derived.next_seq()
@@ -332,9 +359,10 @@ class EChoProcess:
             elif fmt is not None and fmt.name == EVENT_ENVELOPE.name:
                 envelope = self.pbio.decode_as(fmt, data[: HEADER_SIZE + header.payload_length])
                 payload = data[HEADER_SIZE + header.payload_length :]
-                receiver = self._event_receivers.get(envelope["channel_id"])
+                channel_id = envelope["channel_id"]
+                receiver = self._event_receivers.get(channel_id)
                 if receiver is not None:
-                    receiver.process(payload)
+                    self._deliver_event(channel_id, receiver, payload)
             else:
                 self.control.process(data)
         finally:

@@ -20,6 +20,7 @@ Translation notes (C semantics preserved):
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.ecode import ast
@@ -292,6 +293,24 @@ def compile_procedure(
     *params* (default ``(new, old)`` — the paper's transform convention:
     read the incoming ``new`` record, populate the ``old`` one).
     """
+    from repro.obs import OBS
+
+    if not OBS.enabled:
+        return _compile_procedure(source, params, name)
+    with OBS.tracer.span("ecode.codegen", procedure=name):
+        start = time.perf_counter()
+        procedure = _compile_procedure(source, params, name)
+        elapsed = time.perf_counter() - start
+    OBS.metrics.counter("ecode.codegen.compiles").inc()
+    OBS.metrics.histogram("ecode.codegen.seconds").observe(elapsed)
+    return procedure
+
+
+def _compile_procedure(
+    source: str,
+    params: Sequence[str],
+    name: str,
+) -> "ECodeProcedure":
     program = parse(source)
     check(program, params)
     # caller-supplied names may be arbitrary labels (channel ids, format

@@ -122,3 +122,13 @@ class XMLParseError(XMLError):
 
 class XSLTError(XMLError):
     """A stylesheet was malformed or failed to apply."""
+
+
+# ---------------------------------------------------------------------------
+# Observability errors
+# ---------------------------------------------------------------------------
+
+
+class ObsError(ReproError):
+    """The observability subsystem was misused (instrument kind clash,
+    malformed label set, bad bucket bounds...)."""

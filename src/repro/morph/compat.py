@@ -89,6 +89,25 @@ def _element_default(field: IOField) -> Any:
     return default_value(field.kind)
 
 
+def reconcile_field_stats(src_fmt: IOFormat, dst_fmt: IOFormat) -> "tuple[int, int]":
+    """``(dropped, defaulted)`` top-level field counts for the
+    ``src_fmt -> dst_fmt`` reconciliation: how many incoming fields have
+    no landing spot (removed) and how many target fields get filled from
+    defaults (missing).  Computed once per route and recorded per morph
+    by the observability layer."""
+    dropped = 0
+    for field in src_fmt.fields:
+        counterpart = dst_fmt.get_field(field.name)
+        if counterpart is None or not counterpart.matches(field):
+            dropped += 1
+    defaulted = 0
+    for field in dst_fmt.fields:
+        counterpart = src_fmt.get_field(field.name)
+        if counterpart is None or not field.matches(counterpart):
+            defaulted += 1
+    return dropped, defaulted
+
+
 # ---------------------------------------------------------------------------
 # ECode auto-generation
 # ---------------------------------------------------------------------------

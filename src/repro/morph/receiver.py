@@ -27,7 +27,8 @@ paper's evaluation relies on.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field as dataclass_field
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (
@@ -36,7 +37,14 @@ from repro.errors import (
     TransformError,
     UnknownFormatError,
 )
-from repro.morph.compat import coerce_record, generate_coercion_ecode
+from repro.morph.compat import (
+    coerce_record,
+    generate_coercion_ecode,
+    reconcile_field_stats,
+)
+from repro.obs import OBS
+from repro.obs.metrics import COUNT_BUCKETS, RATIO_BUCKETS
+from repro.obs.metrics import Registry as MetricsRegistry
 from repro.morph.maxmatch import (
     DEFAULT_DIFF_THRESHOLD,
     DEFAULT_MISMATCH_THRESHOLD,
@@ -54,21 +62,79 @@ Handler = Callable[[Record], Any]
 DefaultHandler = Callable[[IOFormat, Record], Any]
 
 
-@dataclass
-class ReceiverStats:
-    """Counters exposed for tests, benchmarks and monitoring."""
+#: Counter names kept by every receiver, exposed both as legacy
+#: attributes (``stats.messages``) and as ``morph.receiver.*`` metrics.
+STAT_COUNTERS = (
+    "messages",
+    "cache_hits",
+    "cache_misses",
+    "perfect_matches",
+    "morphed",
+    "reconciled",
+    "rejected",
+    "compiled_chains",
+    "broken_transforms",
+)
 
-    messages: int = 0
-    cache_hits: int = 0
-    perfect_matches: int = 0
-    morphed: int = 0
-    reconciled: int = 0
-    rejected: int = 0
-    compiled_chains: int = 0
-    broken_transforms: int = 0
+
+class ReceiverStats:
+    """Per-receiver counters, backed by the observability registry.
+
+    Each receiver owns a private :class:`repro.obs.metrics.Registry`
+    holding its ``morph.receiver.*`` counters and the
+    ``morph.maxmatch.mismatch_ratio`` histogram; when process-wide
+    observability is enabled (:func:`repro.obs.enable`) every update is
+    mirrored into the global registry as well, so exporters see the
+    aggregate across all receivers.
+
+    The historical attributes (``stats.messages``, ``stats.cache_hits``,
+    ...) remain readable as thin properties over the counters.
+    """
+
+    __slots__ = ("registry", "_counters", "_mismatch")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"morph.receiver.{name}")
+            for name in STAT_COUNTERS
+        }
+        self._mismatch = self.registry.histogram(
+            "morph.maxmatch.mismatch_ratio", bounds=RATIO_BUCKETS
+        )
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+        if OBS.enabled:
+            OBS.metrics.counter(f"morph.receiver.{name}").inc(amount)
+
+    def observe_mismatch(self, ratio: float) -> None:
+        """Record one MaxMatch decision's mismatch ratio."""
+        self._mismatch.observe(ratio)
+        if OBS.enabled:
+            OBS.metrics.histogram(
+                "morph.maxmatch.mismatch_ratio", bounds=RATIO_BUCKETS
+            ).observe(ratio)
+
+    @property
+    def mismatch_ratios(self):
+        """The per-receiver mismatch-ratio histogram."""
+        return self._mismatch
 
     def snapshot(self) -> Dict[str, int]:
-        return dict(vars(self))
+        return {name: counter.value for name, counter in self._counters.items()}
+
+
+def _stat_property(name: str):
+    return property(
+        lambda self: self._counters[name].value,
+        doc=f"Value of the morph.receiver.{name} counter.",
+    )
+
+
+for _name in STAT_COUNTERS:
+    setattr(ReceiverStats, _name, _stat_property(_name))
+del _name
 
 
 @dataclass
@@ -84,6 +150,10 @@ class _Route:
     #: reconcile step runs as a DCG-compiled generated transform instead
     #: of the structural Python walker
     coercion_transform: Optional[Transformation] = None
+    #: top-level fields dropped / default-filled by the reconcile step,
+    #: computed once at plan time and recorded per morph by obs
+    fields_dropped: int = 0
+    fields_defaulted: int = 0
 
     @property
     def is_reject(self) -> bool:
@@ -185,15 +255,22 @@ class MorphReceiver:
         Raises :class:`UnknownFormatError` for unregistered wire ids and
         :class:`NoMatchError` for rejected messages when no default
         handler is installed."""
-        self.stats.messages += 1
+        if not OBS.enabled:
+            return self._process(data)
+        with OBS.tracer.span("morph.process"):
+            return self._process(data)
+
+    def _process(self, data: bytes) -> Any:
+        self.stats.inc("messages")
         format_id = unpack_header(data).format_id
         route = self._routes.get(format_id)
         if route is not None:
-            self.stats.cache_hits += 1
+            self.stats.inc("cache_hits")
         else:
             incoming = self.registry.lookup_id(format_id)
             if incoming is None:
                 raise UnknownFormatError(format_id)
+            self.stats.inc("cache_misses")
             with self._lock:
                 route = self._routes.get(format_id)
                 if route is None:
@@ -204,12 +281,13 @@ class MorphReceiver:
     def process_record(self, fmt: IOFormat, record: Record) -> Any:
         """Process an already-decoded record (used when the transport
         delivers in-process without a wire hop)."""
-        self.stats.messages += 1
+        self.stats.inc("messages")
         self.registry.register(fmt)
         route = self._routes.get(fmt.format_id)
         if route is not None:
-            self.stats.cache_hits += 1
+            self.stats.inc("cache_hits")
         else:
+            self.stats.inc("cache_misses")
             with self._lock:
                 route = self._routes.get(fmt.format_id)
                 if route is None:
@@ -222,6 +300,19 @@ class MorphReceiver:
     # ------------------------------------------------------------------
 
     def _plan_route(self, incoming: IOFormat) -> _Route:
+        if not OBS.enabled:
+            return self._plan_route_inner(incoming)
+        with OBS.tracer.span(
+            "morph.maxmatch", format=incoming.name, version=incoming.version
+        ) as active:
+            route = self._plan_route_inner(incoming)
+            if route.match is not None:
+                active.set_attr("mismatch", route.match.mismatch)
+                active.set_attr("diff", route.match.diff_forward)
+            active.set_attr("rejected", route.is_reject)
+            return route
+
+    def _plan_route_inner(self, incoming: IOFormat) -> _Route:
         # Line 4: Fr -- reader formats with the same name as fm
         reader_formats = [
             fmt for fmt in self._handler_formats if fmt.name == incoming.name
@@ -235,11 +326,15 @@ class MorphReceiver:
             weighted=self.weighted,
         )
         if direct is not None and direct.is_perfect:
+            self.stats.observe_mismatch(direct.mismatch)
             coercion = None
             if direct.f2.format_id != incoming.format_id:
                 # perfect structural match but a different declaration
                 # (e.g. widened scalar sizes): reshape field-by-field
                 coercion = (incoming, direct.f2)
+            dropped, defaulted = (
+                reconcile_field_stats(*coercion) if coercion else (0, 0)
+            )
             return _Route(
                 wire_format=incoming,
                 chain=None,
@@ -247,6 +342,8 @@ class MorphReceiver:
                 handler_format=direct.f2,
                 match=direct,
                 coercion_transform=self._coercion_transform(coercion),
+                fields_dropped=dropped,
+                fields_defaulted=defaulted,
             )
         # Line 16: MaxMatch(Ft, Fr) over the transform closure.  A chain
         # whose writer-supplied ECode fails to compile is dropped from the
@@ -280,16 +377,20 @@ class MorphReceiver:
                         validate_output=self.validate_transforms,
                     )
                 except TransformError:
-                    self.stats.broken_transforms += 1
+                    self.stats.inc("broken_transforms")
                     chains = [
                         c for c in chains
                         if c[-1].target.format_id != best.f1.format_id
                     ]
                     continue
-                self.stats.compiled_chains += 1
+                self.stats.inc("compiled_chains")
+            self.stats.observe_mismatch(best.mismatch)
             coercion = None
             if not best.is_perfect or best.f1.format_id != best.f2.format_id:
                 coercion = (best.f1, best.f2)
+            dropped, defaulted = (
+                reconcile_field_stats(*coercion) if coercion else (0, 0)
+            )
             return _Route(
                 wire_format=incoming,
                 chain=chain,
@@ -297,6 +398,8 @@ class MorphReceiver:
                 handler_format=best.f2,
                 match=best,
                 coercion_transform=self._coercion_transform(coercion),
+                fields_dropped=dropped,
+                fields_defaulted=defaulted,
             )
 
     def _coercion_transform(
@@ -328,7 +431,7 @@ class MorphReceiver:
 
     def _deliver(self, route: _Route, record: Record) -> Any:
         if route.is_reject:
-            self.stats.rejected += 1
+            self.stats.inc("rejected")
             if self._default_handler is not None:
                 return self._default_handler(route.wire_format, record)
             raise NoMatchError(
@@ -337,22 +440,59 @@ class MorphReceiver:
                 f"(diff_threshold={self.diff_threshold}, "
                 f"mismatch_threshold={self.mismatch_threshold})"
             )
+        observing = OBS.enabled
         if route.chain is not None:
-            record = route.chain.apply(record)
-            self.stats.morphed += 1
-        if route.coercion is not None:
-            if route.coercion_transform is not None:
-                record = route.coercion_transform.apply(record)
+            if observing:
+                with OBS.tracer.span(
+                    "morph.transform",
+                    source=route.wire_format.version,
+                    target=route.chain.target.version,
+                    steps=len(route.chain),
+                ):
+                    start = time.perf_counter()
+                    record = route.chain.apply(record)
+                    elapsed = time.perf_counter() - start
+                OBS.metrics.histogram("morph.transform.seconds").observe(elapsed)
             else:
-                src_fmt, dst_fmt = route.coercion
-                record = coerce_record(src_fmt, dst_fmt, record)
-            self.stats.reconciled += 1
+                record = route.chain.apply(record)
+            self.stats.inc("morphed")
+        if route.coercion is not None:
+            if observing:
+                with OBS.tracer.span(
+                    "morph.reconcile",
+                    dropped=route.fields_dropped,
+                    defaulted=route.fields_defaulted,
+                ):
+                    record = self._reconcile(route, record)
+                metrics = OBS.metrics
+                metrics.histogram(
+                    "morph.reconcile.fields_dropped", bounds=COUNT_BUCKETS
+                ).observe(route.fields_dropped)
+                metrics.histogram(
+                    "morph.reconcile.fields_defaulted", bounds=COUNT_BUCKETS
+                ).observe(route.fields_defaulted)
+            else:
+                record = self._reconcile(route, record)
+            self.stats.inc("reconciled")
         else:
-            self.stats.perfect_matches += 1
+            self.stats.inc("perfect_matches")
         handler_format = route.handler_format
         assert handler_format is not None
         handler = self._handlers[handler_format.format_id]
+        if observing:
+            with OBS.tracer.span(
+                "morph.dispatch",
+                format=handler_format.name,
+                version=handler_format.version,
+            ):
+                return handler(record)
         return handler(record)
+
+    def _reconcile(self, route: _Route, record: Record) -> Record:
+        if route.coercion_transform is not None:
+            return route.coercion_transform.apply(record)
+        src_fmt, dst_fmt = route.coercion  # type: ignore[misc]
+        return coerce_record(src_fmt, dst_fmt, record)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,18 +22,22 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.net.link import LinkSpec
+from repro.obs import OBS
 
 MessageHandler = Callable[[str, bytes], None]
 
 
 @dataclass(frozen=True)
 class Delivery:
-    """One delivered message, as recorded in the network trace."""
+    """One message outcome, as recorded in the network trace.  Messages
+    arriving at a closed node are recorded with ``dropped=True`` instead
+    of vanishing silently."""
 
     time: float
     source: str
     destination: str
     size: int
+    dropped: bool = False
 
 
 class Node:
@@ -45,6 +49,8 @@ class Node:
         self._handler: Optional[MessageHandler] = None
         self.received: List[Tuple[str, bytes]] = []
         self.closed = False
+        #: messages this node dropped because it was closed
+        self.drops = 0
 
     def set_handler(self, handler: MessageHandler) -> None:
         """Install the receive callback ``handler(source, data)``.  Without
@@ -57,17 +63,26 @@ class Node:
         return self.network.send(self.address, destination, data)
 
     def close(self) -> None:
-        """Closed nodes drop incoming messages (failure injection)."""
+        """Closed nodes drop incoming messages (failure injection).  Every
+        drop is counted per node (:attr:`drops`), tallied on the network
+        (:attr:`Network.dropped`), and recorded in the trace."""
         self.closed = True
 
-    def _deliver(self, source: str, data: bytes) -> None:
+    def _deliver(self, source: str, data: bytes) -> bool:
+        """Deliver one message; returns False when it was dropped."""
         if self.closed:
+            self.drops += 1
             self.network.dropped += 1
-            return
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "net.transport.dropped", node=self.address
+                ).inc()
+            return False
         if self._handler is not None:
             self._handler(source, data)
         else:
             self.received.append((source, data))
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.address!r})"
@@ -133,6 +148,15 @@ class Network:
         )
         self.bytes_sent += len(data)
         self.messages_sent += 1
+        if OBS.enabled:
+            metrics = OBS.metrics
+            metrics.counter(
+                "net.transport.messages", source=source, destination=destination
+            ).inc()
+            metrics.counter(
+                "net.transport.bytes", source=source, destination=destination
+            ).inc(len(data))
+            metrics.gauge("net.transport.queue_depth").set(len(self._queue))
         return arrival
 
     def run(self, max_time: Optional[float] = None, max_events: int = 1_000_000) -> int:
@@ -151,14 +175,27 @@ class Network:
                 )
             heapq.heappop(self._queue)
             self.now = max(self.now, arrival)
+            node = self._nodes[destination]
             self.trace.append(
                 Delivery(time=self.now, source=source, destination=destination,
-                         size=len(data))
+                         size=len(data), dropped=node.closed)
             )
-            self._nodes[destination]._deliver(source, data)
+            node._deliver(source, data)
             delivered += 1
+            if OBS.enabled:
+                OBS.metrics.gauge("net.transport.queue_depth").set(
+                    len(self._queue)
+                )
         return delivered
 
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+    def drops_by_node(self) -> Dict[str, int]:
+        """Per-node drop counts (only nodes that dropped something)."""
+        return {
+            address: node.drops
+            for address, node in self._nodes.items()
+            if node.drops
+        }

@@ -1,0 +1,172 @@
+"""repro.obs — observability for the morphing middleware.
+
+The paper's evaluation is a breakdown of *where time goes* — encode vs.
+decode vs. MaxMatch vs. dynamic code generation vs. conversion-cache
+hits.  This package is the measurement substrate that makes the same
+breakdown available at runtime:
+
+* **metrics** — a lock-safe :class:`~repro.obs.metrics.Registry` of
+  counters, gauges and fixed-bucket histograms (p50/p95/p99),
+* **tracing** — nestable ``span(name, **attrs)`` context managers
+  recording into a bounded ring buffer
+  (:class:`~repro.obs.tracing.SpanRecorder`),
+* **exporters** — JSON snapshots, Prometheus text format, and a
+  ``python -m repro.obs`` CLI that pretty-prints a live snapshot.
+
+Observability is **off by default** and built to cost almost nothing
+when off: every instrumentation site in the hot paths guards on
+``OBS.enabled`` (one attribute load and a branch), and the default
+tracer is a :class:`~repro.obs.tracing.NullRecorder` whose spans are a
+shared no-op object.  Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ... run traffic ...
+    print(obs.render_text())            # tables, via bench.reporting
+    print(obs.to_prometheus())          # scrape format
+    data = obs.to_json()                # snapshot as a JSON string
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    RATIO_BUCKETS,
+    Registry,
+)
+from repro.obs.tracing import (
+    DEFAULT_CAPACITY,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+    find_spans,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "NullRecorder",
+    "OBS",
+    "RATIO_BUCKETS",
+    "Registry",
+    "Span",
+    "SpanRecorder",
+    "disable",
+    "enable",
+    "find_spans",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "render_text",
+    "snapshot",
+    "span",
+    "to_json",
+    "to_prometheus",
+]
+
+
+class ObsState:
+    """The process-wide observability switchboard.
+
+    Instrumented call sites read three attributes:
+
+    ``enabled``
+        The master flag.  Hot paths check it before doing any work, so a
+        disabled system pays one attribute load and a branch per site.
+    ``metrics``
+        The active :class:`Registry`.  Always present (so cold paths may
+        record unconditionally if they want to), but conventionally only
+        written when ``enabled``.
+    ``tracer``
+        A :class:`SpanRecorder` when enabled, :class:`NullRecorder`
+        otherwise.
+    """
+
+    __slots__ = ("enabled", "metrics", "tracer")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.metrics = Registry()
+        self.tracer: "SpanRecorder | NullRecorder" = NullRecorder()
+
+
+#: The singleton instrumented modules import.
+OBS = ObsState()
+
+
+def enable(
+    registry: Optional[Registry] = None,
+    capacity: int = DEFAULT_CAPACITY,
+) -> ObsState:
+    """Turn observability on, optionally attaching an external *registry*
+    (the bench harness passes its own so each figure can be snapshotted
+    and reset in isolation).  Returns the active state."""
+    if registry is not None:
+        OBS.metrics = registry
+    if not isinstance(OBS.tracer, SpanRecorder) or OBS.tracer.capacity != capacity:
+        OBS.tracer = SpanRecorder(capacity=capacity)
+    OBS.enabled = True
+    return OBS
+
+
+def disable(reset: bool = False) -> None:
+    """Turn observability off.  With ``reset=True`` also drop all
+    recorded metrics and spans (a fresh registry and a NullRecorder)."""
+    OBS.enabled = False
+    if reset:
+        OBS.metrics = Registry()
+        OBS.tracer = NullRecorder()
+
+
+def is_enabled() -> bool:
+    return OBS.enabled
+
+
+def get_registry() -> Registry:
+    return OBS.metrics
+
+
+def get_tracer() -> "SpanRecorder | NullRecorder":
+    return OBS.tracer
+
+
+def span(name: str, **attrs: Any):
+    """Convenience: a span on the active tracer (no-op when disabled)."""
+    return OBS.tracer.span(name, **attrs)
+
+
+# -- exporters (re-exported late to avoid import cycles at call sites) --
+
+def snapshot() -> dict:
+    from repro.obs.export import build_snapshot
+
+    return build_snapshot(OBS.metrics, OBS.tracer)
+
+
+def to_json(indent: int = 2) -> str:
+    from repro.obs.export import to_json as _to_json
+
+    return _to_json(OBS.metrics, OBS.tracer, indent=indent)
+
+
+def to_prometheus() -> str:
+    from repro.obs.export import to_prometheus as _to_prometheus
+
+    return _to_prometheus(OBS.metrics)
+
+
+def render_text() -> str:
+    from repro.obs.export import render_text as _render_text
+
+    return _render_text(OBS.metrics, OBS.tracer)

@@ -1,0 +1,134 @@
+"""``python -m repro.obs`` — pretty-print an observability snapshot.
+
+With no arguments, runs a small live demo — the quickstart's evolving
+``Reading`` format pushed through an ECho channel to a sink one revision
+behind — with observability enabled, then renders the resulting metrics,
+histograms and span tree as text tables.  Useful both as a smoke test of
+the instrumentation and as documentation of what the subsystem records.
+
+Usage::
+
+    python -m repro.obs                   # live demo snapshot, as tables
+    python -m repro.obs --prometheus      # same, Prometheus text format
+    python -m repro.obs --json out.json   # also write the JSON snapshot
+    python -m repro.obs --load snap.json  # pretty-print a saved snapshot
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from repro import obs
+from repro.obs.export import build_snapshot, render_text, to_prometheus
+
+
+def _demo_workload(messages: int = 25) -> None:
+    """One evolving-format ECho exchange: a v2 producer, a v1 consumer,
+    morphing in between — enough traffic to populate every layer's
+    instruments (net, pbio, ecode, morph, echo)."""
+    from repro.echo.process import EChoProcess
+    from repro.net.transport import Network
+    from repro.pbio.field import IOField
+    from repro.pbio.format import IOFormat
+    from repro.pbio.registry import FormatRegistry
+
+    reading_v1 = IOFormat(
+        "Reading",
+        [IOField("celsius", "float"), IOField("station", "string")],
+        version="1",
+    )
+    reading_v2 = IOFormat(
+        "Reading",
+        [
+            IOField("kelvin", "float"),
+            IOField("station", "string"),
+            IOField("sensor_id", "integer"),
+        ],
+        version="2",
+    )
+    registry = FormatRegistry()
+    registry.add_transform(
+        reading_v2,
+        reading_v1,
+        "old.celsius = new.kelvin - 273.15;\nold.station = new.station;",
+        description="Reading v2 -> v1",
+    )
+    network = Network()
+    producer = EChoProcess(network, "producer", registry, version="2.0")
+    consumer = EChoProcess(network, "consumer", registry, version="1.0")
+    producer.create_channel("readings")
+    consumer.open_channel("readings", "producer", as_sink=True)
+    network.run()
+    consumer.subscribe("readings", reading_v1, lambda rec: rec)
+    for i in range(messages):
+        producer.submit(
+            "readings",
+            reading_v2,
+            reading_v2.make_record(
+                kelvin=290.0 + i, station=f"st-{i % 3}", sensor_id=i
+            ),
+        )
+    network.run()
+
+
+def _print_loaded(path: str) -> int:
+    """Pretty-print a snapshot previously saved with ``--json``."""
+    from repro.bench.reporting import format_table
+
+    with open(path, "r", encoding="utf-8") as handle:
+        snap = json.load(handle)
+    metrics = snap.get("metrics", {})
+    rows = []
+    for name, entry in sorted(metrics.items()):
+        if entry.get("kind") == "histogram":
+            value = f"count={entry['count']} sum={entry['sum']:.3g}"
+        else:
+            value = entry.get("value")
+        rows.append((name, entry.get("kind", "?"), value))
+    print(format_table(["name", "kind", "value"], rows))
+    spans = snap.get("spans", {})
+    print(
+        f"\nspans: {spans.get('buffered', 0)} buffered / "
+        f"{spans.get('recorded_total', 0)} recorded"
+    )
+    return 0
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--load" in args:
+        index = args.index("--load")
+        if index + 1 >= len(args):
+            print("error: --load requires a file path", file=sys.stderr)
+            return 2
+        return _print_loaded(args[index + 1])
+    json_path = None
+    if "--json" in args:
+        index = args.index("--json")
+        if index + 1 >= len(args):
+            print("error: --json requires a file path", file=sys.stderr)
+            return 2
+        json_path = args[index + 1]
+
+    obs.disable(reset=True)
+    obs.enable()
+    _demo_workload()
+    state = obs.OBS
+    if "--prometheus" in args:
+        print(to_prometheus(state.metrics), end="")
+    else:
+        print("live snapshot of the quickstart ECho evolution demo\n")
+        print(render_text(state.metrics, state.tracer))
+    if json_path is not None:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(build_snapshot(state.metrics, state.tracer), handle,
+                      indent=2)
+        print(f"\nwrote JSON snapshot to {json_path}")
+    obs.disable(reset=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

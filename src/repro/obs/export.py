@@ -1,0 +1,183 @@
+"""Exporters — JSON snapshot, Prometheus text format, and text tables.
+
+Three consumers, three formats:
+
+* :func:`build_snapshot` / :func:`to_json` — the machine-readable form
+  the bench harness writes next to its timing JSON, so perf PRs can cite
+  per-stage numbers;
+* :func:`to_prometheus` — the scrape format (``# TYPE`` comments,
+  ``_count``/``_sum``/``_bucket{le=...}`` series for histograms);
+* :func:`render_text` — fixed-width tables for humans, rendered with the
+  same :func:`repro.bench.reporting.format_table` the benchmark harness
+  prints figures with.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry
+from repro.obs.tracing import NullRecorder, SpanRecorder
+
+Tracer = Union[SpanRecorder, NullRecorder]
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+
+def build_snapshot(registry: Registry, tracer: Tracer) -> Dict[str, Any]:
+    """One JSON-ready dict covering metrics and the span ring buffer."""
+    snap: Dict[str, Any] = {"metrics": registry.snapshot()}
+    if isinstance(tracer, SpanRecorder):
+        snap["spans"] = {
+            "capacity": tracer.capacity,
+            "recorded_total": tracer.recorded_total,
+            "buffered": len(tracer.spans()),
+            "tree": tracer.tree(),
+        }
+    else:
+        snap["spans"] = {"capacity": 0, "recorded_total": 0, "buffered": 0,
+                         "tree": []}
+    return snap
+
+
+def to_json(registry: Registry, tracer: Tracer, indent: int = 2) -> str:
+    return json.dumps(build_snapshot(registry, tracer), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Dots (our namespace separator) become underscores."""
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _merge_labels(suffix_items, extra: str = "") -> str:
+    inner = ",".join(f'{k}="{v}"' for k, v in suffix_items)
+    if extra:
+        inner = f"{inner},{extra}" if inner else extra
+    return "{" + inner + "}" if inner else ""
+
+
+def to_prometheus(registry: Registry) -> str:
+    """Render the registry in the Prometheus exposition text format."""
+    by_name: Dict[str, List[Any]] = {}
+    for instrument in registry.instruments():
+        by_name.setdefault(instrument.name, []).append(instrument)
+    lines: List[str] = []
+    for name in sorted(by_name):
+        instruments = by_name[name]
+        prom = _prom_name(name)
+        kind = instruments[0].kind
+        lines.append(f"# TYPE {prom} {kind}")
+        for instrument in instruments:
+            if isinstance(instrument, (Counter, Gauge)):
+                lines.append(
+                    f"{prom}{_merge_labels(instrument.labels)} "
+                    f"{_prom_value(float(instrument.value))}"
+                )
+            elif isinstance(instrument, Histogram):
+                snap = instrument.snapshot()
+                cumulative = 0
+                for bucket in snap["buckets"]:
+                    cumulative += bucket["count"]
+                    le = "+Inf" if bucket["le"] is None else _prom_value(
+                        bucket["le"]
+                    )
+                    labels = _merge_labels(instrument.labels, f'le="{le}"')
+                    lines.append(f"{prom}_bucket{labels} {cumulative}")
+                labels = _merge_labels(instrument.labels)
+                lines.append(f"{prom}_count{labels} {snap['count']}")
+                lines.append(f"{prom}_sum{labels} {_prom_value(snap['sum'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Text tables
+# ---------------------------------------------------------------------------
+
+
+def render_text(registry: Registry, tracer: Tracer) -> str:
+    """Human-readable tables: counters/gauges, histograms, span tree."""
+    from repro.bench.reporting import format_table
+
+    sections: List[str] = []
+    scalars = [
+        i for i in registry.instruments() if isinstance(i, (Counter, Gauge))
+    ]
+    if scalars:
+        rows = [
+            (i.name + i.label_suffix(), i.kind, _prom_value(float(i.value)))
+            for i in scalars
+        ]
+        sections.append(
+            "== metrics ==\n" + format_table(["name", "kind", "value"], rows)
+        )
+    histograms = [
+        i for i in registry.instruments() if isinstance(i, Histogram)
+    ]
+    if histograms:
+        rows = [
+            (
+                h.name + h.label_suffix(),
+                h.count,
+                f"{h.mean:.3g}",
+                f"{h.p50:.3g}",
+                f"{h.p95:.3g}",
+                f"{h.p99:.3g}",
+                f"{h.sum:.3g}",
+            )
+            for h in histograms
+        ]
+        sections.append(
+            "== histograms ==\n"
+            + format_table(
+                ["name", "count", "mean", "p50", "p95", "p99", "sum"], rows
+            )
+        )
+    if isinstance(tracer, SpanRecorder):
+        rows = []
+
+        def walk(nodes: List[Dict[str, Any]], depth: int) -> None:
+            for node in nodes:
+                attrs = " ".join(
+                    f"{k}={v}" for k, v in sorted(node["attrs"].items())
+                )
+                rows.append(
+                    (
+                        "  " * depth + node["name"],
+                        f"{node['duration'] * 1e3:.3f}",
+                        attrs,
+                    )
+                )
+                walk(node["children"], depth + 1)
+
+        walk(tracer.tree(), 0)
+        if rows:
+            # left-align the span column (format_table right-aligns, which
+            # would swallow the nesting indentation)
+            width = max(len(r[0]) for r in rows)
+            rows = [(name.ljust(width), ms, attrs) for name, ms, attrs in rows]
+            sections.append(
+                "== spans ==\n"
+                + format_table(["span", "ms", "attributes"], rows)
+            )
+    if not sections:
+        return "(no observability data recorded)"
+    return "\n\n".join(sections)

@@ -1,0 +1,366 @@
+"""Metric instruments — counters, gauges and fixed-bucket histograms.
+
+The design goals mirror the paper's measurement needs (Section 5): the
+evaluation is a story about *where time goes*, so the instruments must be
+cheap enough to leave compiled into the hot paths.  Every instrument is
+
+* **lock-safe** — updates take a per-instrument lock, never a global one,
+  so a registry hammered from many threads serializes only same-metric
+  updates, and
+* **allocation-free on update** — ``inc``/``set``/``observe`` touch plain
+  ints and pre-sized lists; no dicts or tuples are built per event.
+
+Histograms use fixed bucket bounds chosen at creation.  Percentiles
+(p50/p95/p99) are estimated by linear interpolation inside the bucket
+containing the requested rank — the standard Prometheus-style estimate,
+exact enough to compare encode vs. decode vs. transform stages.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bounds for latencies in seconds: 1 µs .. 10 s in
+#: roughly 1-2.5-5 decade steps (21 finite buckets + overflow).
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    round(base * 10.0 ** exponent, 12)
+    for exponent in range(-6, 1)
+    for base in (1.0, 2.5, 5.0)
+)
+
+#: Default bounds for ratio-valued observations (MaxMatch mismatch ratio,
+#: cache hit rates): ten even steps across [0, 1].
+RATIO_BUCKETS: Tuple[float, ...] = tuple(i / 10 for i in range(1, 11))
+
+#: Default bounds for small event counts (fields dropped per morph,
+#: chain lengths): powers of two up to 256.
+COUNT_BUCKETS: Tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
+                                    64.0, 128.0, 256.0)
+
+
+def _label_items(labels: Dict[str, Any]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Common core: a name, an optional label set, and a lock."""
+
+    __slots__ = ("name", "labels", "_lock")
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        if not name:
+            raise ObsError("instrument name must be non-empty")
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    @property
+    def key(self) -> Tuple[str, LabelItems]:
+        return (self.name, self.labels)
+
+    def label_suffix(self) -> str:
+        """``{k="v",...}`` (Prometheus style) or the empty string."""
+        if not self.labels:
+            return ""
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name}{self.label_suffix()})"
+
+
+class Counter(Instrument):
+    """A monotonically increasing integer."""
+
+    __slots__ = ("_value",)
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObsError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Gauge(Instrument):
+    """A value that can move both ways (queue depth, cache size)."""
+
+    __slots__ = ("_value",)
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram(Instrument):
+    """Fixed-bucket histogram with count/sum/min/max and estimated
+    percentiles.
+
+    *bounds* are the inclusive upper edges of the finite buckets, in
+    increasing order; one implicit overflow bucket catches everything
+    above the last edge.
+    """
+
+    __slots__ = ("bounds", "_bucket_counts", "_count", "_sum", "_min", "_max")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        bounds: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels)
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ObsError(f"histogram {name!r} needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ObsError(f"histogram {name!r} bounds must strictly increase")
+        self.bounds = bounds
+        self._bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 < q <= 1``) by interpolating
+        within the bucket holding the requested rank."""
+        if not 0 < q <= 1:
+            raise ObsError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            if self._min == self._max:  # degenerate: every observation equal
+                return self._min if self._min is not None else 0.0
+            rank = q * total
+            cumulative = 0
+            for index, bucket_count in enumerate(self._bucket_counts):
+                if bucket_count == 0:
+                    continue
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative < rank:
+                    continue
+                lower = self.bounds[index - 1] if index > 0 else (
+                    self._min if self._min is not None else 0.0
+                )
+                if index < len(self.bounds):
+                    upper = self.bounds[index]
+                else:  # overflow bucket: cap at the observed maximum
+                    upper = self._max if self._max is not None else self.bounds[-1]
+                lower = min(lower, upper)
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * fraction
+            return self._max if self._max is not None else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._bucket_counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._bucket_counts)
+            count, total = self._count, self._sum
+            low, high = self._min, self._max
+        snap: Dict[str, Any] = {
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "buckets": [
+                {"le": bound, "count": counts[i]}
+                for i, bound in enumerate(self.bounds)
+            ] + [{"le": None, "count": counts[-1]}],
+        }
+        if count:
+            snap["mean"] = total / count
+            snap["p50"] = self.percentile(0.50)
+            snap["p95"] = self.percentile(0.95)
+            snap["p99"] = self.percentile(0.99)
+        return snap
+
+
+class Registry:
+    """A named collection of instruments.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    for a ``(name, labels)`` pair creates the instrument, later calls
+    return the same object (so call sites never need to cache, though hot
+    paths may).  Requesting an existing name as a different kind raises
+    :class:`~repro.errors.ObsError` — one name, one meaning.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: "Dict[Tuple[str, LabelItems], Instrument]" = {}
+
+    # -- get-or-create -------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_items(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    instrument = Histogram(
+                        name, key[1],
+                        bounds=bounds if bounds is not None else LATENCY_BUCKETS,
+                    )
+                    self._instruments[key] = instrument
+        if not isinstance(instrument, Histogram):
+            raise ObsError(
+                f"{name!r} is already registered as a {instrument.kind}"
+            )
+        return instrument
+
+    def _get_or_create(self, cls: type, name: str, labels: Dict[str, Any]):
+        key = (name, _label_items(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    instrument = cls(name, key[1])
+                    self._instruments[key] = instrument
+        if not isinstance(instrument, cls):
+            raise ObsError(
+                f"{name!r} is already registered as a {instrument.kind}"
+            )
+        return instrument
+
+    # -- views ----------------------------------------------------------
+
+    def get(self, name: str, **labels: Any) -> Optional[Instrument]:
+        """The instrument at ``(name, labels)``, or None."""
+        return self._instruments.get((name, _label_items(labels)))
+
+    def instruments(self) -> List[Instrument]:
+        with self._lock:
+            return sorted(self._instruments.values(), key=lambda i: i.key)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> "Iterable[Instrument]":
+        return iter(self.instruments())
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A JSON-ready dict keyed by ``name{labels}``."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for instrument in self.instruments():
+            entry = instrument.snapshot()
+            entry["kind"] = instrument.kind
+            if instrument.labels:
+                entry["labels"] = dict(instrument.labels)
+            out[instrument.name + instrument.label_suffix()] = entry
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument (keeps the instrument objects, so cached
+        references at call sites stay valid)."""
+        for instrument in self.instruments():
+            instrument.reset()  # type: ignore[attr-defined]
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._instruments.clear()

@@ -1,0 +1,205 @@
+"""Tracing spans — nestable timed sections with attributes.
+
+A *span* records one named section of work: wall-clock start, duration,
+free-form attributes, and its parent span (maintained per thread, so
+``with span(...)`` blocks nest naturally).  Finished spans land in a
+bounded in-memory ring buffer — old spans fall off the back, the
+recorder never grows without bound, and a long-running process can be
+snapshotted at any time.
+
+Two recorders share the interface:
+
+* :class:`SpanRecorder` — the real thing, installed by
+  :func:`repro.obs.enable`;
+* :class:`NullRecorder` — the default.  Its :meth:`~NullRecorder.span`
+  returns a shared no-op context manager, so tracing a disabled system
+  costs one attribute lookup and one method call per site (and hot paths
+  additionally guard on ``OBS.enabled``, skipping even that).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) span."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float  # seconds, time.perf_counter() clock
+    duration: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _ActiveSpan:
+    """Context manager for one span; records into its recorder on exit."""
+
+    __slots__ = ("recorder", "span")
+
+    def __init__(self, recorder: "SpanRecorder", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self.recorder = recorder
+        self.span = Span(
+            name=name,
+            span_id=next(recorder._ids),
+            parent_id=None,
+            start=0.0,
+            attrs=attrs,
+        )
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach an attribute discovered mid-span (e.g. the match score
+        once MaxMatch finishes)."""
+        self.span.attrs[key] = value
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self.recorder._stack()
+        self.span.parent_id = stack[-1] if stack else None
+        stack.append(self.span.span_id)
+        self.span.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.span.duration = time.perf_counter() - self.span.start
+        stack = self.recorder._stack()
+        if stack and stack[-1] == self.span.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self.recorder.record(self.span)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by :class:`NullRecorder`."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The disabled-tracing recorder: every span is the same no-op."""
+
+    capacity = 0
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, span: Span) -> None:
+        pass
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+class SpanRecorder:
+    """Bounded ring buffer of finished spans, with per-thread nesting."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("span ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.recorded_total = 0  # includes spans already evicted
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        return _ActiveSpan(self, name, attrs)
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._ring.append(span)
+            self.recorded_total += 1
+
+    def spans(self) -> List[Span]:
+        """Buffered spans, oldest first (completion order)."""
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    # -- tree reconstruction -------------------------------------------
+
+    def tree(self) -> List[Dict[str, Any]]:
+        """Nest the buffered spans into ``{span..., "children": [...]}``
+        dicts.  Children whose parent has been evicted from the ring (or
+        is still open) surface as roots — the tree is always complete
+        over what the buffer holds."""
+        spans = self.spans()
+        nodes: Dict[int, Dict[str, Any]] = {}
+        for span in spans:
+            node = span.to_dict()
+            node["children"] = []
+            nodes[span.span_id] = node
+        roots: List[Dict[str, Any]] = []
+        for span in spans:
+            node = nodes[span.span_id]
+            parent = nodes.get(span.parent_id) if span.parent_id else None
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        # children completed before their parents (inner spans exit
+        # first); order each level by start time for readable output
+        def sort_level(level: List[Dict[str, Any]]) -> None:
+            level.sort(key=lambda n: n["start"])
+            for item in level:
+                sort_level(item["children"])
+
+        sort_level(roots)
+        return roots
+
+
+def find_spans(tree: List[Dict[str, Any]], name: str) -> List[Dict[str, Any]]:
+    """All nodes named *name* anywhere in a :meth:`SpanRecorder.tree`
+    result (testing/reporting helper)."""
+    found: List[Dict[str, Any]] = []
+    for node in tree:
+        if node["name"] == name:
+            found.append(node)
+        found.extend(find_spans(node["children"], name))
+    return found

@@ -8,9 +8,11 @@ the DCG behaviour the paper measures), and the generic fallback paths.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import UnknownFormatError
+from repro.obs import OBS
 from repro.pbio import codegen
 from repro.pbio.buffer import unpack_header
 from repro.pbio.decode import decode_record as generic_decode_record
@@ -65,6 +67,20 @@ class PBIOContext:
 
     def encode(self, fmt: IOFormat, rec: Mapping[str, Any]) -> bytes:
         """Encode *rec* as a wire message of *fmt* (registering it)."""
+        if not OBS.enabled:
+            return self._encode(fmt, rec)
+        path = "specialized" if self.use_codegen else "generic"
+        with OBS.tracer.span("pbio.encode", format=fmt.name, path=path):
+            start = time.perf_counter()
+            wire = self._encode(fmt, rec)
+            elapsed = time.perf_counter() - start
+        metrics = OBS.metrics
+        metrics.counter("pbio.encode.messages", path=path).inc()
+        metrics.counter("pbio.encode.bytes").inc(len(wire))
+        metrics.histogram("pbio.encode.seconds").observe(elapsed)
+        return wire
+
+    def _encode(self, fmt: IOFormat, rec: Mapping[str, Any]) -> bytes:
         self.registry.register(fmt)
         if not self.use_codegen:
             return generic_encode_record(fmt, rec, byte_order=self.byte_order)
@@ -73,7 +89,14 @@ class PBIOContext:
             with self._lock:
                 encoder = self._encoders.get(fmt.format_id)
                 if encoder is None:
+                    start = time.perf_counter()
                     encoder = codegen.make_encoder(fmt, byte_order=self.byte_order)
+                    if OBS.enabled:
+                        metrics = OBS.metrics
+                        metrics.counter("pbio.codegen.encoders").inc()
+                        metrics.histogram("pbio.codegen.seconds").observe(
+                            time.perf_counter() - start
+                        )
                     self._encoders[fmt.format_id] = encoder
         return encoder(rec)
 
@@ -94,6 +117,20 @@ class PBIOContext:
 
     def decode_as(self, fmt: IOFormat, data: bytes) -> Record:
         """Decode *data* with the (possibly generated) decoder for *fmt*."""
+        if not OBS.enabled:
+            return self._decode_as(fmt, data)
+        path = "specialized" if self.use_codegen else "generic"
+        with OBS.tracer.span("pbio.decode", format=fmt.name, path=path):
+            start = time.perf_counter()
+            record = self._decode_as(fmt, data)
+            elapsed = time.perf_counter() - start
+        metrics = OBS.metrics
+        metrics.counter("pbio.decode.messages", path=path).inc()
+        metrics.counter("pbio.decode.bytes").inc(len(data))
+        metrics.histogram("pbio.decode.seconds").observe(elapsed)
+        return record
+
+    def _decode_as(self, fmt: IOFormat, data: bytes) -> Record:
         if not self.use_codegen:
             return generic_decode_record(fmt, data)
         decoder = self._decoders.get(fmt.format_id)
@@ -101,7 +138,14 @@ class PBIOContext:
             with self._lock:
                 decoder = self._decoders.get(fmt.format_id)
                 if decoder is None:
+                    start = time.perf_counter()
                     decoder = codegen.make_decoder(fmt)
+                    if OBS.enabled:
+                        metrics = OBS.metrics
+                        metrics.counter("pbio.codegen.decoders").inc()
+                        metrics.histogram("pbio.codegen.seconds").observe(
+                            time.perf_counter() - start
+                        )
                     self._decoders[fmt.format_id] = decoder
         return decoder(data)
 

@@ -1,0 +1,69 @@
+"""Message loss is never silent: per-node drop counts, trace entries
+flagged ``dropped=True``, and (when enabled) obs counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.net.transport import Network
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable(reset=True)
+    yield
+    obs.disable(reset=True)
+
+
+def _drop_some():
+    net = Network()
+    net.add_node("a")
+    b = net.add_node("b")
+    c = net.add_node("c")
+    net.send("a", "b", b"ok")
+    net.run()
+    b.close()
+    c.close()
+    net.send("a", "b", b"lost-1")
+    net.send("a", "b", b"lost-2")
+    net.send("a", "c", b"lost-3")
+    net.run()
+    return net, b, c
+
+
+def test_drops_counted_per_node_and_network_wide():
+    net, b, c = _drop_some()
+    assert b.drops == 2
+    assert c.drops == 1
+    assert net.dropped == 3
+    assert net.drops_by_node() == {"b": 2, "c": 1}
+    # the successful delivery is not counted anywhere
+    assert b.received == [("a", b"ok")]
+
+
+def test_trace_flags_dropped_deliveries():
+    net, _, _ = _drop_some()
+    assert len(net.trace) == 4  # drops still traced, not vanished
+    flags = [(e.destination, e.dropped) for e in net.trace]
+    assert flags == [("b", False), ("b", True), ("b", True), ("c", True)]
+    dropped_sizes = [e.size for e in net.trace if e.dropped]
+    assert dropped_sizes == [6, 6, 6]
+
+
+def test_drops_surface_as_obs_counters():
+    obs.enable()
+    net, _, _ = _drop_some()
+    metrics = obs.get_registry()
+    assert metrics.counter("net.transport.dropped", node="b").value == 2
+    assert metrics.counter("net.transport.dropped", node="c").value == 1
+    sent = metrics.counter(
+        "net.transport.messages", source="a", destination="b"
+    )
+    assert sent.value == 3  # sends counted whether or not they land
+
+
+def test_no_obs_counters_when_disabled():
+    assert not obs.is_enabled()
+    _drop_some()
+    assert len(obs.get_registry()) == 0

@@ -1,0 +1,16 @@
+"""Global-state hygiene: every obs test leaves observability disabled
+with a pristine registry/tracer, so instrumented hot paths elsewhere in
+the suite keep seeing the zero-cost disabled configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable(reset=True)
+    yield
+    obs.disable(reset=True)

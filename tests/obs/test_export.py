@@ -1,0 +1,104 @@
+"""Exporter tests: JSON snapshot, Prometheus text format, text tables."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    build_snapshot,
+    render_text,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import Registry
+from repro.obs.tracing import NullRecorder, SpanRecorder
+
+
+@pytest.fixture
+def populated():
+    registry = Registry()
+    registry.counter("pbio.decode.messages", path="specialized").inc(3)
+    registry.gauge("net.transport.queue_depth").set(2.0)
+    hist = registry.histogram("pbio.decode.seconds", bounds=(0.001, 0.01))
+    hist.observe(0.0005)
+    hist.observe(0.5)
+    tracer = SpanRecorder()
+    with tracer.span("morph.process"):
+        with tracer.span("pbio.decode", format="Reading"):
+            pass
+    return registry, tracer
+
+
+def test_build_snapshot_shape(populated):
+    registry, tracer = populated
+    snap = build_snapshot(registry, tracer)
+    metrics = snap["metrics"]
+    assert metrics['pbio.decode.messages{path="specialized"}']["value"] == 3
+    hist = metrics["pbio.decode.seconds"]
+    assert hist["count"] == 2
+    assert hist["buckets"][-1] == {"le": None, "count": 1}
+    spans = snap["spans"]
+    assert spans["buffered"] == 2
+    assert spans["recorded_total"] == 2
+    (root,) = spans["tree"]
+    assert root["name"] == "morph.process"
+    assert root["children"][0]["name"] == "pbio.decode"
+    assert root["children"][0]["attrs"] == {"format": "Reading"}
+
+
+def test_to_json_round_trips(populated):
+    registry, tracer = populated
+    snap = json.loads(to_json(registry, tracer))
+    assert snap == build_snapshot(registry, tracer)
+
+
+def test_snapshot_with_null_recorder_has_empty_spans():
+    snap = build_snapshot(Registry(), NullRecorder())
+    assert snap["spans"] == {
+        "capacity": 0, "recorded_total": 0, "buffered": 0, "tree": [],
+    }
+
+
+def test_prometheus_counters_and_gauges(populated):
+    registry, _ = populated
+    text = to_prometheus(registry)
+    assert "# TYPE pbio_decode_messages counter" in text
+    assert 'pbio_decode_messages{path="specialized"} 3' in text
+    assert "# TYPE net_transport_queue_depth gauge" in text
+    assert "net_transport_queue_depth 2" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_histogram_series_are_cumulative(populated):
+    registry, _ = populated
+    lines = to_prometheus(registry).splitlines()
+    assert "# TYPE pbio_decode_seconds histogram" in lines
+    assert 'pbio_decode_seconds_bucket{le="0.001"} 1' in lines
+    assert 'pbio_decode_seconds_bucket{le="0.01"} 1' in lines
+    assert 'pbio_decode_seconds_bucket{le="+Inf"} 2' in lines
+    assert "pbio_decode_seconds_count 2" in lines
+    assert any(l.startswith("pbio_decode_seconds_sum ") for l in lines)
+
+
+def test_prometheus_empty_registry_is_empty_string():
+    assert to_prometheus(Registry()) == ""
+
+
+def test_render_text_sections(populated):
+    registry, tracer = populated
+    text = render_text(registry, tracer)
+    assert "== metrics ==" in text
+    assert "== histograms ==" in text
+    assert "== spans ==" in text
+    assert 'pbio.decode.messages{path="specialized"}' in text
+    # nested span is indented under its parent
+    assert "morph.process" in text
+    assert "  pbio.decode" in text
+
+
+def test_render_text_empty():
+    assert render_text(Registry(), NullRecorder()) == (
+        "(no observability data recorded)"
+    )
