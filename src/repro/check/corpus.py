@@ -1,0 +1,134 @@
+"""Crash corpus: persist failing inputs, minimize them, replay them.
+
+Entries are small JSON documents — the format meta-data (via
+:mod:`repro.pbio.serialization`), the offending wire bytes as hex, or the
+offending ECode source — plus the *expectation* that failed, so a later
+session (or CI) can re-run exactly the same check as a regression test
+without re-fuzzing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Corpus:
+    """A directory of JSON crash entries.
+
+    Entry names are content hashes, so re-finding the same crash is
+    idempotent and corpora merge by file copy.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def _ensure_dir(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+
+    def add(self, entry: Dict[str, Any]) -> str:
+        """Persist *entry*; returns the file path."""
+        self._ensure_dir()
+        text = json.dumps(entry, indent=2, sort_keys=True)
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+        path = os.path.join(self.directory, f"crash_{digest}.json")
+        if not os.path.exists(path):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return path
+
+    def paths(self) -> List[str]:
+        if not os.path.isdir(self.directory):
+            return []
+        return sorted(
+            os.path.join(self.directory, name)
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        )
+
+    def entries(self) -> List[Dict[str, Any]]:
+        loaded = []
+        for path in self.paths():
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded.append(json.load(handle))
+        return loaded
+
+    def __len__(self) -> int:
+        return len(self.paths())
+
+
+def minimize_wire(
+    data: bytes,
+    still_fails: Callable[[bytes], bool],
+    max_probes: int = 400,
+) -> bytes:
+    """Shrink *data* while ``still_fails`` holds (ddmin-flavored).
+
+    Alternates chunk deletion (halving granularity) with byte zeroing, so
+    the surviving witness is short *and* mostly zeros — easy to eyeball.
+    The predicate is probed at most *max_probes* times; minimization is
+    best-effort, never required for corpus validity.
+    """
+    probes = 0
+
+    def fails(candidate: bytes) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        try:
+            return still_fails(candidate)
+        except Exception:
+            # A predicate that itself blows up is a harness bug; treat the
+            # candidate as not reproducing rather than crash minimization.
+            return False
+
+    # Phase 1: delete chunks, coarse to fine.
+    chunk = max(len(data) // 2, 1)
+    while chunk >= 1 and probes < max_probes:
+        shrunk = False
+        start = 0
+        while start < len(data) and probes < max_probes:
+            candidate = data[:start] + data[start + chunk:]
+            if len(candidate) < len(data) and fails(candidate):
+                data = candidate
+                shrunk = True
+            else:
+                start += chunk
+        if not shrunk:
+            if chunk == 1:
+                break
+            chunk = max(chunk // 2, 1)
+
+    # Phase 2: zero individual bytes.
+    position = 0
+    while position < len(data) and probes < max_probes:
+        if data[position] != 0:
+            candidate = data[:position] + b"\x00" + data[position + 1:]
+            if fails(candidate):
+                data = candidate
+        position += 1
+    return data
+
+
+def entry_for_wire(
+    kind: str,
+    detail: str,
+    wire: bytes,
+    fmt_dict: Optional[Dict[str, Any]] = None,
+    expectation: str = "decode_raises_clean",
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Build the canonical corpus entry for a hostile wire buffer."""
+    entry: Dict[str, Any] = {
+        "kind": kind,
+        "detail": detail,
+        "expectation": expectation,
+        "wire_hex": wire.hex(),
+    }
+    if fmt_dict is not None:
+        entry["format"] = fmt_dict
+    entry.update(extra)
+    return entry

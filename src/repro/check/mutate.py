@@ -1,0 +1,109 @@
+"""Wire-buffer mutations for fault injection.
+
+Each mutation takes a valid wire message and a seeded RNG and returns a
+corrupted variant.  The contract under test: decoding any of these —
+through the generic interpreter *or* a DCG-specialized decoder — either
+succeeds (a benign flip) or raises a :class:`repro.errors.ReproError`
+subclass.  Raw ``struct.error``, ``MemoryError``, ``UnicodeDecodeError``
+or an unbounded allocation are findings.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable, Dict
+
+from repro.pbio.buffer import FLAG_BIG_ENDIAN, HEADER_SIZE
+
+Mutation = Callable[[bytes, random.Random], bytes]
+
+
+def bit_flip(data: bytes, rng: random.Random) -> bytes:
+    buf = bytearray(data)
+    pos = rng.randrange(len(buf))
+    buf[pos] ^= 1 << rng.randrange(8)
+    return bytes(buf)
+
+
+def byte_smash(data: bytes, rng: random.Random) -> bytes:
+    """Overwrite a short run of bytes with random garbage."""
+    buf = bytearray(data)
+    start = rng.randrange(len(buf))
+    run = min(rng.randint(1, 4), len(buf) - start)
+    for i in range(start, start + run):
+        buf[i] = rng.randrange(256)
+    return bytes(buf)
+
+
+def truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the message short (possibly into the header)."""
+    return data[: rng.randrange(len(data))]
+
+
+def extend(data: bytes, rng: random.Random) -> bytes:
+    """Append trailing garbage the header does not account for."""
+    return data + bytes(rng.randrange(256) for _ in range(rng.randint(1, 16)))
+
+
+def header_length_lie(data: bytes, rng: random.Random) -> bytes:
+    """Rewrite the header's payload_length to a wrong value — smaller
+    (spurious trailing bytes) or absurdly larger (truncation claim)."""
+    buf = bytearray(data)
+    payload = len(data) - HEADER_SIZE
+    if rng.random() < 0.5 and payload > 0:
+        lied = rng.randrange(payload)
+    else:
+        lied = payload + rng.choice([1, 16, 2**16, 2**31])
+    struct.pack_into("<I", buf, HEADER_SIZE - 4, lied & 0xFFFFFFFF)
+    return bytes(buf)
+
+
+def endian_flag_lie(data: bytes, rng: random.Random) -> bytes:
+    """Flip the big-endian header flag without byte-swapping the payload,
+    so every multi-byte scalar (and string length) reads scrambled."""
+    buf = bytearray(data)
+    buf[5] ^= FLAG_BIG_ENDIAN
+    return bytes(buf)
+
+
+def payload_length_field_lie(data: bytes, rng: random.Random) -> bytes:
+    """Overwrite a 4-byte aligned word inside the payload with a huge
+    value — when it lands on a string length or an array count field,
+    this is the classic over-read / over-allocation probe."""
+    buf = bytearray(data)
+    if len(buf) < HEADER_SIZE + 4:
+        return bytes(buf) + b"\xff\xff\xff\xff"
+    pos = HEADER_SIZE + rng.randrange(len(buf) - HEADER_SIZE - 3)
+    struct.pack_into(
+        "<I", buf, pos, rng.choice([2**31 - 1, 2**32 - 1, 2**24, len(buf) + 1])
+    )
+    return bytes(buf)
+
+
+def zero_fill(data: bytes, rng: random.Random) -> bytes:
+    """Zero a run of payload bytes (cleared counts, empty strings)."""
+    buf = bytearray(data)
+    start = rng.randrange(len(buf))
+    run = min(rng.randint(1, 8), len(buf) - start)
+    buf[start : start + run] = bytes(run)
+    return bytes(buf)
+
+
+#: Registry of named mutations, applied round-robin-ish by the runner.
+MUTATIONS: Dict[str, Mutation] = {
+    "bit_flip": bit_flip,
+    "byte_smash": byte_smash,
+    "truncate": truncate,
+    "extend": extend,
+    "header_length_lie": header_length_lie,
+    "endian_flag_lie": endian_flag_lie,
+    "payload_length_field_lie": payload_length_field_lie,
+    "zero_fill": zero_fill,
+}
+
+
+def mutate(data: bytes, rng: random.Random) -> "tuple[str, bytes]":
+    """Apply one randomly chosen mutation; returns ``(name, corrupted)``."""
+    name = rng.choice(sorted(MUTATIONS))
+    return name, MUTATIONS[name](data, rng)

@@ -1,0 +1,351 @@
+"""Differential and fault-injection oracles.
+
+Each oracle runs one randomized case and returns the findings it made
+(empty list = the case upheld every invariant).  A finding carries a
+ready-to-persist corpus entry so the runner can save it for replay.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import obs
+from repro.check import gen
+from repro.check.corpus import entry_for_wire
+from repro.check.mutate import mutate
+from repro.ecode import compile_procedure, interpret_procedure
+from repro.errors import ECodeError, ReproError
+from repro.echo.protocol import (
+    RESPONSE_V0,
+    RESPONSE_V1,
+    RESPONSE_V2,
+    V1_TO_V0_TRANSFORM,
+    V2_TO_V1_TRANSFORM,
+)
+from repro.morph.receiver import MorphReceiver
+from repro.morph.transform import Transformation
+from repro.net.link import LinkSpec
+from repro.net.transport import Network
+from repro.obs.metrics import Registry
+from repro.pbio import codegen
+from repro.pbio.decode import decode_record
+from repro.pbio.encode import encode_record
+from repro.pbio.record import Record, records_equal
+from repro.pbio.registry import FormatRegistry
+from repro.pbio.serialization import format_to_dict
+
+
+@dataclass
+class Finding:
+    """One invariant violation, with everything needed to reproduce it."""
+
+    oracle: str
+    detail: str
+    entry: Optional[Dict[str, Any]] = None
+
+
+def _outcome(fn: Callable[[], Any]) -> "tuple[str, Any]":
+    """Classify a decode attempt: ``("ok", record)``, ``("clean", exc)``
+    for a ReproError, or ``("dirty", exc)`` for anything else — the
+    contract violation the mutation oracle exists to catch."""
+    try:
+        return "ok", fn()
+    except ReproError as exc:
+        return "clean", exc
+    except Exception as exc:  # noqa: BLE001 - the whole point
+        return "dirty", exc
+
+
+# ---------------------------------------------------------------------------
+# Oracle 1: encode/decode round-trip, generic vs DCG-specialized
+# ---------------------------------------------------------------------------
+
+
+def check_roundtrip(rng: random.Random) -> List[Finding]:
+    fmt = gen.random_format(rng)
+    rec = gen.random_record(rng, fmt)
+    order = rng.choice(["little", "big"])
+    findings: List[Finding] = []
+
+    wire = encode_record(fmt, rec, byte_order=order)
+    wire_spec = codegen.make_encoder(fmt, byte_order=order)(rec)
+    if wire != wire_spec:
+        findings.append(Finding(
+            oracle="roundtrip",
+            detail=f"generic and specialized encoders disagree for {fmt.name!r}",
+            entry=entry_for_wire(
+                "roundtrip", "encoder byte divergence", wire,
+                fmt_dict=format_to_dict(fmt),
+                expectation="encoders_agree",
+                wire_spec_hex=wire_spec.hex(),
+            ),
+        ))
+
+    decoded_generic = decode_record(fmt, wire)
+    decoded_spec = codegen.make_decoder(fmt)(wire)
+    if not records_equal(decoded_generic, rec):
+        findings.append(Finding(
+            oracle="roundtrip",
+            detail=f"generic decode(encode(rec)) != rec for {fmt.name!r}",
+            entry=entry_for_wire(
+                "roundtrip", "generic round-trip loss", wire,
+                fmt_dict=format_to_dict(fmt), expectation="roundtrip_identity",
+            ),
+        ))
+    if not records_equal(decoded_spec, decoded_generic):
+        findings.append(Finding(
+            oracle="roundtrip",
+            detail=f"specialized decode diverges from generic for {fmt.name!r}",
+            entry=entry_for_wire(
+                "roundtrip", "decoder divergence", wire,
+                fmt_dict=format_to_dict(fmt), expectation="decoders_agree",
+            ),
+        ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Oracle 2: hostile-buffer mutation
+# ---------------------------------------------------------------------------
+
+
+def check_wire_hostility(
+    fmt, wire: bytes, mutation: str = "direct"
+) -> List[Finding]:
+    """The core mutation invariant, shared with corpus replay: decoding
+    *wire* against *fmt* must end cleanly on both paths, and both paths
+    must agree on accept vs reject (and on the record when accepting)."""
+    findings: List[Finding] = []
+    generic_kind, generic_val = _outcome(lambda: decode_record(fmt, wire))
+    spec_kind, spec_val = _outcome(lambda: codegen.make_decoder(fmt)(wire))
+
+    for path, kind, val in (
+        ("generic", generic_kind, generic_val),
+        ("specialized", spec_kind, spec_val),
+    ):
+        if kind == "dirty":
+            findings.append(Finding(
+                oracle="mutation",
+                detail=(
+                    f"{path} decode of {mutation}-mutated {fmt.name!r} leaked "
+                    f"{type(val).__name__}: {val!r}"
+                ),
+                entry=entry_for_wire(
+                    "mutation", f"{path} leaked {type(val).__name__}", wire,
+                    fmt_dict=format_to_dict(fmt), mutation=mutation,
+                ),
+            ))
+    if "dirty" not in (generic_kind, spec_kind) and generic_kind != spec_kind:
+        findings.append(Finding(
+            oracle="mutation",
+            detail=(
+                f"decode paths disagree on {mutation}-mutated {fmt.name!r}: "
+                f"generic={generic_kind} specialized={spec_kind}"
+            ),
+            entry=entry_for_wire(
+                "mutation", "accept/reject divergence", wire,
+                fmt_dict=format_to_dict(fmt), mutation=mutation,
+                expectation="decoders_agree_on_reject",
+            ),
+        ))
+    if generic_kind == spec_kind == "ok" and not records_equal(generic_val, spec_val):
+        findings.append(Finding(
+            oracle="mutation",
+            detail=f"decode paths accept {mutation}-mutated {fmt.name!r} "
+                   f"but produce different records",
+            entry=entry_for_wire(
+                "mutation", "accepted-record divergence", wire,
+                fmt_dict=format_to_dict(fmt), mutation=mutation,
+                expectation="decoders_agree",
+            ),
+        ))
+    return findings
+
+
+def check_mutation(rng: random.Random, rounds: int = 4) -> "tuple[int, List[Finding]]":
+    """Generate one valid message and corrupt it *rounds* times.  Returns
+    ``(mutations_applied, findings)``."""
+    fmt = gen.random_format(rng)
+    rec = gen.random_record(rng, fmt)
+    wire = encode_record(fmt, rec, byte_order=rng.choice(["little", "big"]))
+    findings: List[Finding] = []
+    for _ in range(rounds):
+        name, corrupted = mutate(wire, rng)
+        findings.extend(check_wire_hostility(fmt, corrupted, mutation=name))
+    return rounds, findings
+
+
+# ---------------------------------------------------------------------------
+# Oracle 3: ECode interpreter vs generated Python
+# ---------------------------------------------------------------------------
+
+
+def check_ecode(rng: random.Random) -> List[Finding]:
+    source = gen.random_program(rng)
+
+    def build(factory):
+        try:
+            return "ok", factory(source)
+        except ECodeError as exc:
+            return "clean", exc
+        except Exception as exc:  # noqa: BLE001
+            return "dirty", exc
+
+    compiled_kind, compiled = build(compile_procedure)
+    interp_kind, interp = build(interpret_procedure)
+    if compiled_kind != interp_kind or compiled_kind == "dirty":
+        return [Finding(
+            oracle="ecode",
+            detail=(
+                f"front-end divergence: compile={compiled_kind} "
+                f"interpret={interp_kind}"
+            ),
+            entry={"kind": "ecode", "program": source,
+                   "expectation": "frontends_agree"},
+        )]
+    if compiled_kind == "clean":
+        return []  # both rejected the program — agreement
+
+    inputs = {
+        "a": rng.choice(gen._EDGE_LITERALS + [rng.randint(-10**6, 10**6)]),
+        "b": rng.choice([0, 1, -1, rng.randint(-10**4, 10**4)]),
+        "c": rng.randint(-100, 100),
+    }
+
+    def run(proc):
+        new = Record(copy.deepcopy(inputs))
+        old = Record({"a": 0, "b": 0, "c": 0})
+        try:
+            return "ok", (proc(new, old), dict(old))
+        except ECodeError as exc:
+            return "clean", exc
+        except Exception as exc:  # noqa: BLE001
+            return "dirty", exc
+
+    c_kind, c_val = run(compiled)
+    i_kind, i_val = run(interp)
+    entry = {"kind": "ecode", "program": source, "inputs": inputs,
+             "expectation": "interp_matches_codegen"}
+    if "dirty" in (c_kind, i_kind):
+        return [Finding(
+            oracle="ecode",
+            detail=f"raw exception leaked: compiled={c_kind} interp={i_kind} "
+                   f"({c_val!r} / {i_val!r})",
+            entry=entry,
+        )]
+    if c_kind != i_kind:
+        return [Finding(
+            oracle="ecode",
+            detail=f"outcome divergence: compiled={c_kind} interp={i_kind}",
+            entry=entry,
+        )]
+    if c_kind == "ok" and c_val != i_val:
+        return [Finding(
+            oracle="ecode",
+            detail=f"value divergence: compiled={c_val!r} interp={i_val!r}",
+            entry=entry,
+        )]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Oracle 4: morph chains over a lossy, reordering transport
+# ---------------------------------------------------------------------------
+
+
+def _reference_chain(reader_version: str) -> List[Transformation]:
+    """The interpreted (ablation-arm) transform chain V2 -> reader."""
+    chain = [Transformation(V2_TO_V1_TRANSFORM, use_codegen=False)]
+    if reader_version == "0.0":
+        chain.append(Transformation(V1_TO_V0_TRANSFORM, use_codegen=False))
+    return chain
+
+
+def check_morph(rng: random.Random, messages: int = 6) -> List[Finding]:
+    """Drive V2 ChannelOpenResponse traffic through a lossy, jittery link
+    to a V0/V1 reader; verify delivered records against the interpreted
+    chain and reconcile every counter (receiver stats, transport tallies,
+    repro.obs counters)."""
+    reader_version = rng.choice(["0.0", "1.0"])
+    reader_fmt = RESPONSE_V0 if reader_version == "0.0" else RESPONSE_V1
+
+    registry = FormatRegistry()
+    registry.register_transform(V2_TO_V1_TRANSFORM)
+    registry.register_transform(V1_TO_V0_TRANSFORM)
+
+    receiver = MorphReceiver(registry)
+    delivered: List[Record] = []
+    receiver.register_handler(reader_fmt, delivered.append)
+
+    prior = (obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer)
+    metrics = Registry()
+    obs.enable(registry=metrics)
+    try:
+        net = Network(seed=rng.randrange(2**31), default_link=LinkSpec(
+            loss_rate=rng.choice([0.0, 0.2, 0.5]),
+            jitter=rng.choice([0.0, 0.01]),
+        ))
+        net.add_node("writer")
+        reader_node = net.add_node("reader")
+        reader_node.set_handler(lambda _src, data: receiver.process(data))
+
+        originals: Dict[str, Record] = {}
+        for index in range(messages):
+            rec = gen.random_record(rng, RESPONSE_V2)
+            rec["channel_id"] = f"ch{index}"
+            originals[rec["channel_id"]] = rec
+            net.node("writer").send("reader", encode_record(RESPONSE_V2, rec))
+        net.run()
+        lost_counter = metrics.counter(
+            "net.transport.lost", source="writer", destination="reader"
+        ).value
+    finally:
+        obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer = prior
+
+    findings: List[Finding] = []
+
+    def flag(detail: str) -> None:
+        findings.append(Finding(
+            oracle="morph", detail=detail,
+            entry={"kind": "morph", "reader_version": reader_version,
+                   "detail": detail, "expectation": "morph_invariants"},
+        ))
+
+    stats = receiver.stats
+    if net.messages_sent != len(delivered) + net.lost + net.dropped:
+        flag(f"conservation broken: sent={net.messages_sent} "
+             f"delivered={len(delivered)} lost={net.lost} dropped={net.dropped}")
+    if lost_counter != net.lost:
+        flag(f"obs lost counter {lost_counter} != transport tally {net.lost}")
+    if stats.messages != len(delivered):
+        flag(f"receiver saw {stats.messages} messages, handler got {len(delivered)}")
+    expected_misses = 1 if delivered else 0
+    if stats.cache_misses != expected_misses:
+        flag(f"route cache misses {stats.cache_misses} != {expected_misses} "
+             f"for a single-format stream")
+    if stats.cache_hits != stats.messages - expected_misses:
+        flag(f"cache hits {stats.cache_hits} != messages-{expected_misses}")
+    if stats.morphed != len(delivered):
+        flag(f"morphed {stats.morphed} != delivered {len(delivered)}")
+
+    chain = _reference_chain(reader_version)
+    seen = set()
+    for record in delivered:
+        channel = record.get("channel_id")
+        if channel not in originals:
+            flag(f"delivered unknown channel_id {channel!r}")
+            continue
+        if channel in seen:
+            flag(f"channel_id {channel!r} delivered twice")
+            continue
+        seen.add(channel)
+        reference = originals[channel]
+        for step in chain:
+            reference = step.apply(reference)
+        if not records_equal(record, reference):
+            flag(f"morphed record for {channel!r} diverges from the "
+                 f"interpreted reference chain")
+    return findings

@@ -1,0 +1,211 @@
+"""The budgeted fuzzing loop and corpus replay.
+
+A *budget* is a case count, split across the four oracles roughly by
+where historical bugs hide: round-trip differentials and hostile-buffer
+mutations get the bulk, ECode differentials and morph scenarios the
+rest.  Every case is reproducible from ``(seed, oracle, index)`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.check import oracles
+from repro.check.corpus import Corpus, minimize_wire
+from repro.check.oracles import Finding
+from repro.errors import ReproError
+from repro.pbio.serialization import format_from_dict
+
+#: Fraction of the budget each oracle consumes.
+BUDGET_SPLIT = {
+    "roundtrip": 0.40,
+    "mutation": 0.35,
+    "ecode": 0.15,
+    "morph": 0.10,
+}
+
+#: Each morph case already simulates several messages over the network;
+#: weigh it so `--budget` approximates total work, not loop iterations.
+_MORPH_CASE_WEIGHT = 10
+
+
+class CheckRunner:
+    """Run the oracles under a case budget, collecting findings."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        budget: int = 2000,
+        corpus: Optional[Corpus] = None,
+    ) -> None:
+        self.seed = seed
+        self.budget = budget
+        self.corpus = corpus
+        self.findings: List[Finding] = []
+        self.cases: Dict[str, int] = {name: 0 for name in BUDGET_SPLIT}
+        self.mutations_applied = 0
+
+    # -- internals -----------------------------------------------------
+
+    def _record(self, findings: List[Finding]) -> None:
+        for finding in findings:
+            self.findings.append(finding)
+            if self.corpus is not None and finding.entry is not None:
+                entry = dict(finding.entry)
+                wire_hex = entry.get("wire_hex")
+                fmt_dict = entry.get("format")
+                if wire_hex and fmt_dict and entry.get("kind") == "mutation":
+                    fmt = format_from_dict(fmt_dict)
+                    wire = bytes.fromhex(wire_hex)
+                    shrunk = minimize_wire(
+                        wire,
+                        lambda data: bool(
+                            oracles.check_wire_hostility(fmt, data)
+                        ),
+                    )
+                    entry["wire_hex"] = shrunk.hex()
+                    entry["original_wire_hex"] = wire_hex
+                self.corpus.add(entry)
+
+    def _rng(self, oracle: str, index: int) -> random.Random:
+        # One independent stream per (seed, oracle, case): findings name
+        # their case, and reordering oracle phases never shifts streams.
+        return random.Random(f"{self.seed}:{oracle}:{index}")
+
+    # -- the loop ------------------------------------------------------
+
+    def run(self) -> Dict[str, Any]:
+        plan = {
+            name: max(1, int(self.budget * fraction))
+            for name, fraction in BUDGET_SPLIT.items()
+        }
+        plan["morph"] = max(1, plan["morph"] // _MORPH_CASE_WEIGHT)
+
+        for index in range(plan["roundtrip"]):
+            self.cases["roundtrip"] += 1
+            self._record(oracles.check_roundtrip(self._rng("roundtrip", index)))
+        for index in range(plan["mutation"]):
+            self.cases["mutation"] += 1
+            applied, found = oracles.check_mutation(self._rng("mutation", index))
+            self.mutations_applied += applied
+            self._record(found)
+        for index in range(plan["ecode"]):
+            self.cases["ecode"] += 1
+            self._record(oracles.check_ecode(self._rng("ecode", index)))
+        for index in range(plan["morph"]):
+            self.cases["morph"] += 1
+            self._record(oracles.check_morph(self._rng("morph", index)))
+        return self.summary()
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "cases": dict(self.cases),
+            "cases_total": sum(self.cases.values()),
+            "mutations_applied": self.mutations_applied,
+            "findings": [
+                {"oracle": f.oracle, "detail": f.detail} for f in self.findings
+            ],
+            "finding_count": len(self.findings),
+            "corpus_size": len(self.corpus) if self.corpus is not None else 0,
+            "ok": not self.findings,
+        }
+
+
+def run_check(
+    seed: int = 0,
+    budget: int = 2000,
+    corpus_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Convenience entry point: run the harness, return the summary."""
+    corpus = Corpus(corpus_dir) if corpus_dir else None
+    return CheckRunner(seed=seed, budget=budget, corpus=corpus).run()
+
+
+# ---------------------------------------------------------------------------
+# Corpus replay
+# ---------------------------------------------------------------------------
+
+
+def replay_entry(entry: Dict[str, Any]) -> List[Finding]:
+    """Re-run the invariant a corpus *entry* captured.  Returns the
+    findings the entry still provokes (empty = regression fixed/held)."""
+    kind = entry.get("kind")
+    if kind in ("mutation", "roundtrip"):
+        fmt = format_from_dict(entry["format"])
+        wire = bytes.fromhex(entry["wire_hex"])
+        return oracles.check_wire_hostility(
+            fmt, wire, mutation=entry.get("mutation", "replay")
+        )
+    if kind == "ecode":
+        return _replay_ecode(entry["program"], entry.get("inputs"))
+    raise ReproError(f"cannot replay corpus entry of kind {kind!r}")
+
+
+def _replay_ecode(program: str, inputs: Optional[Dict[str, int]]) -> List[Finding]:
+    import copy
+
+    from repro.check.oracles import Finding as _Finding
+    from repro.ecode import compile_procedure, interpret_procedure
+    from repro.errors import ECodeError
+    from repro.pbio.record import Record
+
+    def build(factory):
+        try:
+            return "ok", factory(program)
+        except ECodeError as exc:
+            return "clean", exc
+        except Exception as exc:  # noqa: BLE001
+            return "dirty", exc
+
+    c_kind, compiled = build(compile_procedure)
+    i_kind, interp = build(interpret_procedure)
+    if c_kind != i_kind or "dirty" in (c_kind, i_kind):
+        return [_Finding("ecode", f"front-end divergence on replay: "
+                                  f"compile={c_kind} interpret={i_kind}")]
+    if c_kind == "clean":
+        return []
+    values = inputs or {"a": 0, "b": 0, "c": 0}
+
+    def run(proc):
+        new = Record(copy.deepcopy(values))
+        old = Record({"a": 0, "b": 0, "c": 0})
+        try:
+            return "ok", (proc(new, old), dict(old))
+        except ECodeError as exc:
+            return "clean", type(exc).__name__
+        except Exception as exc:  # noqa: BLE001
+            return "dirty", exc
+
+    ck, cv = run(compiled)
+    ik, iv = run(interp)
+    if "dirty" in (ck, ik) or ck != ik or (ck == "ok" and cv != iv):
+        return [_Finding("ecode", f"replay divergence: compiled=({ck}, {cv!r}) "
+                                  f"interp=({ik}, {iv!r})")]
+    return []
+
+
+def replay_corpus(corpus: Corpus) -> Dict[str, Any]:
+    """Replay every corpus entry; summarize which still fire."""
+    results = []
+    for path, entry in zip(corpus.paths(), corpus.entries()):
+        found = replay_entry(entry)
+        results.append({
+            "path": path,
+            "kind": entry.get("kind"),
+            "still_failing": [f.detail for f in found],
+        })
+    failing = [r for r in results if r["still_failing"]]
+    return {
+        "entries": len(results),
+        "still_failing": len(failing),
+        "results": results,
+        "ok": not failing,
+    }
+
+
+def to_json(summary: Dict[str, Any]) -> str:
+    return json.dumps(summary, indent=2, sort_keys=True)

@@ -234,14 +234,19 @@ class Interpreter:
             )
         if isinstance(expr, ast.UnaryOp):
             operand = self.eval_expr(expr.operand, env)
-            if expr.op == "-":
-                return -operand
-            if expr.op == "+":
-                return +operand
-            if expr.op == "!":
-                return 0 if operand else 1
-            if expr.op == "~":
-                return ~operand
+            try:
+                if expr.op == "-":
+                    return -operand
+                if expr.op == "+":
+                    return +operand
+                if expr.op == "!":
+                    return 0 if operand else 1
+                if expr.op == "~":
+                    return ~operand
+            except TypeError as exc:
+                raise ECodeRuntimeError(
+                    f"bad operand for unary {expr.op!r}: {exc}"
+                ) from None
             raise ECodeRuntimeError(f"unknown unary {expr.op!r}")  # pragma: no cover
         if isinstance(expr, ast.BinaryOp):
             if expr.op == "&&":
@@ -305,7 +310,9 @@ def _binary(op: str, left: Any, right: Any) -> Any:
             return left >> right
     except ECodeRuntimeError:
         raise
-    except TypeError as exc:
+    except (TypeError, ValueError, OverflowError) as exc:
+        # ValueError covers negative shift counts; the compiled path wraps
+        # these in ECodeRuntimeError too, so both arms must agree.
         raise ECodeRuntimeError(f"bad operands for {op!r}: {exc}") from None
     raise ECodeRuntimeError(f"unknown operator {op!r}")  # pragma: no cover
 

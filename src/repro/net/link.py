@@ -23,16 +23,30 @@ class LinkSpec:
         One-way propagation delay in seconds.
     bandwidth:
         Bytes per second; ``0`` means infinite (no serialization delay).
+    loss_rate:
+        Probability in ``[0, 1]`` that a message sent over this link is
+        lost in flight (fault injection; drawn from the network's seeded
+        RNG so runs stay deterministic).
+    jitter:
+        Maximum extra random delay in seconds added per message.  A
+        non-zero jitter lets later messages overtake earlier ones —
+        deterministic, seeded reordering.
     """
 
     latency: float = 0.0001  # 100 us, a LAN-ish default
     bandwidth: float = 125_000_000.0  # 1 Gbit/s in bytes/s
+    loss_rate: float = 0.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.latency < 0:
             raise TransportError("link latency must be >= 0")
         if self.bandwidth < 0:
             raise TransportError("link bandwidth must be >= 0")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise TransportError("link loss_rate must be in [0, 1]")
+        if self.jitter < 0:
+            raise TransportError("link jitter must be >= 0")
 
     def transmission_time(self, size: int) -> float:
         """Seconds to deliver a *size*-byte message over this link."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -95,18 +96,27 @@ class Network:
     ----------
     default_link:
         Link used between node pairs with no explicit link configured.
+    seed:
+        Seed for the fault-injection RNG.  Links with non-zero
+        ``loss_rate`` or ``jitter`` draw from this generator, so the same
+        seed reproduces the same losses and reorderings exactly.
     """
 
-    def __init__(self, default_link: Optional[LinkSpec] = None) -> None:
+    def __init__(
+        self, default_link: Optional[LinkSpec] = None, seed: int = 0
+    ) -> None:
         self.default_link = default_link if default_link is not None else LinkSpec()
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], LinkSpec] = {}
         self._queue: List[Tuple[float, int, str, str, bytes]] = []
         self._sequence = itertools.count()
+        self._rng = random.Random(seed)
         self.now = 0.0
         self.bytes_sent = 0
         self.messages_sent = 0
         self.dropped = 0
+        #: messages lost in flight by link ``loss_rate`` fault injection
+        self.lost = 0
         self.trace: List[Delivery] = []
 
     # ------------------------------------------------------------------
@@ -143,11 +153,26 @@ class Network:
             raise TransportError(f"no node at address {destination!r}")
         link = self.link_between(source, destination)
         arrival = self.now + link.transmission_time(len(data))
+        if link.jitter:
+            arrival += self._rng.uniform(0.0, link.jitter)
+        self.bytes_sent += len(data)
+        self.messages_sent += 1
+        if link.loss_rate and self._rng.random() < link.loss_rate:
+            # Lost in flight: never enqueued, but counted and traced so
+            # fault-injection harnesses can reconcile sends vs deliveries.
+            self.lost += 1
+            self.trace.append(
+                Delivery(time=arrival, source=source, destination=destination,
+                         size=len(data), dropped=True)
+            )
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "net.transport.lost", source=source, destination=destination
+                ).inc()
+            return arrival
         heapq.heappush(
             self._queue, (arrival, next(self._sequence), source, destination, data)
         )
-        self.bytes_sent += len(data)
-        self.messages_sent += 1
         if OBS.enabled:
             metrics = OBS.metrics
             metrics.counter(

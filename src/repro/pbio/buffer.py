@@ -62,9 +62,12 @@ def unpack_header(data: bytes, offset: int = 0) -> MessageHeader:
             f"buffer too short for header: need {HEADER_SIZE} bytes, "
             f"have {len(data) - offset}"
         )
-    magic, version, flags, _reserved, format_id, length = HEADER.unpack_from(
-        data, offset
-    )
+    try:
+        magic, version, flags, _reserved, format_id, length = HEADER.unpack_from(
+            data, offset
+        )
+    except struct.error as exc:
+        raise DecodeError(f"unreadable header: {exc}") from None
     if magic != MAGIC:
         raise DecodeError(f"bad magic {magic:#x} (expected {MAGIC:#x})")
     if version != WIRE_VERSION:
@@ -145,19 +148,28 @@ class WireReader:
 
     def read_struct(self, packer: struct.Struct) -> Tuple[Any, ...]:
         self._require(packer.size)
-        values = packer.unpack_from(self._data, self._offset)
+        try:
+            values = packer.unpack_from(self._data, self._offset)
+        except struct.error as exc:
+            raise DecodeError(f"unreadable bytes at offset {self._offset}: {exc}") from None
         self._offset += packer.size
         return values
 
     def read_scalar(self, code: str, size: int) -> Any:
         self._require(size)
-        (value,) = struct.unpack_from(self.order + code, self._data, self._offset)
+        try:
+            (value,) = struct.unpack_from(self.order + code, self._data, self._offset)
+        except struct.error as exc:
+            raise DecodeError(f"unreadable scalar at offset {self._offset}: {exc}") from None
         self._offset += size
         return value
 
     def read_string(self) -> str:
         self._require(4)
-        (length,) = struct.unpack_from(self.order + "I", self._data, self._offset)
+        try:
+            (length,) = struct.unpack_from(self.order + "I", self._data, self._offset)
+        except struct.error as exc:
+            raise DecodeError(f"unreadable string length at offset {self._offset}: {exc}") from None
         self._offset += 4
         self._require(length)
         raw = self._data[self._offset : self._offset + length]

@@ -25,6 +25,7 @@ import struct
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.errors import DecodeError, EncodeError
+from repro.pbio.decode import ZERO_SIZE_ELEMENT_CAP
 from repro.pbio.buffer import (
     FLAG_BIG_ENDIAN,
     HEADER_SIZE,
@@ -174,10 +175,19 @@ def _gen_decode_array(
                 f"array {field.name!r} count field decoded after the array"
             )
         count_expr = count_var
-        em.emit(f"if {count_expr} < 0:")
+        # Mirror the generic decoder's corrupt-count guard: the count must
+        # be non-negative and must fit the remaining payload bytes given
+        # the element's minimum wire footprint.
+        per_element = field.min_wire_size()
+        if per_element:
+            budget = f"({end} - off) // {per_element}"
+        else:
+            budget = str(ZERO_SIZE_ELEMENT_CAP)
+        em.emit(f"if {count_expr} < 0 or {count_expr} > {budget}:")
         em.indent += 1
         em.emit(
-            f"raise _DecodeError('negative element count for {field.name}')"
+            f"raise _DecodeError('bad element count %r for {field.name}'"
+            f" % ({count_expr},))"
         )
         em.indent -= 1
     em.emit(f"{var} = []")
@@ -297,7 +307,7 @@ def make_decoder(fmt: IOFormat) -> DecoderFn:
             raise DecodeError(
                 f"invalid UTF-8 in string field of {fmt.name!r}: {exc}"
             ) from None
-        except (IndexError, MemoryError, OverflowError) as exc:
+        except (IndexError, KeyError, MemoryError, OverflowError) as exc:
             raise DecodeError(
                 f"corrupt message for {fmt.name!r}: {exc!r}"
             ) from None

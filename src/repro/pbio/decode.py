@@ -7,6 +7,7 @@ DCG-vs-generic ablation benchmark.
 
 from __future__ import annotations
 
+import struct
 from typing import Optional, Tuple
 
 from repro.errors import DecodeError, UnknownFormatError
@@ -21,6 +22,12 @@ from repro.pbio.field import IOField
 from repro.pbio.format import IOFormat
 from repro.pbio.record import Record
 from repro.pbio.types import STRUCT_CODES, TypeKind
+
+#: Upper bound on variable-array element counts when an element can
+#: legally occupy zero wire bytes (e.g. a record of empty fixed arrays):
+#: without a byte-budget to check against, a corrupt count could demand an
+#: absurd allocation that no honest message needs.
+ZERO_SIZE_ELEMENT_CAP = 1 << 16
 
 
 def peek_format_id(data: bytes) -> int:
@@ -50,11 +57,32 @@ def decode_record(
     """Decode the payload of *data* as a record of *fmt*."""
     if header is None:
         header = unpack_header(data)
+    if header.format_id != fmt.format_id:
+        # Mirrors the specialized decoder's guard: decoding a message
+        # against the wrong meta-data silently misreads every field.
+        raise DecodeError(
+            f"message format id {header.format_id:#x} does not match "
+            f"decoder for {fmt.name!r} ({fmt.format_id:#x})"
+        )
     order = ">" if header.flags & FLAG_BIG_ENDIAN else "<"
     reader = WireReader(
         data, HEADER_SIZE, HEADER_SIZE + header.payload_length, order=order
     )
-    record = decode_payload(reader, fmt)
+    try:
+        record = decode_payload(reader, fmt)
+    except DecodeError:
+        raise
+    except (
+        struct.error,
+        UnicodeDecodeError,
+        KeyError,
+        IndexError,
+        OverflowError,
+        MemoryError,
+    ) as exc:
+        # Residual escape paths: the public contract is malformed bytes
+        # always surface as DecodeError, never a raw Python error.
+        raise DecodeError(f"corrupt message for {fmt.name!r}: {exc!r}") from None
     if reader.remaining:
         raise DecodeError(
             f"{reader.remaining} trailing bytes after decoding format {fmt.name!r}"
@@ -80,6 +108,17 @@ def _decode_field(reader: WireReader, field: IOField, record: Record):
             if not isinstance(count, int) or count < 0:
                 raise DecodeError(
                     f"bad element count {count!r} for variable array {field.name!r}"
+                )
+            per_element = field.min_wire_size()
+            budget = (
+                reader.remaining // per_element
+                if per_element
+                else ZERO_SIZE_ELEMENT_CAP
+            )
+            if count > budget:
+                raise DecodeError(
+                    f"element count {count} for variable array {field.name!r} "
+                    f"exceeds the {reader.remaining} remaining payload bytes"
                 )
         return [_decode_element(reader, field) for _ in range(count)]
     return _decode_element(reader, field)

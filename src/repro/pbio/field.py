@@ -149,6 +149,21 @@ class IOField:
         the per-entry default rather than the whole-array default)."""
         return self._element_default()
 
+    def min_wire_size(self) -> int:
+        """Fewest payload bytes one *element* of this field can occupy.
+
+        Strings cost at least their 4-byte length prefix; complex elements
+        cost their subformat's minimum.  Decoders use this to reject
+        corrupt variable-array counts before looping (a count field
+        claiming more elements than the remaining bytes could possibly
+        hold is malformed, not merely truncated)."""
+        if self.is_complex:
+            assert self.subformat is not None
+            return self.subformat.min_wire_size
+        if self.kind is TypeKind.STRING:
+            return 4
+        return self.size
+
     def _element_default(self) -> Any:
         if self._default is not None and not self.is_complex:
             return self._default

@@ -40,7 +40,7 @@ class IOFormat:
     """
 
     __slots__ = ("name", "fields", "version", "_by_name", "_weight",
-                 "_weighted_weight", "_format_id")
+                 "_weighted_weight", "_format_id", "_min_wire_size")
 
     def __init__(
         self,
@@ -83,6 +83,7 @@ class IOFormat:
         self._weight: Optional[int] = None
         self._weighted_weight: Optional[float] = None
         self._format_id: Optional[int] = None
+        self._min_wire_size: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Lookup / iteration
@@ -165,6 +166,25 @@ class IOFormat:
                     total += field.importance * field.subformat.weighted_weight
             self._weighted_weight = total
         return self._weighted_weight
+
+    @property
+    def min_wire_size(self) -> int:
+        """Fewest payload bytes any record of this format can occupy on
+        the wire (variable arrays may be empty, so they contribute only
+        through their count fields).  Decoders use it to bound corrupt
+        element counts against the remaining buffer."""
+        if self._min_wire_size is None:
+            total = 0
+            for field in self.fields:
+                per = field.min_wire_size()
+                if field.is_array:
+                    spec = field.array
+                    assert spec is not None
+                    total += per * (spec.fixed_length or 0)
+                else:
+                    total += per
+            self._min_wire_size = total
+        return self._min_wire_size
 
     # ------------------------------------------------------------------
     # Structural identity

@@ -70,6 +70,30 @@ class FormatRegistry:
             self._by_name.setdefault(fmt.name, []).append(fmt)
             return fmt.format_id
 
+    def unregister(self, fmt: IOFormat) -> bool:
+        """Remove *fmt* and every transform touching it (as source or
+        target).  Returns ``True`` if the format was registered.  Models a
+        writer retiring a revision mid-stream: receivers holding cached
+        conversion routes to it must cope with the meta-data vanishing."""
+        with self._lock:
+            if fmt.format_id not in self._by_id:
+                return False
+            del self._by_id[fmt.format_id]
+            revisions = self._by_name.get(fmt.name)
+            if revisions is not None:
+                revisions[:] = [f for f in revisions if f.format_id != fmt.format_id]
+                if not revisions:
+                    del self._by_name[fmt.name]
+            self._transforms.pop(fmt.format_id, None)
+            for source_id in list(self._transforms):
+                specs = self._transforms[source_id]
+                specs[:] = [
+                    s for s in specs if s.target.format_id != fmt.format_id
+                ]
+                if not specs:
+                    del self._transforms[source_id]
+            return True
+
     def lookup_id(self, format_id: int) -> Optional[IOFormat]:
         with self._lock:
             return self._by_id.get(format_id)

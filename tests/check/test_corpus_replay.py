@@ -1,0 +1,84 @@
+"""Crash corpus: persistence, minimization, and replay of the committed
+regression corpus under ``tests/check/corpus/``."""
+
+import json
+import os
+
+import pytest
+
+from repro.check.corpus import Corpus, minimize_wire
+from repro.check.runner import replay_corpus, replay_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+class TestCorpusStore:
+    def test_add_is_idempotent(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "c"))
+        entry = {"kind": "ecode", "program": "return 1;",
+                 "expectation": "interp_matches_codegen"}
+        path_a = corpus.add(entry)
+        path_b = corpus.add(dict(entry))
+        assert path_a == path_b
+        assert len(corpus) == 1
+
+    def test_entries_round_trip_json(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "c"))
+        entry = {"kind": "mutation", "wire_hex": "00ff", "expectation": "x"}
+        corpus.add(entry)
+        assert corpus.entries() == [entry]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "never_created"))
+        assert corpus.paths() == []
+        assert len(corpus) == 0
+
+
+class TestMinimizer:
+    def test_minimizes_to_failing_core(self):
+        # "Fails" whenever the byte 0xAB survives: the minimizer should
+        # strip everything else.
+        data = bytes(range(200)) + b"\xab" + bytes(range(50))
+        shrunk = minimize_wire(data, lambda d: b"\xab" in d)
+        assert b"\xab" in shrunk
+        assert len(shrunk) <= 4
+
+    def test_never_returns_non_failing_input(self):
+        data = bytes(100)
+        shrunk = minimize_wire(data, lambda d: len(d) >= 10)
+        assert len(shrunk) >= 10
+
+    def test_predicate_exception_treated_as_not_failing(self):
+        def bomb(d):
+            raise RuntimeError("predicate bug")
+        data = b"keep me"
+        assert minimize_wire(data, bomb) == data
+
+
+class TestCommittedCorpus:
+    """Every committed crash entry must stay fixed: replay runs the exact
+    invariant that once failed and asserts it no longer fires."""
+
+    def test_corpus_is_nonempty(self):
+        assert len(Corpus(CORPUS_DIR)) >= 3
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted(
+            os.path.join(CORPUS_DIR, name)
+            for name in os.listdir(CORPUS_DIR)
+            if name.endswith(".json")
+        ),
+        ids=os.path.basename,
+    )
+    def test_entry_no_longer_fails(self, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        findings = replay_entry(entry)
+        assert findings == [], [f.detail for f in findings]
+
+    def test_replay_corpus_summary(self):
+        summary = replay_corpus(Corpus(CORPUS_DIR))
+        assert summary["ok"] is True
+        assert summary["entries"] == len(Corpus(CORPUS_DIR))
+        assert summary["still_failing"] == 0

@@ -1,0 +1,69 @@
+"""repro.check.mutate: mutations corrupt without crashing the harness."""
+
+import random
+
+import pytest
+
+from repro.check import gen
+from repro.check.mutate import MUTATIONS, mutate
+from repro.check.oracles import check_wire_hostility
+from repro.pbio.buffer import FLAG_BIG_ENDIAN, HEADER_SIZE
+from repro.pbio.encode import encode_record
+
+
+def sample_wire(seed=5):
+    rng = random.Random(seed)
+    fmt = gen.random_format(rng)
+    rec = gen.random_record(rng, fmt)
+    return fmt, encode_record(fmt, rec)
+
+
+class TestMutationMechanics:
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_every_mutation_returns_bytes(self, name):
+        _fmt, wire = sample_wire()
+        out = MUTATIONS[name](wire, random.Random(1))
+        assert isinstance(out, bytes)
+
+    def test_bit_flip_changes_exactly_one_bit(self):
+        _fmt, wire = sample_wire()
+        out = MUTATIONS["bit_flip"](wire, random.Random(2))
+        diff = [a ^ b for a, b in zip(wire, out)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_truncate_shortens(self):
+        _fmt, wire = sample_wire()
+        assert len(MUTATIONS["truncate"](wire, random.Random(3))) < len(wire)
+
+    def test_extend_lengthens(self):
+        _fmt, wire = sample_wire()
+        assert len(MUTATIONS["extend"](wire, random.Random(3))) > len(wire)
+
+    def test_endian_flag_lie_flips_header_flag(self):
+        _fmt, wire = sample_wire()
+        out = MUTATIONS["endian_flag_lie"](wire, random.Random(4))
+        assert out[5] == wire[5] ^ FLAG_BIG_ENDIAN
+        assert out[:5] == wire[:5] and out[6:] == wire[6:]
+
+    def test_mutate_dispatch_is_seed_deterministic(self):
+        _fmt, wire = sample_wire()
+        assert mutate(wire, random.Random(9)) == mutate(wire, random.Random(9))
+
+
+class TestHostilityContract:
+    """Every mutation's output must decode cleanly (success or ReproError)
+    on both paths — the invariant the fuzz loop enforces at scale."""
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_mutation_outcomes_are_clean(self, name):
+        rng = random.Random(17)
+        for case in range(5):
+            fmt, wire = sample_wire(seed=100 + case)
+            corrupted = MUTATIONS[name](wire, rng)
+            assert check_wire_hostility(fmt, corrupted, mutation=name) == []
+
+    def test_header_length_lie_lands_in_header(self):
+        fmt, wire = sample_wire()
+        out = MUTATIONS["header_length_lie"](wire, random.Random(6))
+        assert out[:HEADER_SIZE - 4] == wire[:HEADER_SIZE - 4]
+        assert len(out) == len(wire)

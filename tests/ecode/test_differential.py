@@ -1,0 +1,161 @@
+"""Interpreter-vs-codegen differential tests on arithmetic edge cases.
+
+The compiled (DCG) arm and the tree-walking interpreter are two
+implementations of one semantics; anywhere they disagree, the ablation
+benchmarks compare apples to oranges and the morph layer's behavior
+depends on a configuration knob.  These tests pin the edges where C and
+Python semantics pull apart: division/modulo sign rules, narrow-type
+assignments, short-circuit evaluation, and error wrapping.
+"""
+
+import pytest
+
+from repro.ecode import compile_procedure, interpret_procedure
+from repro.errors import ECodeError, ECodeRuntimeError
+from repro.pbio.record import Record
+
+
+def both(source, *args, params=("new", "old")):
+    """Run *source* through both arms with fresh copies of *args*;
+    returns ``(compiled_result, interpreted_result)``."""
+    import copy
+
+    compiled = compile_procedure(source, params=params)
+    interp = interpret_procedure(source, params=params)
+    return (
+        compiled(*copy.deepcopy(args)),
+        interp(*copy.deepcopy(args)),
+    )
+
+
+def run_nullary(source):
+    result_c, result_i = both(source, params=())
+    assert result_c == result_i, (
+        f"compiled={result_c!r} interpreted={result_i!r} for:\n{source}"
+    )
+    return result_c
+
+
+class TestDivModSigns:
+    """C truncates division toward zero; the remainder takes the
+    dividend's sign.  Python floors.  Both arms must pick C."""
+
+    @pytest.mark.parametrize("a,b,quotient,remainder", [
+        (7, 2, 3, 1),
+        (-7, 2, -3, -1),
+        (7, -2, -3, 1),
+        (-7, -2, 3, -1),
+        (1, 3, 0, 1),
+        (-1, 3, 0, -1),
+        (6, 3, 2, 0),
+        (-6, 3, -2, 0),
+    ])
+    def test_div_mod_pairs(self, a, b, quotient, remainder):
+        assert run_nullary(f"return ({a}) / ({b});") == quotient
+        assert run_nullary(f"return ({a}) % ({b});") == remainder
+
+    def test_division_identity_holds(self):
+        # (a/b)*b + a%b == a — the C guarantee, checked through both arms.
+        for a in (-9, -1, 0, 1, 9):
+            for b in (-4, -1, 1, 4):
+                got = run_nullary(f"return (({a})/({b}))*({b}) + ({a})%({b});")
+                assert got == a
+
+    def test_integer_division_by_zero_raises_in_both(self):
+        for factory in (compile_procedure, interpret_procedure):
+            proc = factory("return 1 / 0;", params=())
+            with pytest.raises(ECodeError):
+                proc()
+            proc = factory("return 1 % 0;", params=())
+            with pytest.raises(ECodeError):
+                proc()
+
+
+class TestNarrowAssignments:
+    """Narrow-typed declarations: whatever width semantics the language
+    implements, the two arms must implement the *same* one."""
+
+    @pytest.mark.parametrize("decl,value", [
+        ("char", 300),
+        ("short", 70000),
+        ("int", 2**35),
+        ("long", 2**70),
+    ])
+    def test_narrow_assignment_agrees(self, decl, value):
+        run_nullary(f"{decl} x;\nx = {value};\nreturn x;")
+
+    def test_compound_assignment_agrees(self):
+        run_nullary("short x;\nx = 32767;\nx += 1;\nreturn x;")
+        run_nullary("char c;\nc = 127;\nc *= 3;\nreturn c;")
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self):
+        # If && evaluated its RHS eagerly, the divide-by-zero would raise.
+        assert run_nullary("return 0 && (1 / 0);") == 0
+
+    def test_or_skips_rhs(self):
+        assert run_nullary("return 1 || (1 / 0);") == 1
+
+    def test_results_are_c_booleans(self):
+        assert run_nullary("return 5 && 7;") == 1
+        assert run_nullary("return 0 || 9;") == 1
+        assert run_nullary("return !3;") == 0
+        assert run_nullary("return !0;") == 1
+
+    def test_guarded_division_pattern(self):
+        # The idiomatic C guard: divide only when the divisor is nonzero.
+        source = "return (new.d != 0) && ((new.n / new.d) > 1);"
+        for divisor, expected in ((0, 0), (2, 1), (100, 0)):
+            rec = Record({"n": 10, "d": divisor})
+            compiled = compile_procedure(source, params=("new",))
+            interp = interpret_procedure(source, params=("new",))
+            assert compiled(Record(rec)) == interp(Record(rec)) == expected
+
+
+class TestErrorWrapping:
+    """Hostile operands must raise ECodeError from both arms — never a
+    bare ValueError/TypeError leaking implementation details."""
+
+    def test_negative_shift_raises_cleanly_in_both(self):
+        source = "int n;\nn = 0 - 3;\nreturn 1 << n;"
+        for factory in (compile_procedure, interpret_procedure):
+            proc = factory(source, params=())
+            with pytest.raises(ECodeError):
+                proc()
+
+    def test_string_minus_int_raises_cleanly_in_both(self):
+        source = "return new.s - 1;"
+        for factory in (compile_procedure, interpret_procedure):
+            proc = factory(source, params=("new",))
+            with pytest.raises(ECodeError):
+                proc(Record({"s": "oops"}))
+
+    def test_unary_minus_on_string_raises_cleanly_in_both(self):
+        source = "return -new.s;"
+        for factory in (compile_procedure, interpret_procedure):
+            proc = factory(source, params=("new",))
+            with pytest.raises(ECodeRuntimeError):
+                proc(Record({"s": "oops"}))
+
+    def test_missing_field_raises_cleanly_in_both(self):
+        source = "return new.nope;"
+        for factory in (compile_procedure, interpret_procedure):
+            proc = factory(source, params=("new",))
+            with pytest.raises(ECodeError):
+                proc(Record({"s": 1}))
+
+
+class TestTernaryAndPrecedence:
+    def test_ternary_agrees(self):
+        assert run_nullary("return 3 > 2 ? 10 : 20;") == 10
+        assert run_nullary("return 0 ? (1/0) : 4;") == 4
+
+    def test_bitwise_vs_comparison_precedence(self):
+        run_nullary("return 1 & 3 == 3;")   # C parses as 1 & (3 == 3)
+        run_nullary("return 2 | 1 ^ 1;")
+        run_nullary("return 1 << 3 >> 1;")
+
+    def test_mixed_sign_shifts(self):
+        run_nullary("return (0 - 8) >> 1;")  # arithmetic shift of negative
+        run_nullary("return (0 - 8) << 2;")

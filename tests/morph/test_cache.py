@@ -1,0 +1,128 @@
+"""Conversion-route cache accounting on the morph receiver.
+
+Algorithm 2 plans a route once per incoming format id and replays it from
+cache for every later message; these tests pin down the hit/miss
+bookkeeping, reuse across repeated foreign formats, and what happens when
+a cached route's meta-data is unregistered mid-stream.
+"""
+
+from repro.bench.workloads import response_v2
+from repro.echo.protocol import (
+    RESPONSE_V0,
+    RESPONSE_V1,
+    RESPONSE_V2,
+    V1_TO_V0_TRANSFORM,
+    V2_TO_V1_TRANSFORM,
+)
+from repro.morph.receiver import MorphReceiver
+from repro.pbio.context import PBIOContext
+from repro.pbio.registry import FormatRegistry
+
+
+def lossy_pair(reader_fmt):
+    registry = FormatRegistry()
+    registry.register_transform(V2_TO_V1_TRANSFORM)
+    registry.register_transform(V1_TO_V0_TRANSFORM)
+    sender = PBIOContext(registry)
+    receiver = MorphReceiver(registry)
+    delivered = []
+    receiver.register_handler(reader_fmt, delivered.append)
+    return sender, receiver, delivered
+
+
+class TestHitMissAccounting:
+    def test_first_message_misses_rest_hit(self):
+        sender, receiver, delivered = lossy_pair(RESPONSE_V1)
+        for _ in range(5):
+            receiver.process(sender.encode(RESPONSE_V2, response_v2(3)))
+        assert len(delivered) == 5
+        assert receiver.stats.messages == 5
+        assert receiver.stats.cache_misses == 1
+        assert receiver.stats.cache_hits == 4
+        assert receiver.stats.morphed == 5
+
+    def test_each_foreign_format_misses_once(self):
+        sender, receiver, delivered = lossy_pair(RESPONSE_V0)
+        for fmt in (RESPONSE_V2, RESPONSE_V1, RESPONSE_V2, RESPONSE_V1):
+            rec = response_v2(2) if fmt is RESPONSE_V2 else {
+                "channel_id": "c", "member_count": 0, "member_list": [],
+                "src_count": 0, "src_list": [], "sink_count": 0,
+                "sink_list": [],
+            }
+            receiver.process(sender.encode(fmt, rec))
+        assert receiver.stats.cache_misses == 2  # one per distinct format
+        assert receiver.stats.cache_hits == 2
+        assert len(delivered) == 4
+
+    def test_route_object_is_reused(self):
+        sender, receiver, _ = lossy_pair(RESPONSE_V1)
+        receiver.process(sender.encode(RESPONSE_V2, response_v2(1)))
+        first = receiver.route_for(RESPONSE_V2)
+        receiver.process(sender.encode(RESPONSE_V2, response_v2(2)))
+        assert receiver.route_for(RESPONSE_V2) is first
+
+    def test_new_handler_invalidates_cache(self):
+        sender, receiver, _ = lossy_pair(RESPONSE_V0)
+        receiver.process(sender.encode(RESPONSE_V2, response_v2(1)))
+        assert receiver.route_for(RESPONSE_V2) is not None
+        # Registering a better match must replan: the V1 handler now wins.
+        receiver.register_handler(RESPONSE_V1, lambda rec: rec)
+        assert receiver.route_for(RESPONSE_V2) is None
+        receiver.process(sender.encode(RESPONSE_V2, response_v2(1)))
+        route = receiver.route_for(RESPONSE_V2)
+        assert route.handler_format.version == "1.0"
+        assert receiver.stats.cache_misses == 2
+
+
+class TestUnregisterMidStream:
+    def test_unregister_format_breaks_new_messages_not_cached_route(self):
+        sender, receiver, delivered = lossy_pair(RESPONSE_V1)
+        wire = sender.encode(RESPONSE_V2, response_v2(2))
+        receiver.process(wire)
+        assert len(delivered) == 1
+        # Retire the writer's format: the planned route keeps flowing
+        # (meta-data was already resolved), which is exactly the paper's
+        # point — per-format work happens once, then the route is pinned.
+        assert receiver.registry.unregister(RESPONSE_V2) is True
+        receiver.process(wire)
+        assert len(delivered) == 2
+        assert receiver.stats.cache_hits == 1
+
+    def test_unregister_drops_transforms_touching_format(self):
+        registry = FormatRegistry()
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        registry.register_transform(V1_TO_V0_TRANSFORM)
+        registry.unregister(RESPONSE_V1)
+        assert registry.transforms_from(RESPONSE_V2) == []
+        assert registry.transforms_from(RESPONSE_V1) == []
+        assert registry.lookup_id(RESPONSE_V1.format_id) is None
+        # V2 and V0 themselves survive.
+        assert registry.lookup_id(RESPONSE_V2.format_id) is RESPONSE_V2
+        assert registry.lookup_id(RESPONSE_V0.format_id) is RESPONSE_V0
+
+    def test_unregister_unknown_format_is_false(self):
+        registry = FormatRegistry()
+        assert registry.unregister(RESPONSE_V2) is False
+
+    def test_replanning_after_unregister_rejects(self):
+        registry = FormatRegistry()
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        registry.register_transform(V1_TO_V0_TRANSFORM)
+        sender = PBIOContext(registry)
+        # Strict thresholds: only perfect matches (possibly reached via a
+        # transform chain) are acceptable — no diff-based reconciliation.
+        receiver = MorphReceiver(
+            registry, diff_threshold=0, mismatch_threshold=0.0
+        )
+        delivered = []
+        receiver.register_handler(RESPONSE_V0, delivered.append)
+        wire = sender.encode(RESPONSE_V2, response_v2(2))
+        receiver.process(wire)
+        assert len(delivered) == 1
+        # Drop the transform graph out from under the receiver, then force
+        # a replan: without V2->V1 the V0 reader can no longer accept V2.
+        receiver.registry.unregister(RESPONSE_V1)
+        receiver.register_default_handler(lambda fmt, rec: "rejected")
+        assert receiver.route_for(RESPONSE_V2) is None  # cache invalidated
+        assert receiver.process(wire) == "rejected"
+        assert receiver.stats.rejected == 1

@@ -1,0 +1,99 @@
+"""Link-level fault injection: seeded loss and jitter-driven reordering."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.link import LinkSpec
+from repro.net.transport import Network
+from repro import obs
+from repro.obs.metrics import Registry
+
+
+def lossy_net(seed=0, loss_rate=0.5, jitter=0.0):
+    net = Network(
+        default_link=LinkSpec(loss_rate=loss_rate, jitter=jitter), seed=seed
+    )
+    net.add_node("a")
+    net.add_node("b")
+    return net
+
+
+class TestLinkSpecValidation:
+    def test_defaults_are_fault_free(self):
+        link = LinkSpec()
+        assert link.loss_rate == 0.0
+        assert link.jitter == 0.0
+
+    @pytest.mark.parametrize("loss", [-0.1, 1.1])
+    def test_bad_loss_rate_rejected(self, loss):
+        with pytest.raises(TransportError, match="loss_rate"):
+            LinkSpec(loss_rate=loss)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(TransportError, match="jitter"):
+            LinkSpec(jitter=-0.001)
+
+
+class TestLoss:
+    def test_lost_messages_are_counted_not_delivered(self):
+        net = lossy_net(seed=1, loss_rate=0.5)
+        for index in range(40):
+            net.node("a").send("b", bytes([index]))
+        delivered = net.run()
+        assert delivered + net.lost == 40 == net.messages_sent
+        assert 0 < net.lost < 40  # 0.5 loss on 40 sends: both sides hit
+        assert len(net.node("b").received) == delivered
+
+    def test_losses_are_seed_deterministic(self):
+        def lost_set(seed):
+            net = lossy_net(seed=seed, loss_rate=0.5)
+            for index in range(30):
+                net.node("a").send("b", bytes([index]))
+            net.run()
+            return {data[0] for _src, data in net.node("b").received}
+
+        assert lost_set(7) == lost_set(7)
+        assert lost_set(7) != lost_set(8)  # overwhelmingly likely
+
+    def test_lost_messages_recorded_in_trace_as_dropped(self):
+        net = lossy_net(seed=1, loss_rate=1.0)
+        net.node("a").send("b", b"x")
+        net.run()
+        assert net.lost == 1
+        assert len(net.trace) == 1
+        assert net.trace[0].dropped is True
+
+    def test_obs_counter_tracks_losses(self):
+        prior = (obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer)
+        metrics = Registry()
+        obs.enable(registry=metrics)
+        try:
+            net = lossy_net(seed=3, loss_rate=0.5)
+            for _ in range(20):
+                net.node("a").send("b", b"payload")
+            net.run()
+            counted = metrics.counter(
+                "net.transport.lost", source="a", destination="b"
+            ).value
+        finally:
+            obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer = prior
+        assert counted == net.lost > 0
+
+
+class TestJitterReordering:
+    def test_jitter_can_reorder_messages(self):
+        net = lossy_net(seed=5, loss_rate=0.0, jitter=0.05)
+        for index in range(30):
+            net.node("a").send("b", bytes([index]))
+        net.run()
+        got = [data[0] for _src, data in net.node("b").received]
+        assert sorted(got) == list(range(30))  # nothing lost
+        assert got != list(range(30))  # ...but order scrambled
+
+    def test_zero_jitter_preserves_fifo(self):
+        net = lossy_net(seed=5, loss_rate=0.0, jitter=0.0)
+        for index in range(30):
+            net.node("a").send("b", bytes([index]))
+        net.run()
+        got = [data[0] for _src, data in net.node("b").received]
+        assert got == list(range(30))

@@ -9,33 +9,16 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.check.gen import (
+    NAME_ALPHABET as _NAME_ALPHABET,
+    SCALAR_KINDS as _SCALAR_KINDS,
+    SIGNED_BOUNDS as _SIGNED_BOUNDS,
+    SIZES as _SIZES,
+    UNSIGNED_BOUNDS as _UNSIGNED_BOUNDS,
+)
 from repro.pbio.field import ArraySpec, IOField
 from repro.pbio.format import IOFormat
 from repro.pbio.types import TypeKind
-
-_SCALAR_KINDS = [
-    TypeKind.INTEGER,
-    TypeKind.UNSIGNED,
-    TypeKind.FLOAT,
-    TypeKind.BOOLEAN,
-    TypeKind.ENUMERATION,
-    TypeKind.STRING,
-    TypeKind.CHAR,
-]
-
-_SIZES = {
-    TypeKind.INTEGER: [1, 2, 4, 8],
-    TypeKind.UNSIGNED: [1, 2, 4, 8],
-    TypeKind.ENUMERATION: [1, 2, 4],
-    TypeKind.FLOAT: [4, 8],
-    TypeKind.BOOLEAN: [1],
-    TypeKind.CHAR: [1],
-    TypeKind.STRING: [0],
-}
-
-#: XML element names must not collide with structure; keep them simple
-#: and XML-safe (also used as tags by the XML round-trip suite).
-_NAME_ALPHABET = "abcdefghij"
 
 
 @st.composite
@@ -98,9 +81,6 @@ def io_formats(draw, depth: int = 2, name: "str | None" = None) -> IOFormat:
     version = draw(st.sampled_from([None, "1.0", "2.0"]))
     return IOFormat(format_name, fields, version=version)
 
-
-_SIGNED_BOUNDS = {1: 2**7 - 1, 2: 2**15 - 1, 4: 2**31 - 1, 8: 2**63 - 1}
-_UNSIGNED_BOUNDS = {1: 2**8 - 1, 2: 2**16 - 1, 4: 2**32 - 1, 8: 2**64 - 1}
 
 #: Strings restricted to XML-transparent text so the same records can
 #: drive the XML round-trip suite (control chars are not XML-encodable).

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.xmlrep",
     "repro.b2b",
     "repro.bench",
+    "repro.check",
     "repro.tools",
 ]
 
