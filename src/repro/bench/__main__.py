@@ -12,16 +12,23 @@ Usage::
                                            # in the JSON
 
 The ``--json`` document carries one ``BENCH_fig8`` / ``BENCH_fig9`` /
-``BENCH_fig10`` record per figure — ``{figure, workloads: [{label,
-unencoded_bytes, timings}], stages?}`` — so later perf PRs can diff
-per-stage numbers instead of end-to-end wall time.
+``BENCH_fig10`` / ``BENCH_fusion`` record per figure — ``{figure,
+workloads: [{label, unencoded_bytes, timings}], stages?}`` — so later
+perf PRs can diff per-stage numbers instead of end-to-end wall time.
+
+``--compare BASELINE.json`` re-runs the figures and gates on the
+committed baseline: per figure, the geometric mean of the current/
+baseline PBIO-time ratios over overlapping workload labels must stay
+within :data:`REGRESSION_TOLERANCE`; any figure above it fails the run
+(nonzero exit) — the perf regression gate CI runs on every change.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.bench.figures import (
@@ -29,11 +36,22 @@ from repro.bench.figures import (
     fig8_encoding,
     fig9_decoding,
     fig10_morphing,
+    fig_fusion_ablation,
     table1_sizes,
 )
 from repro.bench.reporting import format_kb, format_ms, format_table
 from repro.bench.workloads import FIGURE_SIZES
 from repro.obs.metrics import Histogram
+
+
+#: A figure fails the ``--compare`` gate when its geometric-mean
+#: current/baseline timing ratio exceeds this (1.15 = >15% slower).
+REGRESSION_TOLERANCE = 1.15
+
+#: Timing metrics the gate compares, in priority order (the first one a
+#: workload carries wins): end-to-end PBIO time for the comparison
+#: figures, fused-route time for the ablation figure.
+_GATE_METRICS = ("pbio_seconds", "fused_seconds")
 
 
 def _rows_record(figure: str, rows: "List[ComparisonRow]") -> Dict[str, Any]:
@@ -55,6 +73,73 @@ def _rows_record(figure: str, rows: "List[ComparisonRow]") -> Dict[str, Any]:
             for row in rows
         ],
     }
+
+
+def _ablation_record(rows) -> Dict[str, Any]:
+    """The BENCH_fusion JSON record."""
+    return {
+        "figure": "fusion_ablation",
+        "chain_length": 2,
+        "workloads": [
+            {
+                "label": row.label,
+                "unencoded_bytes": row.unencoded_bytes,
+                "timings": {
+                    "fused_seconds": row.fused.best,
+                    "staged_seconds": row.staged.best,
+                    "interpreted_seconds": row.interpreted.best,
+                    "speedup": row.speedup,
+                },
+            }
+            for row in rows
+        ],
+    }
+
+
+def _compare_to_baseline(
+    payload: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> "Tuple[Dict[str, float], List[str]]":
+    """Per-figure geometric mean of current/baseline timing ratios over
+    the workload labels both documents carry.  Returns ``(geomeans,
+    failures)`` — a figure missing from either side is skipped, not
+    failed (quick runs gate against a full baseline)."""
+    geomeans: Dict[str, float] = {}
+    failures: List[str] = []
+    for key in sorted(payload):
+        record = payload[key]
+        base = baseline.get(key)
+        if not (
+            isinstance(record, dict)
+            and isinstance(base, dict)
+            and "workloads" in record
+            and "workloads" in base
+        ):
+            continue
+        base_by_label = {w["label"]: w for w in base["workloads"]}
+        ratios: List[float] = []
+        for work in record["workloads"]:
+            other = base_by_label.get(work["label"])
+            timings = work.get("timings")
+            base_timings = other.get("timings") if other else None
+            if not timings or not base_timings:
+                continue
+            for metric in _GATE_METRICS:
+                current, reference = timings.get(metric), base_timings.get(metric)
+                if current and reference:
+                    ratios.append(current / reference)
+                    break
+        if not ratios:
+            continue
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        geomeans[key] = geomean
+        if geomean > tolerance:
+            failures.append(
+                f"{key}: geomean current/baseline = {geomean:.3f} "
+                f"(> {tolerance:.2f} tolerance)"
+            )
+    return geomeans, failures
 
 
 def _stage_breakdown(registry: "obs.Registry") -> Dict[str, Any]:
@@ -129,6 +214,14 @@ def main(argv: "Optional[List[str]]" = None) -> int:
             print("error: --json requires a file path", file=sys.stderr)
             return 2
         json_path = args[index + 1]
+    compare_path = None
+    if "--compare" in args:
+        index = args.index("--compare")
+        if index + 1 >= len(args):
+            print("error: --compare requires a baseline JSON path",
+                  file=sys.stderr)
+            return 2
+        compare_path = args[index + 1]
     obs_mode = "--obs" in args
     registry: "Optional[obs.Registry]" = None
     if obs_mode:
@@ -179,6 +272,33 @@ def main(argv: "Optional[List[str]]" = None) -> int:
             obs.get_tracer().clear()
         comparison(key, figure, title, fn(sizes))
 
+    if obs_mode and registry is not None:
+        registry.reset()
+        obs.get_tracer().clear()
+    ablation_rows = fig_fusion_ablation(sizes)
+    print("\n== Fusion ablation: morphing latency, chain length 2 "
+          "(v2.0 wire -> v0.0 reader) ==")
+    print(
+        format_table(
+            ["size", "fused(ms)", "staged(ms)", "interp(ms)", "staged/fused"],
+            [
+                (
+                    r.label,
+                    format_ms(r.fused.best),
+                    format_ms(r.staged.best),
+                    format_ms(r.interpreted.best),
+                    f"{r.speedup:.2f}x",
+                )
+                for r in ablation_rows
+            ],
+        )
+    )
+    ablation_record = _ablation_record(ablation_rows)
+    if obs_mode and registry is not None:
+        ablation_record["stages"] = _stage_breakdown(registry)
+        _print_stage_table(ablation_record["stages"])
+    payload["BENCH_fusion"] = ablation_record
+
     print("\n== Table 1: ChannelOpenResponse message size (KB) ==")
     rows = table1_sizes(table_kb)
     payload["BENCH_table1"] = {
@@ -215,6 +335,33 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"\nwrote JSON results to {json_path}")
+    if compare_path is not None:
+        try:
+            with open(compare_path, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {compare_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        geomeans, failures = _compare_to_baseline(payload, baseline)
+        print(f"\n== Regression gate vs {compare_path} ==")
+        print(
+            format_table(
+                ["figure", "geomean(current/baseline)", "status"],
+                [
+                    (
+                        key,
+                        f"{ratio:.3f}",
+                        "FAIL" if ratio > REGRESSION_TOLERANCE else "ok",
+                    )
+                    for key, ratio in sorted(geomeans.items())
+                ],
+            )
+        )
+        if failures:
+            for failure in failures:
+                print(f"regression: {failure}", file=sys.stderr)
+            return 1
     return 0
 
 

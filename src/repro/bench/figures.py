@@ -20,8 +20,10 @@ from repro.bench.workloads import (
     response_v2_of_size,
 )
 from repro.echo.protocol import (
+    RESPONSE_V0,
     RESPONSE_V1,
     RESPONSE_V2,
+    V1_TO_V0_TRANSFORM,
     V2_TO_V1_TRANSFORM,
 )
 from repro.morph.receiver import MorphReceiver
@@ -147,6 +149,73 @@ def fig10_morphing(
         pbio = measure(lambda: receiver.process(wire), rounds=rounds)
         xml = measure(xslt_path, rounds=rounds)
         rows.append(ComparisonRow(label, unencoded, pbio, xml))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fusion ablation — whole-route fusion vs staged vs interpreted
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One x-axis point of the fusion ablation: the same chain-length-2
+    morphing workload under three receiver modes."""
+
+    label: str
+    unencoded_bytes: int
+    fused: Measurement
+    staged: Measurement
+    interpreted: Measurement
+
+    @property
+    def speedup(self) -> float:
+        """Staged time / fused time — the whole-route fusion win."""
+        return (
+            self.staged.best / self.fused.best if self.fused.best else float("inf")
+        )
+
+
+def fig_fusion_ablation(
+    sizes: Optional[Dict[str, int]] = None, rounds: int = 5
+) -> List[AblationRow]:
+    """Morphing latency at chain length 2 — a v0.0-only reader receives
+    v2.0 messages through the retro ladder v2.0 -> v1.0 -> v0.0 — under:
+
+    * ``fused``: whole-route fusion (decode + both transform steps +
+      reconcile compiled into one routine, dead fields skipped),
+    * ``staged``: the per-stage DCG pipeline (generated decoder, then
+      two compiled ECode hops, each materializing a record),
+    * ``interpreted``: no code generation anywhere (the paper's
+      interpretation ablation arm).
+    """
+
+    def receiver_for(record, **kwargs):
+        registry = FormatRegistry()
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        registry.register_transform(V1_TO_V0_TRANSFORM)
+        receiver = MorphReceiver(registry, **kwargs)
+        receiver.register_handler(RESPONSE_V0, lambda rec: rec)
+        wire = PBIOContext(registry).encode(RESPONSE_V2, record)
+        receiver.process(wire)  # plan + compile + cache the route
+        return receiver, wire
+
+    rows: List[AblationRow] = []
+    for label, unencoded, record in _workloads(sizes):
+        fused_rx, wire = receiver_for(record, use_fusion=True)
+        staged_rx, _ = receiver_for(record, use_fusion=False)
+        interp_rx, _ = receiver_for(record, use_fusion=False, use_codegen=False)
+        rows.append(
+            AblationRow(
+                label,
+                unencoded,
+                fused=measure(lambda: fused_rx.process(wire), rounds=rounds),
+                staged=measure(lambda: staged_rx.process(wire), rounds=rounds),
+                interpreted=measure(
+                    lambda: interp_rx.process(wire), rounds=rounds
+                ),
+            )
+        )
     return rows
 
 

@@ -173,6 +173,37 @@ def random_record(rng: random.Random, fmt: IOFormat) -> Record:
     return rec
 
 
+def evolved_format_pair(
+    rng: random.Random, name: str = "Evo"
+) -> "tuple[IOFormat, IOFormat]":
+    """``(writer, reader)``: two same-name formats one evolution step
+    apart — the reader drops some of the writer's scalar fields and grows
+    fresh ones, so a morph route between them exercises field matching,
+    default fill and drop (the reconcile walker / fused coercion stage)."""
+    writer = random_format(rng, depth=1, name=name)
+    writer = IOFormat(name, list(writer.fields), version="2.0")
+    count_names = {
+        f.array.length_field
+        for f in writer.fields
+        if f.array is not None and f.array.length_field is not None
+    }
+    reader_fields: List[IOField] = []
+    for field in writer.fields:
+        droppable = field.name not in count_names and not field.is_array
+        if droppable and rng.random() < 0.3:
+            continue  # evolution removed this field
+        reader_fields.append(field)
+    for index in range(rng.randint(0, 2)):
+        kind = rng.choice(SCALAR_KINDS)
+        reader_fields.append(
+            IOField(f"g{index}_new", kind, rng.choice(SIZES[kind]))
+        )
+    if not reader_fields:
+        reader_fields.append(IOField("g_pad", TypeKind.INTEGER, 4))
+    reader = IOFormat(name, reader_fields, version="1.0")
+    return writer, reader
+
+
 # ---------------------------------------------------------------------------
 # ECode program generation
 # ---------------------------------------------------------------------------

@@ -252,7 +252,112 @@ def check_ecode(rng: random.Random) -> List[Finding]:
 
 
 # ---------------------------------------------------------------------------
-# Oracle 4: morph chains over a lossy, reordering transport
+# Oracle 4: fused routes vs the staged pipeline
+# ---------------------------------------------------------------------------
+
+
+def check_fusion_wires(
+    registry: FormatRegistry,
+    handler_fmt,
+    wires: List[bytes],
+    entry_base: Optional[Dict[str, Any]] = None,
+) -> List[Finding]:
+    """The core fusion invariant, shared with corpus replay: every wire
+    through a ``use_fusion=True`` receiver and a ``use_fusion=False``
+    receiver must end in the same outcome class (same exception type when
+    rejecting), deliver equal records, and leave equal stats snapshots."""
+    fused_rx = MorphReceiver(registry, use_fusion=True)
+    staged_rx = MorphReceiver(registry, use_fusion=False)
+    fused_out: List[Record] = []
+    staged_out: List[Record] = []
+    fused_rx.register_handler(handler_fmt, fused_out.append)
+    staged_rx.register_handler(handler_fmt, staged_out.append)
+
+    findings: List[Finding] = []
+
+    def flag(detail: str) -> None:
+        entry = dict(entry_base) if entry_base is not None else None
+        if entry is not None:
+            entry.setdefault("kind", "fusion")
+            entry["detail"] = detail
+            entry["wires_hex"] = [w.hex() for w in wires]
+            entry["expectation"] = "fused_matches_staged"
+        findings.append(Finding(oracle="fusion", detail=detail, entry=entry))
+
+    for index, wire in enumerate(wires):
+        fused_kind, fused_val = _outcome(lambda: fused_rx.process(wire))
+        staged_kind, staged_val = _outcome(lambda: staged_rx.process(wire))
+        for path, kind, val in (
+            ("fused", fused_kind, fused_val),
+            ("staged", staged_kind, staged_val),
+        ):
+            if kind == "dirty":
+                flag(f"{path} path leaked {type(val).__name__} on wire "
+                     f"{index}: {val!r}")
+        if "dirty" in (fused_kind, staged_kind):
+            continue
+        if fused_kind != staged_kind:
+            flag(f"outcome divergence on wire {index}: "
+                 f"fused={fused_kind} staged={staged_kind}")
+        elif fused_kind == "clean" and type(fused_val) is not type(staged_val):
+            flag(f"exception class divergence on wire {index}: "
+                 f"fused={type(fused_val).__name__} "
+                 f"staged={type(staged_val).__name__}")
+
+    if len(fused_out) != len(staged_out):
+        flag(f"delivery count divergence: fused={len(fused_out)} "
+             f"staged={len(staged_out)}")
+    else:
+        for index, (fused_rec, staged_rec) in enumerate(
+            zip(fused_out, staged_out)
+        ):
+            if not records_equal(fused_rec, staged_rec):
+                flag(f"delivered record {index} diverges between fused "
+                     f"and staged paths")
+    if fused_rx.stats.snapshot() != staged_rx.stats.snapshot():
+        flag(f"stats divergence: fused={fused_rx.stats.snapshot()} "
+             f"staged={staged_rx.stats.snapshot()}")
+    return findings
+
+
+def check_fusion(rng: random.Random, messages: int = 5) -> List[Finding]:
+    """Generate one evolving-format scenario (an ECho transform chain or
+    a random coercion-only pair), push a mixed valid/mutated wire stream
+    through fused and staged receivers, and demand exact agreement."""
+    if rng.random() < 0.5:
+        reader_version = rng.choice(["0.0", "1.0"])
+        handler_fmt = RESPONSE_V0 if reader_version == "0.0" else RESPONSE_V1
+        wire_fmt = RESPONSE_V2
+        registry = FormatRegistry()
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        registry.register_transform(V1_TO_V0_TRANSFORM)
+        entry_base: Dict[str, Any] = {
+            "kind": "fusion", "scenario": "echo",
+            "reader_version": reader_version,
+        }
+    else:
+        wire_fmt, handler_fmt = gen.evolved_format_pair(rng)
+        registry = FormatRegistry()
+        registry.register(wire_fmt)
+        entry_base = {
+            "kind": "fusion", "scenario": "coercion",
+            "writer_format": format_to_dict(wire_fmt),
+            "reader_format": format_to_dict(handler_fmt),
+        }
+
+    order = rng.choice(["little", "big"])
+    wires: List[bytes] = []
+    for _ in range(messages):
+        rec = gen.random_record(rng, wire_fmt)
+        wire = encode_record(wire_fmt, rec, byte_order=order)
+        if rng.random() < 0.3:
+            _mutation, wire = mutate(wire, rng)
+        wires.append(wire)
+    return check_fusion_wires(registry, handler_fmt, wires, entry_base)
+
+
+# ---------------------------------------------------------------------------
+# Oracle 5: morph chains over a lossy, reordering transport
 # ---------------------------------------------------------------------------
 
 

@@ -20,15 +20,20 @@ from repro.pbio.serialization import format_from_dict
 
 #: Fraction of the budget each oracle consumes.
 BUDGET_SPLIT = {
-    "roundtrip": 0.40,
-    "mutation": 0.35,
+    "roundtrip": 0.35,
+    "mutation": 0.30,
     "ecode": 0.15,
+    "fusion": 0.10,
     "morph": 0.10,
 }
 
 #: Each morph case already simulates several messages over the network;
 #: weigh it so `--budget` approximates total work, not loop iterations.
 _MORPH_CASE_WEIGHT = 10
+
+#: Each fusion case pushes a multi-message stream through two receivers
+#: (one of which compiles a route); same weighting rationale.
+_FUSION_CASE_WEIGHT = 5
 
 
 class CheckRunner:
@@ -82,6 +87,7 @@ class CheckRunner:
             for name, fraction in BUDGET_SPLIT.items()
         }
         plan["morph"] = max(1, plan["morph"] // _MORPH_CASE_WEIGHT)
+        plan["fusion"] = max(1, plan["fusion"] // _FUSION_CASE_WEIGHT)
 
         for index in range(plan["roundtrip"]):
             self.cases["roundtrip"] += 1
@@ -94,6 +100,9 @@ class CheckRunner:
         for index in range(plan["ecode"]):
             self.cases["ecode"] += 1
             self._record(oracles.check_ecode(self._rng("ecode", index)))
+        for index in range(plan["fusion"]):
+            self.cases["fusion"] += 1
+            self._record(oracles.check_fusion(self._rng("fusion", index)))
         for index in range(plan["morph"]):
             self.cases["morph"] += 1
             self._record(oracles.check_morph(self._rng("morph", index)))
@@ -142,7 +151,32 @@ def replay_entry(entry: Dict[str, Any]) -> List[Finding]:
         )
     if kind == "ecode":
         return _replay_ecode(entry["program"], entry.get("inputs"))
+    if kind == "fusion":
+        return _replay_fusion(entry)
     raise ReproError(f"cannot replay corpus entry of kind {kind!r}")
+
+
+def _replay_fusion(entry: Dict[str, Any]) -> List[Finding]:
+    from repro.echo.protocol import (
+        RESPONSE_V0,
+        RESPONSE_V1,
+        V1_TO_V0_TRANSFORM,
+        V2_TO_V1_TRANSFORM,
+    )
+    from repro.pbio.registry import FormatRegistry
+
+    registry = FormatRegistry()
+    if entry.get("scenario") == "echo":
+        registry.register_transform(V2_TO_V1_TRANSFORM)
+        registry.register_transform(V1_TO_V0_TRANSFORM)
+        handler_fmt = (
+            RESPONSE_V0 if entry["reader_version"] == "0.0" else RESPONSE_V1
+        )
+    else:
+        registry.register(format_from_dict(entry["writer_format"]))
+        handler_fmt = format_from_dict(entry["reader_format"])
+    wires = [bytes.fromhex(h) for h in entry["wires_hex"]]
+    return oracles.check_fusion_wires(registry, handler_fmt, wires)
 
 
 def _replay_ecode(program: str, inputs: Optional[Dict[str, int]]) -> List[Finding]:

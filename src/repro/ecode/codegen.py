@@ -45,12 +45,20 @@ class _PyEmitter:
 
 
 class _CodeGenerator:
-    def __init__(self) -> None:
+    def __init__(self, rename: Optional[Dict[str, str]] = None) -> None:
         self.em = _PyEmitter()
+        #: identifier substitution applied to every name the program
+        #: mentions (parameters *and* locals) — the route fuser maps
+        #: ``new``/``old`` to its own record variables and prefixes locals
+        #: so consecutive inlined steps cannot collide.
+        self.rename = rename or {}
         #: stack of per-loop "before continue" emitters: a for-loop re-runs
         #: its update clause, a do-while re-tests its condition, a while
         #: loop needs nothing.
         self.loop_continue_hooks: List[Callable[[], None]] = []
+
+    def _name(self, name: str) -> str:
+        return self.rename.get(name, name)
 
     # ------------------------------------------------------------------
     # Statements
@@ -59,17 +67,18 @@ class _CodeGenerator:
     def gen_stmt(self, stmt: ast.Stmt) -> None:
         if isinstance(stmt, ast.Declaration):
             for decl in stmt.declarators:
+                name = self._name(decl.name)
                 if decl.array_size is not None:
                     element = repr(default_for_type(stmt.type_name))
                     self.em.emit(
-                        f"{decl.name} = [{element}] * {decl.array_size}"
+                        f"{name} = [{element}] * {decl.array_size}"
                     )
                     continue
                 if decl.init is not None:
                     value = self.gen_expr(decl.init)
                 else:
                     value = repr(default_for_type(stmt.type_name))
-                self.em.emit(f"{decl.name} = {value}")
+                self.em.emit(f"{name} = {value}")
         elif isinstance(stmt, ast.ExprStmt):
             self._gen_statement_expr(stmt.expr)
         elif isinstance(stmt, ast.Block):
@@ -229,7 +238,7 @@ class _CodeGenerator:
         if isinstance(expr, ast.CharLiteral):
             return repr(expr.value)
         if isinstance(expr, ast.Identifier):
-            return expr.name
+            return self._name(expr.name)
         if isinstance(expr, ast.FieldAccess):
             return f"{self.gen_expr(expr.base)}[{expr.name!r}]"
         if isinstance(expr, ast.IndexAccess):
@@ -280,6 +289,25 @@ def generate_source(
     body = gen.em.lines or ["    pass"]
     header = f"def {name}({', '.join(params)}):"
     return "\n".join([header] + body) + "\n"
+
+
+def generate_inline(
+    program: ast.Program,
+    rename: Optional[Dict[str, str]] = None,
+    indent: int = 1,
+) -> List[str]:
+    """Translate a checked program into indented statement lines suitable
+    for splicing into a larger generated function (whole-route fusion).
+
+    *rename* substitutes identifiers wholesale — parameters to the
+    caller's record variables, locals to collision-free prefixed names.
+    The caller is responsible for ensuring the program has no ``return``
+    (see :func:`repro.ecode.analyze.has_return`)."""
+    gen = _CodeGenerator(rename=rename)
+    gen.em.indent = indent
+    for stmt in program.body:
+        gen.gen_stmt(stmt)
+    return gen.em.lines or ["    " * indent + "pass"]
 
 
 def compile_procedure(

@@ -51,8 +51,9 @@ from repro.morph.maxmatch import (
     MatchResult,
     max_match,
 )
+from repro.morph.fusion import FusedRoute, plan_fusion
 from repro.morph.transform import TransformChain, Transformation, build_chain
-from repro.pbio.buffer import unpack_header
+from repro.pbio.buffer import FLAG_BIG_ENDIAN, HEADER_SIZE, unpack_header
 from repro.pbio.context import PBIOContext
 from repro.pbio.format import IOFormat
 from repro.pbio.record import Record
@@ -124,6 +125,14 @@ class ReceiverStats:
     def snapshot(self) -> Dict[str, int]:
         return {name: counter.value for name, counter in self._counters.items()}
 
+    def set_route_cache_size(self, size: int) -> None:
+        """Track the bounded route cache's occupancy (a gauge, so it is
+        *not* part of :meth:`snapshot` — fused and staged receivers plan
+        identical routes but the comparison is over counters)."""
+        self.registry.gauge("morph.receiver.route_cache_size").set(size)
+        if OBS.enabled:
+            OBS.metrics.gauge("morph.receiver.route_cache_size").set(size)
+
 
 def _stat_property(name: str):
     return property(
@@ -154,6 +163,9 @@ class _Route:
     #: computed once at plan time and recorded per morph by obs
     fields_dropped: int = 0
     fields_defaulted: int = 0
+    #: whole-route fusion plan (decode + chain + reconcile compiled into
+    #: one function); None keeps the route on the staged pipeline
+    fused: Optional[FusedRoute] = None
 
     @property
     def is_reject(self) -> bool:
@@ -175,6 +187,15 @@ class MorphReceiver:
     use_codegen:
         False switches both PBIO decoding and ECode transforms to their
         interpretive implementations (ablation).
+    use_fusion:
+        Whether wire messages run through whole-route fusion — decode,
+        transform chain and reconcile compiled into a single generated
+        function per route (:mod:`repro.morph.fusion`).  ``None`` (the
+        default) follows the class attribute ``DEFAULT_USE_FUSION``;
+        False keeps every route on the staged pipeline (ablation
+        baseline and differential-test reference).  Fusion requires
+        ``use_codegen`` and is disabled under ``validate_transforms``
+        (fused chains skip per-step output validation by design).
     validate_transforms:
         Forwarded to :class:`~repro.morph.transform.Transformation`.
         Defaults to False on this hot path — the paper's system writes
@@ -194,6 +215,15 @@ class MorphReceiver:
         arrays).
     """
 
+    #: default for the ``use_fusion`` constructor argument; the test
+    #: suite's parametrized fixture flips this to run everything against
+    #: both pipelines
+    DEFAULT_USE_FUSION = True
+    #: bound on the per-format route cache (and thereby on the compiled
+    #: fused routines a receiver can hold): format churn through
+    #: ``FormatRegistry.unregister`` must not leak generated code
+    MAX_ROUTES = 256
+
     def __init__(
         self,
         registry: Optional[FormatRegistry] = None,
@@ -203,6 +233,7 @@ class MorphReceiver:
         validate_transforms: bool = False,
         weighted: bool = False,
         ecode_coercion: bool = False,
+        use_fusion: Optional[bool] = None,
     ) -> None:
         self.registry = registry if registry is not None else FormatRegistry()
         self.context = PBIOContext(self.registry, use_codegen=use_codegen)
@@ -212,6 +243,9 @@ class MorphReceiver:
         self.validate_transforms = validate_transforms
         self.weighted = weighted
         self.ecode_coercion = ecode_coercion
+        if use_fusion is None:
+            use_fusion = self.DEFAULT_USE_FUSION
+        self.use_fusion = use_fusion and use_codegen and not validate_transforms
         self.stats = ReceiverStats()
         self._lock = threading.RLock()
         self._handlers: Dict[int, Handler] = {}
@@ -262,7 +296,8 @@ class MorphReceiver:
 
     def _process(self, data: bytes) -> Any:
         self.stats.inc("messages")
-        format_id = unpack_header(data).format_id
+        header = unpack_header(data)
+        format_id = header.format_id
         route = self._routes.get(format_id)
         if route is not None:
             self.stats.inc("cache_hits")
@@ -275,7 +310,12 @@ class MorphReceiver:
                 route = self._routes.get(format_id)
                 if route is None:
                     route = self._plan_route(incoming)
-                    self._routes[format_id] = route
+                    self._cache_route(format_id, route)
+        if route.fused is not None:
+            order = ">" if header.flags & FLAG_BIG_ENDIAN else "<"
+            fn = route.fused.fn_for(order)
+            if fn is not None:
+                return self._run_fused(route, fn, data, header)
         return self._run_route(route, data)
 
     def process_record(self, fmt: IOFormat, record: Record) -> Any:
@@ -292,8 +332,17 @@ class MorphReceiver:
                 route = self._routes.get(fmt.format_id)
                 if route is None:
                     route = self._plan_route(fmt)
-                    self._routes[fmt.format_id] = route
+                    self._cache_route(fmt.format_id, route)
         return self._deliver(route, record)
+
+    def _cache_route(self, format_id: int, route: _Route) -> None:
+        """Insert under ``self._lock``, evicting the oldest entry once the
+        cache is full (FIFO: route planning is cheap relative to holding
+        compiled routines for formats that stopped arriving)."""
+        while len(self._routes) >= self.MAX_ROUTES:
+            self._routes.pop(next(iter(self._routes)))
+        self._routes[format_id] = route
+        self.stats.set_route_cache_size(len(self._routes))
 
     # ------------------------------------------------------------------
     # Route planning (the expensive, once-per-format part)
@@ -301,7 +350,7 @@ class MorphReceiver:
 
     def _plan_route(self, incoming: IOFormat) -> _Route:
         if not OBS.enabled:
-            return self._plan_route_inner(incoming)
+            return self._attach_fusion(self._plan_route_inner(incoming))
         with OBS.tracer.span(
             "morph.maxmatch", format=incoming.name, version=incoming.version
         ) as active:
@@ -310,7 +359,14 @@ class MorphReceiver:
                 active.set_attr("mismatch", route.match.mismatch)
                 active.set_attr("diff", route.match.diff_forward)
             active.set_attr("rejected", route.is_reject)
-            return route
+            return self._attach_fusion(route)
+
+    def _attach_fusion(self, route: _Route) -> _Route:
+        """Plan whole-route fusion for a freshly planned route (liveness
+        analysis now, per-order source emission and compile lazily)."""
+        if self.use_fusion and not route.is_reject:
+            route.fused = plan_fusion(route)
+        return route
 
     def _plan_route_inner(self, incoming: IOFormat) -> _Route:
         # Line 4: Fr -- reader formats with the same name as fm
@@ -426,8 +482,64 @@ class MorphReceiver:
     # ------------------------------------------------------------------
 
     def _run_route(self, route: _Route, data: bytes) -> Any:
+        if OBS.enabled:
+            OBS.metrics.counter("morph.receiver.staged_messages").inc()
         record = self.context.decode_as(route.wire_format, data)
         return self._deliver(route, record)
+
+    def _run_fused(
+        self,
+        route: _Route,
+        fn: Callable[[bytes, int, int], Record],
+        data: bytes,
+        header: Any,
+    ) -> Any:
+        """Execute one message through the fused routine, keeping counter
+        effects identical to the staged pipeline: ``morphed`` counts a
+        chain that ran to completion (including when a subsequent ecode
+        reconcile step fails), ``reconciled``/``perfect_matches`` count
+        deliveries."""
+        end = HEADER_SIZE + header.payload_length
+        observing = OBS.enabled
+        try:
+            if observing:
+                OBS.metrics.counter("morph.receiver.fused_messages").inc()
+                with OBS.tracer.span(
+                    "morph.fused",
+                    format=route.wire_format.name,
+                    version=route.wire_format.version,
+                ):
+                    start = time.perf_counter()
+                    record = fn(data, HEADER_SIZE, end)
+                    elapsed = time.perf_counter() - start
+                OBS.metrics.histogram("morph.fused.seconds").observe(elapsed)
+            else:
+                record = fn(data, HEADER_SIZE, end)
+        except TransformError as exc:
+            if (
+                getattr(exc, "fused_stage", None) == "coercion"
+                and route.chain is not None
+            ):
+                # the staged path counts the chain before reconciling
+                self.stats.inc("morphed")
+            raise
+        if route.chain is not None:
+            self.stats.inc("morphed")
+        if route.coercion is not None:
+            self.stats.inc("reconciled")
+        else:
+            self.stats.inc("perfect_matches")
+        handler_format = route.handler_format
+        assert handler_format is not None
+        handler = self._handlers[handler_format.format_id]
+        if observing:
+            with OBS.tracer.span(
+                "morph.dispatch",
+                format=handler_format.name,
+                version=handler_format.version,
+            ):
+                return handler(record)
+        return handler(record)
 
     def _deliver(self, route: _Route, record: Record) -> Any:
         if route.is_reject:

@@ -29,6 +29,12 @@ from repro.pbio.registry import TransformSpec
 
 _record_factories: "dict[int, Callable[[], Record]]" = {}
 
+#: Bound on the factory memo: long-running servers with churning formats
+#: (``FormatRegistry.unregister`` + re-register) must not accumulate one
+#: closure per format id forever.  Eviction is FIFO; callers that need a
+#: factory to outlive eviction (fused routes) hold their own reference.
+RECORD_FACTORY_CACHE_MAX = 1024
+
 
 def growable_record(fmt: IOFormat) -> Record:
     """A default record of *fmt* whose arrays auto-grow on indexed writes.
@@ -44,6 +50,8 @@ def growable_record(fmt: IOFormat) -> Record:
 def _record_factory(fmt: IOFormat) -> Callable[[], Record]:
     factory = _record_factories.get(fmt.format_id)
     if factory is None:
+        while len(_record_factories) >= RECORD_FACTORY_CACHE_MAX:
+            _record_factories.pop(next(iter(_record_factories)))
         if all(f.is_basic and not f.is_array for f in fmt.fields):
             prototype = {f.name: f.default_instance() for f in fmt.fields}
 
@@ -61,6 +69,12 @@ def _record_factory(fmt: IOFormat) -> Callable[[], Record]:
                 return rec
 
         _record_factories[fmt.format_id] = factory
+        from repro.obs import OBS
+
+        if OBS.enabled:
+            OBS.metrics.gauge("morph.transform.record_factory_cache_size").set(
+                len(_record_factories)
+            )
     return factory
 
 

@@ -81,52 +81,83 @@ def unpack_header(data: bytes, offset: int = 0) -> MessageHeader:
 
 
 class WireWriter:
-    """Append-only binary writer backed by a bytearray.
+    """Append-only binary writer backed by a pre-sized bytearray.
 
     *order* is the struct prefix for scalar packing (``"<"`` little,
-    ``">"`` big — the writer's declared native order)."""
+    ``">"`` big — the writer's declared native order).
 
-    __slots__ = ("_buffer", "order")
+    Scalars are packed **in place** with :meth:`struct.Struct.pack_into`
+    against a capacity-doubling buffer, so the generic encoder's hot loop
+    allocates no temporary ``bytes`` per ``write_struct`` call."""
+
+    __slots__ = ("_buffer", "_size", "order")
+
+    _INITIAL_CAPACITY = 256
 
     def __init__(self, order: str = "<") -> None:
-        self._buffer = bytearray()
+        self._buffer = bytearray(self._INITIAL_CAPACITY)
+        self._size = 0
         self.order = order
 
     def __len__(self) -> int:
-        return len(self._buffer)
+        return self._size
 
     def getvalue(self) -> bytes:
-        return bytes(self._buffer)
+        return bytes(memoryview(self._buffer)[: self._size])
+
+    def _reserve(self, count: int) -> None:
+        needed = self._size + count
+        capacity = len(self._buffer)
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            self._buffer.extend(bytes(capacity - len(self._buffer)))
 
     def write_struct(self, packer: struct.Struct, *values: Any) -> None:
+        self._reserve(packer.size)
         try:
-            self._buffer += packer.pack(*values)
+            packer.pack_into(self._buffer, self._size, *values)
         except struct.error as exc:
             raise EncodeError(f"cannot pack {values!r}: {exc}") from None
+        self._size += packer.size
 
     def write_scalar(self, code: str, value: Any) -> None:
+        # struct module-level calls cache the compiled format internally
+        fmt = self.order + code
+        size = struct.calcsize(fmt)
+        self._reserve(size)
         try:
-            self._buffer += struct.pack(self.order + code, value)
+            struct.pack_into(fmt, self._buffer, self._size, value)
         except struct.error as exc:
             raise EncodeError(f"cannot pack {value!r} as {code!r}: {exc}") from None
+        self._size += size
 
     def write_string(self, value: str) -> None:
         encoded = value.encode("utf-8")
-        self._buffer += struct.pack(self.order + "I", len(encoded))
-        self._buffer += encoded
+        length = len(encoded)
+        self._reserve(4 + length)
+        struct.pack_into(self.order + "I", self._buffer, self._size, length)
+        self._buffer[self._size + 4 : self._size + 4 + length] = encoded
+        self._size += 4 + length
 
     def write_bytes(self, data: bytes) -> None:
-        self._buffer += data
+        count = len(data)
+        self._reserve(count)
+        self._buffer[self._size : self._size + count] = data
+        self._size += count
 
 
 class WireReader:
     """Sequential binary reader with bounds checking."""
 
-    __slots__ = ("_data", "_offset", "_end", "order")
+    __slots__ = ("_data", "_view", "_offset", "_end", "order")
 
     def __init__(self, data: bytes, offset: int = 0, end: int = -1,
                  order: str = "<") -> None:
         self._data = data
+        # strings decode straight from a memoryview slice: one copy
+        # fewer than slicing the bytes object first
+        self._view = memoryview(data)
         self._offset = offset
         self._end = len(data) if end < 0 else end
         self.order = order
@@ -172,10 +203,10 @@ class WireReader:
             raise DecodeError(f"unreadable string length at offset {self._offset}: {exc}") from None
         self._offset += 4
         self._require(length)
-        raw = self._data[self._offset : self._offset + length]
+        raw = self._view[self._offset : self._offset + length]
         self._offset += length
         try:
-            return raw.decode("utf-8")
+            return str(raw, "utf-8")
         except UnicodeDecodeError as exc:
             raise DecodeError(f"invalid UTF-8 in string field: {exc}") from None
 

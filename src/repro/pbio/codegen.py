@@ -22,7 +22,7 @@ test suite audits the generated code.
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DecodeError, EncodeError
 from repro.pbio.decode import ZERO_SIZE_ELEMENT_CAP
@@ -116,17 +116,37 @@ class _StructTable(list):
 def _gen_decode_format(
     em: _Emitter,
     fmt: IOFormat,
-    structs: List[struct.Struct],
+    structs: "_StructTable",
     data: str,
     end: str,
     out_var: str,
+    live: Optional[Set[str]] = None,
 ) -> None:
     """Emit code decoding one record of *fmt* into dict var *out_var*.
 
     Uses the running local ``off`` as the cursor.  Field values land in
     fresh locals, then a single dict literal builds the record.
+
+    When *live* is given (whole-route fusion), only those top-level
+    fields are materialized in the record.  Dead fields still advance the
+    cursor and keep every validation the full decode performs — count
+    guards, bounds checks, UTF-8 decoding of strings — so hostile wires
+    produce byte-for-byte the same accept/reject outcome; fixed-width
+    dead fields are *skipped arithmetically* instead of unpacked, which
+    is where the win comes from.  Variable-array count fields are always
+    unpacked (the skip arithmetic needs them) but stay out of the record
+    unless live themselves.
     """
     value_vars: Dict[str, str] = {}
+    count_fields = {
+        f.array.length_field
+        for f in fmt.fields
+        if f.array is not None and f.array.length_field
+    }
+
+    def _needed(f: IOField) -> bool:
+        return live is None or f.name in live or f.name in count_fields
+
     for run in _scalar_runs(fmt.fields):
         field = run[0]
         if len(run) > 1 or (
@@ -134,6 +154,12 @@ def _gen_decode_format(
             and not field.is_array
             and field.kind not in (TypeKind.STRING, TypeKind.CHAR)
         ):
+            if live is not None and not any(_needed(f) for f in run):
+                codes = "".join(STRUCT_CODES[(f.kind, f.size)] for f in run)
+                size = struct.calcsize(structs.order + codes)
+                _gen_skip_bytes(em, str(size), data, end,
+                                f"truncated message in format {fmt.name}")
+                continue
             idx, size = _struct_for_run(run, structs)
             targets = [em.fresh("v") for _ in run]
             for f, var in zip(run, targets):
@@ -144,15 +170,100 @@ def _gen_decode_format(
             em.emit(f"{lhs} = _S[{idx}].unpack_from({data}, off)")
             em.emit(f"off += {size}")
             continue
+        dead = live is not None and not _needed(field)
         var = em.fresh("v")
-        value_vars[field.name] = var
+        if not dead:
+            value_vars[field.name] = var
         if field.is_array:
-            _gen_decode_array(em, field, structs, data, end, var, value_vars)
+            if dead and _arith_skippable(field):
+                _gen_skip_array(em, field, structs, data, end, value_vars)
+            else:
+                _gen_decode_array(em, field, structs, data, end, var, value_vars)
+        elif dead and field.kind is TypeKind.CHAR:
+            _gen_skip_bytes(em, "1", data, end,
+                            f"truncated char field {field.name}")
         else:
+            # dead strings are still UTF-8-decoded (into a throwaway) and
+            # dead complex fields still walked: their validation is part
+            # of the accept/reject contract.
             _gen_decode_single(em, field, structs, data, end, var)
-    items = ", ".join(f"{name!r}: {var}" for name, var in
-                      ((f.name, value_vars[f.name]) for f in fmt.fields))
+    items = ", ".join(
+        f"{f.name!r}: {value_vars[f.name]}"
+        for f in fmt.fields
+        if f.name in value_vars and (live is None or f.name in live)
+    )
     em.emit(f"{out_var} = _mk({{{items}}})")
+
+
+def _arith_skippable(field: IOField) -> bool:
+    """Arrays whose elements have a fixed wire width and need no
+    validation beyond a bounds check."""
+    return field.is_basic and field.kind is not TypeKind.STRING
+
+
+def _element_width(field: IOField, structs: "_StructTable") -> int:
+    if field.kind is TypeKind.CHAR:
+        return 1
+    return struct.calcsize(structs.order + STRUCT_CODES[(field.kind, field.size)])
+
+
+def _gen_skip_bytes(
+    em: _Emitter, size_expr: str, data: str, end: str, message: str
+) -> None:
+    """Advance the cursor over dead fixed-width bytes.
+
+    The guard checks both the claimed payload end *and* the real buffer
+    length: the full decoder's ``unpack_from`` raises on short buffers
+    even when the header over-claims, and the skip must reject the exact
+    same wires."""
+    em.emit(f"if off + {size_expr} > {end} or off + {size_expr} > len({data}):")
+    em.indent += 1
+    em.emit(f"raise _DecodeError({message!r})")
+    em.indent -= 1
+    em.emit(f"off += {size_expr}")
+
+
+def _gen_skip_array(
+    em: _Emitter,
+    field: IOField,
+    structs: "_StructTable",
+    data: str,
+    end: str,
+    value_vars: Dict[str, str],
+) -> None:
+    """Skip a dead array of fixed-width elements: same count guard as the
+    decoding path, then one cursor bump instead of a per-element loop."""
+    spec = field.array
+    assert spec is not None
+    width = _element_width(field, structs)
+    if spec.fixed_length is not None:
+        _gen_skip_bytes(em, str(spec.fixed_length * width), data, end,
+                        f"truncated array field {field.name}")
+        return
+    count_expr = value_vars.get(spec.length_field)
+    if count_expr is None:  # count field precedes array per IOFormat check
+        raise DecodeError(
+            f"array {field.name!r} count field decoded after the array"
+        )
+    per_element = field.min_wire_size()
+    if per_element:
+        budget = f"({end} - off) // {per_element}"
+    else:  # pragma: no cover - fixed-width elements are never zero-size
+        budget = str(ZERO_SIZE_ELEMENT_CAP)
+    em.emit(f"if {count_expr} < 0 or {count_expr} > {budget}:")
+    em.indent += 1
+    em.emit(
+        f"raise _DecodeError('bad element count %r for {field.name}'"
+        f" % ({count_expr},))"
+    )
+    em.indent -= 1
+    # the count guard bounds the elements against the claimed end; the
+    # real buffer may still be shorter than the header claims
+    em.emit(f"if off + {count_expr} * {width} > len({data}):")
+    em.indent += 1
+    em.emit(f"raise _DecodeError('truncated array field {field.name}')")
+    em.indent -= 1
+    em.emit(f"off += {count_expr} * {width}")
 
 
 def _gen_decode_array(
@@ -240,12 +351,19 @@ def _gen_decode_single(
     em.emit(f"off += {size}")
 
 
-def decoder_source(fmt: IOFormat, order: str = "<") -> Tuple[str, List[struct.Struct]]:
+def decoder_source(
+    fmt: IOFormat,
+    order: str = "<",
+    live: Optional[Set[str]] = None,
+) -> Tuple[str, List[struct.Struct]]:
     """Generate the Python source of a specialized decoder for *fmt*.
 
     Returns ``(source, structs)`` where *structs* is the table of
     precompiled Struct objects the source references as ``_S[i]``.
     *order* is the payload byte order the routine is specialized for.
+    *live*, when given, restricts the materialized top-level fields (see
+    :func:`_gen_decode_format`); the full-record decoders used outside
+    route fusion always pass ``None``.
     """
     structs = _StructTable(order)
     em = _Emitter()
@@ -253,7 +371,7 @@ def decoder_source(fmt: IOFormat, order: str = "<") -> Tuple[str, List[struct.St
     em.indent += 1
     em.emit(f'"""Specialized decoder for format {fmt.name!r} '
             f"(id {fmt.format_id:#x}).\"\"\"")
-    _gen_decode_format(em, fmt, structs, "data", "end", "_result")
+    _gen_decode_format(em, fmt, structs, "data", "end", "_result", live=live)
     em.emit("return _result, off")
     return em.source(), structs
 

@@ -22,6 +22,14 @@ from repro.pbio.record import Record
 from repro.pbio.registry import FormatRegistry
 
 
+#: Bound on each context's generated encoder/decoder cache.  A decoder is
+#: cheap to regenerate but holds compiled code; endpoints that register
+#: and unregister formats for years must stay flat.  (The per-order
+#: ``payload_decoders`` inside one generated decoder is naturally bounded
+#: at two entries — "<" and ">".)
+CODEC_CACHE_MAX = 1024
+
+
 class PBIOContext:
     """Encode and decode wire messages for one endpoint.
 
@@ -97,7 +105,8 @@ class PBIOContext:
                         metrics.histogram("pbio.codegen.seconds").observe(
                             time.perf_counter() - start
                         )
-                    self._encoders[fmt.format_id] = encoder
+                    self._cache_codec(self._encoders, fmt.format_id, encoder,
+                                      "pbio.context.encoder_cache_size")
         return encoder(rec)
 
     # ------------------------------------------------------------------
@@ -146,8 +155,21 @@ class PBIOContext:
                         metrics.histogram("pbio.codegen.seconds").observe(
                             time.perf_counter() - start
                         )
-                    self._decoders[fmt.format_id] = decoder
+                    self._cache_codec(self._decoders, fmt.format_id, decoder,
+                                      "pbio.context.decoder_cache_size")
         return decoder(data)
+
+    def _cache_codec(
+        self, cache: Dict[int, Any], format_id: int, codec: Any, gauge: str
+    ) -> None:
+        """Insert a generated routine under ``self._lock``, evicting FIFO
+        at :data:`CODEC_CACHE_MAX` so format churn cannot leak compiled
+        code; the cache size is exported as an obs gauge."""
+        while len(cache) >= CODEC_CACHE_MAX:
+            cache.pop(next(iter(cache)))
+        cache[format_id] = codec
+        if OBS.enabled:
+            OBS.metrics.gauge(gauge).set(len(cache))
 
     def peek_format(self, data: bytes) -> Optional[IOFormat]:
         """Resolve the format of a wire message without decoding it."""

@@ -111,3 +111,65 @@ class TestFigureFunctions:
         row = rows[0]
         assert row.target_kb == 1.0
         assert row.unencoded_v2 < row.pbio_v2 < row.xml_v2
+
+    def test_fusion_ablation_rows_have_shape(self):
+        from repro.bench.figures import fig_fusion_ablation
+
+        rows = fig_fusion_ablation({"1KB": 1_000}, rounds=1)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.label == "1KB"
+        assert row.speedup == row.staged.best / row.fused.best
+        # the interpreted arm pays for everything codegen removes
+        assert row.interpreted.best > row.fused.best
+
+
+class TestRegressionGate:
+    def _payload(self, seconds):
+        return {
+            "BENCH_fig9": {
+                "figure": "fig9_decoding",
+                "workloads": [
+                    {"label": "1KB", "timings": {"pbio_seconds": seconds}},
+                ],
+            },
+            "BENCH_fusion": {
+                "figure": "fusion_ablation",
+                "workloads": [
+                    {"label": "1KB", "timings": {"fused_seconds": seconds}},
+                ],
+            },
+        }
+
+    def test_within_tolerance_passes(self):
+        from repro.bench.__main__ import _compare_to_baseline
+
+        geomeans, failures = _compare_to_baseline(
+            self._payload(1.05), self._payload(1.0)
+        )
+        assert failures == []
+        assert geomeans["BENCH_fig9"] == pytest.approx(1.05)
+        assert geomeans["BENCH_fusion"] == pytest.approx(1.05)
+
+    def test_slowdown_fails_per_figure(self):
+        from repro.bench.__main__ import _compare_to_baseline
+
+        payload = self._payload(1.0)
+        payload["BENCH_fig9"]["workloads"][0]["timings"]["pbio_seconds"] = 1.3
+        geomeans, failures = _compare_to_baseline(payload, self._payload(1.0))
+        assert len(failures) == 1 and "BENCH_fig9" in failures[0]
+
+    def test_missing_figures_and_labels_are_skipped(self):
+        from repro.bench.__main__ import _compare_to_baseline
+
+        payload = self._payload(10.0)
+        baseline = {
+            "BENCH_fig9": {
+                "figure": "fig9_decoding",
+                "workloads": [
+                    {"label": "1MB", "timings": {"pbio_seconds": 1.0}},
+                ],
+            },
+        }
+        geomeans, failures = _compare_to_baseline(payload, baseline)
+        assert geomeans == {} and failures == []

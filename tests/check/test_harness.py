@@ -26,7 +26,9 @@ class TestSmokeRun:
         assert summary["finding_count"] == 0
         assert summary["cases_total"] > 0
         assert summary["mutations_applied"] > 0
-        assert set(summary["cases"]) == {"roundtrip", "mutation", "ecode", "morph"}
+        assert set(summary["cases"]) == {
+            "roundtrip", "mutation", "ecode", "fusion", "morph",
+        }
 
     def test_runs_are_seed_deterministic(self):
         a = CheckRunner(seed=3, budget=40).run()

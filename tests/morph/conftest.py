@@ -1,0 +1,21 @@
+"""Run every morph test against both pipelines.
+
+The receiver's default is whole-route fusion; the staged pipeline is the
+ablation baseline and runtime fallback.  Parametrizing the default here
+means every existing morph test doubles as a fused-vs-staged behavioral
+equivalence check — both modes must satisfy the exact same assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.morph.receiver import MorphReceiver
+
+
+@pytest.fixture(autouse=True, params=["fused", "staged"])
+def pipeline_mode(request, monkeypatch):
+    monkeypatch.setattr(
+        MorphReceiver, "DEFAULT_USE_FUSION", request.param == "fused"
+    )
+    return request.param

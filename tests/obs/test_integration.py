@@ -48,10 +48,10 @@ def evolving_reading():
     return registry, v1, v2
 
 
-def _morphed_wire_delivery(registry, v1, v2, messages=2):
+def _morphed_wire_delivery(registry, v1, v2, messages=2, **receiver_kwargs):
     """Encode v2 records and push them through a v1-only receiver."""
     received = []
-    receiver = MorphReceiver(registry)
+    receiver = MorphReceiver(registry, **receiver_kwargs)
     receiver.register_handler(v1, received.append)
     sender = PBIOContext(registry)
     for i in range(messages):
@@ -63,9 +63,14 @@ def _morphed_wire_delivery(registry, v1, v2, messages=2):
 
 
 def test_single_morphed_delivery_produces_full_span_tree(evolving_reading):
+    # the staged pipeline's span shape: pin fusion off (the fused fast
+    # path collapses decode+transform into one morph.fused span, asserted
+    # separately below)
     registry, v1, v2 = evolving_reading
     obs.enable()
-    receiver, received = _morphed_wire_delivery(registry, v1, v2, messages=1)
+    receiver, received = _morphed_wire_delivery(
+        registry, v1, v2, messages=1, use_fusion=False
+    )
 
     assert len(received) == 1
     assert received[0]["celsius"] == pytest.approx(16.85)
@@ -90,10 +95,33 @@ def test_single_morphed_delivery_produces_full_span_tree(evolving_reading):
     assert decode["attrs"]["format"] == "Reading"
 
 
-def test_cache_counters_and_exporters(evolving_reading):
+def test_fused_delivery_produces_collapsed_span_tree(evolving_reading):
     registry, v1, v2 = evolving_reading
     obs.enable()
-    receiver, _ = _morphed_wire_delivery(registry, v1, v2, messages=3)
+    receiver, received = _morphed_wire_delivery(registry, v1, v2, messages=1)
+
+    assert len(received) == 1
+    assert received[0]["celsius"] == pytest.approx(16.85)
+
+    tree = obs.get_tracer().tree()
+    (process,) = find_spans(tree, "morph.process")
+    # decode + transform collapse into one specialized routine
+    stages = [c["name"] for c in process["children"]]
+    assert stages == ["morph.maxmatch", "morph.fused", "morph.dispatch"]
+    metrics = obs.get_registry()
+    assert metrics.counter("morph.receiver.fused_messages").value == 1
+    assert metrics.histogram("morph.fused.seconds").count == 1
+    assert metrics.counter("morph.fusion.compiles").value == 1
+
+
+def test_cache_counters_and_exporters(evolving_reading):
+    # counter assertions below (morph.transform.seconds) are staged-path
+    # specific; the fused equivalents are asserted in the fused span test
+    registry, v1, v2 = evolving_reading
+    obs.enable()
+    receiver, _ = _morphed_wire_delivery(
+        registry, v1, v2, messages=3, use_fusion=False
+    )
 
     metrics = obs.get_registry()
     assert metrics.counter("morph.receiver.cache_misses").value == 1

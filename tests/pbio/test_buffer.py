@@ -83,6 +83,29 @@ class TestWireWriter:
         writer.write_struct(struct.Struct("<hh"), 1, 2)
         assert writer.getvalue() == struct.pack("<hh", 1, 2)
 
+    def test_growth_past_initial_capacity(self):
+        # the pack_into fast path must stay correct across doublings
+        writer = WireWriter()
+        blob = bytes(range(256)) * 3
+        for i in range(100):
+            writer.write_scalar("I", i)
+        writer.write_bytes(blob)
+        writer.write_string("tail")
+        assert len(writer) > WireWriter._INITIAL_CAPACITY
+        expected = b"".join(struct.pack("<I", i) for i in range(100))
+        expected += blob + struct.pack("<I", 4) + b"tail"
+        assert writer.getvalue() == expected
+
+    def test_getvalue_excludes_unused_capacity(self):
+        writer = WireWriter()
+        writer.write_scalar("B", 7)
+        assert len(writer) == 1
+        assert writer.getvalue() == b"\x07"
+        # failed packs must not advance the cursor
+        with pytest.raises(EncodeError):
+            writer.write_scalar("B", 4096)
+        assert writer.getvalue() == b"\x07"
+
 
 class TestWireReader:
     def test_sequential_reads(self):
