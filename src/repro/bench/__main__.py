@@ -37,6 +37,7 @@ from repro.bench.figures import (
     fig9_decoding,
     fig10_morphing,
     fig_fusion_ablation,
+    fig_reliability,
     table1_sizes,
 )
 from repro.bench.reporting import format_kb, format_ms, format_table
@@ -298,6 +299,49 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         ablation_record["stages"] = _stage_breakdown(registry)
         _print_stage_table(ablation_record["stages"])
     payload["BENCH_fusion"] = ablation_record
+
+    reliability_rows = fig_reliability(
+        messages=60 if "--quick" in args else 200
+    )
+    print("\n== Reliability: goodput and p99 delivery latency vs link "
+          "loss (virtual time) ==")
+    print(
+        format_table(
+            ["loss", "goodput(rel)", "goodput(raw)", "p99(rel)",
+             "p99(raw)", "retries"],
+            [
+                (
+                    f"{r.loss_pct:g}%",
+                    f"{r.reliable_goodput:.3f}",
+                    f"{r.raw_goodput:.3f}",
+                    format_ms(r.reliable_p99_seconds),
+                    format_ms(r.raw_p99_seconds),
+                    r.retries,
+                )
+                for r in reliability_rows
+            ],
+        )
+    )
+    # Deliberately a "metrics" payload, not "timings": these are virtual-
+    # clock properties of the simulation, deterministic for a seed, and
+    # must not participate in the wall-time regression gate.
+    payload["BENCH_reliability"] = {
+        "figure": "reliability",
+        "workloads": [
+            {
+                "label": f"{r.loss_pct:g}%",
+                "metrics": {
+                    "messages": r.messages,
+                    "reliable_goodput": r.reliable_goodput,
+                    "raw_goodput": r.raw_goodput,
+                    "reliable_p99_seconds": r.reliable_p99_seconds,
+                    "raw_p99_seconds": r.raw_p99_seconds,
+                    "retries": r.retries,
+                },
+            }
+            for r in reliability_rows
+        ],
+    }
 
     print("\n== Table 1: ChannelOpenResponse message size (KB) ==")
     rows = table1_sizes(table_kb)

@@ -8,8 +8,9 @@ paper-style tables.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.timing import Measurement, measure
 from repro.bench.workloads import (
@@ -27,6 +28,9 @@ from repro.echo.protocol import (
     V2_TO_V1_TRANSFORM,
 )
 from repro.morph.receiver import MorphReceiver
+from repro.net.link import LinkSpec
+from repro.net.reliable import ReliableEndpoint
+from repro.net.transport import Network
 from repro.pbio.context import PBIOContext
 from repro.pbio.encode import native_size
 from repro.pbio.record import Record
@@ -214,6 +218,133 @@ def fig_fusion_ablation(
                 interpreted=measure(
                     lambda: interp_rx.process(wire), rounds=rounds
                 ),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Reliability figure — goodput and delivery latency under loss
+# ---------------------------------------------------------------------------
+
+#: Loss rates swept by the reliability figure (fractions).
+RELIABILITY_LOSS_RATES = (0.0, 0.05, 0.10, 0.20)
+
+
+@dataclass(frozen=True)
+class ReliabilityRow:
+    """One x-axis point of the reliability figure: the same paced
+    message stream over an increasingly lossy link, with and without the
+    reliable endpoint's ack/retry machinery.  Latencies are virtual
+    (simulated) seconds from send to application delivery — retransmits
+    show up as a fat p99 tail, losses as goodput below 1.0."""
+
+    loss_pct: float
+    messages: int
+    reliable_delivered: int
+    raw_delivered: int
+    reliable_p99_seconds: float
+    raw_p99_seconds: float
+    retries: int
+
+    @property
+    def reliable_goodput(self) -> float:
+        return self.reliable_delivered / self.messages if self.messages else 0.0
+
+    @property
+    def raw_goodput(self) -> float:
+        return self.raw_delivered / self.messages if self.messages else 0.0
+
+
+def _p99(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, math.ceil(0.99 * len(ordered)) - 1)]
+
+
+def _reliability_arm(
+    loss_rate: float, messages: int, seed: int, reliable: bool
+) -> Tuple[int, float, int]:
+    """Run one arm: *messages* small payloads, paced on the virtual
+    clock, sender -> receiver over a lossy, jittery link.  Returns
+    ``(delivered, p99_latency, retries)``."""
+    net = Network(
+        default_link=LinkSpec(
+            latency=0.001, loss_rate=loss_rate, jitter=0.0005
+        ),
+        seed=seed,
+    )
+    send_times: Dict[bytes, float] = {}
+    latencies: List[float] = []
+
+    def on_delivery(_source: str, data: bytes) -> None:
+        latencies.append(net.now - send_times[data])
+
+    retries = 0
+    if reliable:
+        sender = ReliableEndpoint(
+            net, "sender", seed=seed, breaker_threshold=1_000_000
+        )
+        receiver = ReliableEndpoint(net, "receiver", seed=seed)
+        receiver.set_handler(on_delivery)
+        transmit = lambda payload: sender.send("receiver", payload)  # noqa: E731
+    else:
+        net.add_node("sender")
+        net.add_node("receiver").set_handler(on_delivery)
+        transmit = lambda payload: net.send("sender", "receiver", payload)  # noqa: E731
+
+    def send_at(index: int) -> Callable[[], None]:
+        payload = index.to_bytes(4, "big")
+
+        def fire() -> None:
+            send_times[payload] = net.now
+            transmit(payload)
+
+        return fire
+
+    for index in range(messages):
+        # 200 msgs/s of virtual time: retransmit tails overlap later
+        # sends, like a real stream (not one isolated stop-and-wait).
+        net.call_at(index * 0.005, send_at(index))
+    net.run()
+    if reliable:
+        retries = sender.retries
+    return len(latencies), _p99(latencies), retries
+
+
+def fig_reliability(
+    loss_rates: Optional[List[float]] = None,
+    messages: int = 200,
+    seed: int = 0,
+) -> List[ReliabilityRow]:
+    """Goodput and p99 delivery latency vs link loss rate, with the
+    reliable endpoint's retries on vs raw datagrams.
+
+    Expected shape: the reliable arm holds goodput at 1.0 across the
+    sweep, paying for it with a retransmission latency tail that grows
+    with the loss rate; the raw arm's latency stays flat but its goodput
+    decays roughly as ``1 - loss``."""
+    chosen = list(loss_rates) if loss_rates is not None else list(
+        RELIABILITY_LOSS_RATES
+    )
+    rows: List[ReliabilityRow] = []
+    for loss in chosen:
+        reliable_delivered, reliable_p99, retries = _reliability_arm(
+            loss, messages, seed, reliable=True
+        )
+        raw_delivered, raw_p99, _ = _reliability_arm(
+            loss, messages, seed, reliable=False
+        )
+        rows.append(
+            ReliabilityRow(
+                loss_pct=loss * 100.0,
+                messages=messages,
+                reliable_delivered=reliable_delivered,
+                raw_delivered=raw_delivered,
+                reliable_p99_seconds=reliable_p99,
+                raw_p99_seconds=raw_p99,
+                retries=retries,
             )
         )
     return rows

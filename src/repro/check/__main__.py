@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.check --seed 0 --budget 2000
     python -m repro.check --seed 7 --budget 500 --corpus .crashes
+    python -m repro.check --oracle reliability --seed 0
     python -m repro.check --replay tests/check/corpus
 
 Exit status 0 iff every case upheld every invariant (or, with
@@ -16,7 +17,12 @@ import argparse
 import sys
 
 from repro.check.corpus import Corpus
-from repro.check.runner import CheckRunner, replay_corpus, to_json
+from repro.check.runner import (
+    BUDGET_SPLIT,
+    CheckRunner,
+    replay_corpus,
+    to_json,
+)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -34,6 +40,9 @@ def main(argv: "list[str] | None" = None) -> int:
                              "inputs into")
     parser.add_argument("--replay", default=None, metavar="DIR",
                         help="replay a crash corpus instead of fuzzing")
+    parser.add_argument("--oracle", default=None, choices=sorted(BUDGET_SPLIT),
+                        help="focus the whole budget on one oracle "
+                             "(e.g. the reliability chaos smoke)")
     args = parser.parse_args(argv)
 
     if args.replay is not None:
@@ -41,7 +50,8 @@ def main(argv: "list[str] | None" = None) -> int:
     else:
         corpus = Corpus(args.corpus) if args.corpus else None
         summary = CheckRunner(
-            seed=args.seed, budget=args.budget, corpus=corpus
+            seed=args.seed, budget=args.budget, corpus=corpus,
+            only=args.oracle,
         ).run()
     print(to_json(summary))
     return 0 if summary["ok"] else 1

@@ -33,8 +33,10 @@ from repro.obs.metrics import Registry
 from repro.pbio import codegen
 from repro.pbio.decode import decode_record
 from repro.pbio.encode import encode_record
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
 from repro.pbio.record import Record, records_equal
-from repro.pbio.registry import FormatRegistry
+from repro.pbio.registry import FormatRegistry, TransformSpec
 from repro.pbio.serialization import format_to_dict
 
 
@@ -454,3 +456,247 @@ def check_morph(rng: random.Random, messages: int = 6) -> List[Finding]:
             flag(f"morphed record for {channel!r} diverges from the "
                  f"interpreted reference chain")
     return findings
+
+
+# ---------------------------------------------------------------------------
+# Oracle 6: reliable delivery & format-server failover
+# ---------------------------------------------------------------------------
+
+#: A three-revision event format family with retro-transform chain
+#: V2 -> V1 -> V0, mirroring the paper's Figure 1 evolution but small
+#: enough for heavy fuzzing.
+_EVT_V0 = IOFormat("ReliEvt", [IOField("n", "integer")], version="0.0")
+_EVT_V1 = IOFormat(
+    "ReliEvt",
+    [IOField("n", "integer"), IOField("extra", "integer")],
+    version="1.0",
+)
+_EVT_V2 = IOFormat(
+    "ReliEvt",
+    [IOField("n", "integer"), IOField("extra", "integer"),
+     IOField("flag", "integer")],
+    version="2.0",
+)
+_EVT_V2_TO_V1 = TransformSpec(
+    source=_EVT_V2, target=_EVT_V1,
+    code="old.n = new.n;\nold.extra = new.extra;",
+    description="ReliEvt 2.0 -> 1.0",
+)
+_EVT_V1_TO_V0 = TransformSpec(
+    source=_EVT_V1, target=_EVT_V0,
+    code="old.n = new.n;",
+    description="ReliEvt 1.0 -> 0.0",
+)
+
+
+def _assert_exactly_once(
+    flag: Callable[[str], None],
+    name: str,
+    got: List[int],
+    messages: int,
+) -> None:
+    expected = set(range(messages))
+    if len(got) != len(set(got)):
+        dups = sorted({n for n in got if got.count(n) > 1})
+        flag(f"{name} saw duplicate events {dups[:5]}")
+    missing = expected - set(got)
+    if missing:
+        flag(f"{name} has delivery gaps: missing {sorted(missing)[:5]} "
+             f"({len(missing)} of {messages})")
+    extra = set(got) - expected
+    if extra:
+        flag(f"{name} delivered unpublished events {sorted(extra)[:5]}")
+
+
+def _reconcile_endpoint(flag: Callable[[str], None], proc) -> None:
+    """Counters of a quiesced reliable endpoint must balance: every send
+    acked, none failed or fail-fast rejected, nothing in flight."""
+    counters = proc.reliable.counters()
+    name = proc.address
+    if counters["failed"]:
+        flag(f"{name} endpoint gave up on {counters['failed']} sends")
+    if counters["rejected"]:
+        flag(f"{name} endpoint fail-fast rejected {counters['rejected']} sends")
+    if proc.reliable.in_flight:
+        flag(f"{name} endpoint still has {proc.reliable.in_flight} "
+             f"unacked sends after quiesce")
+    if counters["sent"] != counters["acked"]:
+        flag(f"{name} endpoint sent {counters['sent']} but acked "
+             f"{counters['acked']}")
+
+
+def check_reliability_chain(
+    net_seed: int, loss_rate: float, jitter: float, messages: int
+) -> List[Finding]:
+    """Exactly-once across a mixed-version ECho chain: a V2 writer
+    publishes over a lossy/jittery/reordering fabric to V1 and V0 sinks,
+    everything on reliable endpoints; every event must arrive exactly
+    once at both sinks (morphed down their revision), and every
+    endpoint's counters must reconcile."""
+    from repro.echo.process import EChoProcess
+
+    findings: List[Finding] = []
+    base_entry = {
+        "kind": "reliability", "scenario": "chain", "net_seed": net_seed,
+        "loss_rate": loss_rate, "jitter": jitter, "messages": messages,
+        "expectation": "exactly_once",
+    }
+
+    def flag(detail: str) -> None:
+        entry = dict(base_entry)
+        entry["detail"] = detail
+        findings.append(Finding(oracle="reliability", detail=detail,
+                                entry=entry))
+
+    prior = (obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer)
+    obs.enable(registry=Registry())
+    try:
+        net = Network(seed=net_seed, default_link=LinkSpec(
+            loss_rate=loss_rate, jitter=jitter,
+        ))
+        registry = FormatRegistry()
+        registry.register_transform(_EVT_V2_TO_V1)
+        registry.register_transform(_EVT_V1_TO_V0)
+        creator = EChoProcess(net, "creator", registry, version="2.0",
+                              reliable=True)
+        source = EChoProcess(net, "source", registry, version="2.0",
+                             reliable=True)
+        sink1 = EChoProcess(net, "sink1", registry, version="1.0",
+                            reliable=True)
+        sink0 = EChoProcess(net, "sink0", registry, version="0.0",
+                            reliable=True)
+        creator.create_channel("ch")
+        source.open_channel("ch", "creator", as_source=True)
+        sink1.open_channel("ch", "creator", as_sink=True)
+        sink0.open_channel("ch", "creator", as_sink=True)
+        net.run()
+
+        got1: List[int] = []
+        got0: List[int] = []
+        sink1.subscribe("ch", _EVT_V1, lambda r: got1.append(r["n"]))
+        sink0.subscribe("ch", _EVT_V0, lambda r: got0.append(r["n"]))
+        for n in range(messages):
+            source.submit(
+                "ch", _EVT_V2, _EVT_V2.make_record(n=n, extra=2 * n, flag=1)
+            )
+        net.run()
+    finally:
+        obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer = prior
+
+    if not source.channel("ch").ready:
+        flag("source membership never became ready")
+    _assert_exactly_once(flag, "sink1", got1, messages)
+    _assert_exactly_once(flag, "sink0", got0, messages)
+    for proc in (creator, source, sink1, sink0):
+        _reconcile_endpoint(flag, proc)
+    for sink, got in ((sink1, got1), (sink0, got0)):
+        stats = sink.event_receiver("ch").stats
+        if stats.messages != len(got):
+            flag(f"{sink.address} receiver saw {stats.messages} messages "
+                 f"but its handler got {len(got)}")
+    if net.pending:
+        flag(f"network did not quiesce: {net.pending} events still queued")
+    if net.handler_errors:
+        flag(f"{net.handler_errors} handler exceptions were contained by "
+             f"the transport during a healthy-path run")
+    return findings
+
+
+def check_reliability_failover(
+    net_seed: int,
+    loss_rate: float,
+    jitter: float,
+    messages: int,
+    crash_primary: bool = True,
+) -> List[Finding]:
+    """Format-server failover: processes resolve formats through a
+    primary/standby fleet; the primary crashes after the writer's
+    registrations are mirrored, and the chain must still deliver every
+    event exactly once by failing over to the standby."""
+    from repro.echo.process import EChoProcess
+    from repro.pbio.server import FormatServer
+
+    findings: List[Finding] = []
+    base_entry = {
+        "kind": "reliability", "scenario": "failover", "net_seed": net_seed,
+        "loss_rate": loss_rate, "jitter": jitter, "messages": messages,
+        "crash_primary": crash_primary, "expectation": "exactly_once",
+    }
+
+    def flag(detail: str) -> None:
+        entry = dict(base_entry)
+        entry["detail"] = detail
+        findings.append(Finding(oracle="reliability", detail=detail,
+                                entry=entry))
+
+    prior = (obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer)
+    obs.enable(registry=Registry())
+    try:
+        net = Network(seed=net_seed, default_link=LinkSpec(
+            loss_rate=loss_rate, jitter=jitter,
+        ))
+        big = 1_000_000  # lossy-link timeouts must not trip server breakers
+        primary = FormatServer(net, "fs-a", peer="fs-b", seed=1,
+                               breaker_threshold=big)
+        FormatServer(net, "fs-b", seed=2, breaker_threshold=big)
+        servers = ["fs-a", "fs-b"]
+        options = {"request_timeout": 0.5}
+        creator = EChoProcess(net, "creator", version="2.0", reliable=True,
+                              format_servers=servers,
+                              resolver_options=options)
+        source = EChoProcess(net, "source", version="2.0", reliable=True,
+                             format_servers=servers,
+                             resolver_options=options)
+        sink = EChoProcess(net, "sink", version="0.0", reliable=True,
+                           format_servers=servers, resolver_options=options)
+        # the writer uploads the event formats and the retro chain
+        source.resolver.register(
+            _EVT_V2, transforms=[_EVT_V2_TO_V1, _EVT_V1_TO_V0]
+        )
+        net.run()
+        if crash_primary:
+            primary.close()
+        creator.create_channel("ch")
+        source.open_channel("ch", "creator", as_source=True)
+        sink.open_channel("ch", "creator", as_sink=True)
+        net.run()
+
+        got: List[int] = []
+        sink.subscribe("ch", _EVT_V0, lambda r: got.append(r["n"]))
+        for n in range(messages):
+            source.submit(
+                "ch", _EVT_V2, _EVT_V2.make_record(n=n, extra=2 * n, flag=1)
+            )
+        net.run()
+    finally:
+        obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer = prior
+
+    _assert_exactly_once(flag, "sink", got, messages)
+    for proc in (creator, source, sink):
+        if proc.unresolved:
+            flag(f"{proc.address} dropped {proc.unresolved} messages as "
+                 f"unresolvable despite a live standby")
+        if proc.resolver.degraded:
+            flag(f"{proc.address} resolver is degraded despite a live "
+                 f"standby")
+    if crash_primary and sink.resolver.stats["failovers"] == 0 \
+            and sink.resolver.stats["lookups_sent"] > 0:
+        flag("primary crashed but the sink resolver never failed over")
+    if net.pending:
+        flag(f"network did not quiesce: {net.pending} events still queued")
+    return findings
+
+
+def check_reliability(rng: random.Random, messages: int = 5) -> List[Finding]:
+    """One randomized reliability case: exactly-once over a faulty
+    fabric, either a pure transport-chain scenario or a format-server
+    failover scenario."""
+    loss_rate = rng.choice([0.05, 0.1, 0.2])
+    jitter = rng.choice([0.0, 0.005, 0.01])
+    net_seed = rng.randrange(2**31)
+    if rng.random() < 0.5:
+        return check_reliability_chain(net_seed, loss_rate, jitter, messages)
+    return check_reliability_failover(
+        net_seed, loss_rate, jitter, messages,
+        crash_primary=rng.random() < 0.7,
+    )

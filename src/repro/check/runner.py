@@ -1,9 +1,12 @@
 """The budgeted fuzzing loop and corpus replay.
 
-A *budget* is a case count, split across the four oracles roughly by
-where historical bugs hide: round-trip differentials and hostile-buffer
-mutations get the bulk, ECode differentials and morph scenarios the
-rest.  Every case is reproducible from ``(seed, oracle, index)`` alone.
+A *budget* is a case count, split across the oracles roughly by where
+historical bugs hide: round-trip differentials and hostile-buffer
+mutations get the bulk; ECode differentials, fusion/morph scenarios and
+whole-deployment reliability chaos share the rest.  Every case is
+reproducible from ``(seed, oracle, index)`` alone, and ``only`` focuses
+the entire budget on one oracle (the CI chaos smoke runs
+``only="reliability"``).
 """
 
 from __future__ import annotations
@@ -20,11 +23,12 @@ from repro.pbio.serialization import format_from_dict
 
 #: Fraction of the budget each oracle consumes.
 BUDGET_SPLIT = {
-    "roundtrip": 0.35,
-    "mutation": 0.30,
-    "ecode": 0.15,
+    "roundtrip": 0.30,
+    "mutation": 0.28,
+    "ecode": 0.12,
     "fusion": 0.10,
     "morph": 0.10,
+    "reliability": 0.10,
 }
 
 #: Each morph case already simulates several messages over the network;
@@ -35,6 +39,11 @@ _MORPH_CASE_WEIGHT = 10
 #: (one of which compiles a route); same weighting rationale.
 _FUSION_CASE_WEIGHT = 5
 
+#: Each reliability case stands up a whole middleware deployment (format
+#: servers, three or four ECho processes on reliable endpoints) and runs
+#: membership plus an event stream through a faulty fabric.
+_RELIABILITY_CASE_WEIGHT = 25
+
 
 class CheckRunner:
     """Run the oracles under a case budget, collecting findings."""
@@ -44,10 +53,19 @@ class CheckRunner:
         seed: int = 0,
         budget: int = 2000,
         corpus: Optional[Corpus] = None,
+        only: Optional[str] = None,
     ) -> None:
+        if only is not None and only not in BUDGET_SPLIT:
+            raise ReproError(
+                f"unknown oracle {only!r}; expected one of "
+                f"{sorted(BUDGET_SPLIT)}"
+            )
         self.seed = seed
         self.budget = budget
         self.corpus = corpus
+        #: restrict the run to a single oracle (the whole budget goes to
+        #: it); None runs the full split
+        self.only = only
         self.findings: List[Finding] = []
         self.cases: Dict[str, int] = {name: 0 for name in BUDGET_SPLIT}
         self.mutations_applied = 0
@@ -82,12 +100,26 @@ class CheckRunner:
     # -- the loop ------------------------------------------------------
 
     def run(self) -> Dict[str, Any]:
-        plan = {
-            name: max(1, int(self.budget * fraction))
-            for name, fraction in BUDGET_SPLIT.items()
-        }
-        plan["morph"] = max(1, plan["morph"] // _MORPH_CASE_WEIGHT)
-        plan["fusion"] = max(1, plan["fusion"] // _FUSION_CASE_WEIGHT)
+        if self.only is not None:
+            plan = {name: 0 for name in BUDGET_SPLIT}
+            plan[self.only] = self.budget
+        else:
+            plan = {
+                name: max(1, int(self.budget * fraction))
+                for name, fraction in BUDGET_SPLIT.items()
+            }
+        plan["morph"] = (
+            max(1, plan["morph"] // _MORPH_CASE_WEIGHT)
+            if plan["morph"] else 0
+        )
+        plan["fusion"] = (
+            max(1, plan["fusion"] // _FUSION_CASE_WEIGHT)
+            if plan["fusion"] else 0
+        )
+        plan["reliability"] = (
+            max(1, plan["reliability"] // _RELIABILITY_CASE_WEIGHT)
+            if plan["reliability"] else 0
+        )
 
         for index in range(plan["roundtrip"]):
             self.cases["roundtrip"] += 1
@@ -106,6 +138,11 @@ class CheckRunner:
         for index in range(plan["morph"]):
             self.cases["morph"] += 1
             self._record(oracles.check_morph(self._rng("morph", index)))
+        for index in range(plan["reliability"]):
+            self.cases["reliability"] += 1
+            self._record(
+                oracles.check_reliability(self._rng("reliability", index))
+            )
         return self.summary()
 
     def summary(self) -> Dict[str, Any]:
@@ -128,10 +165,13 @@ def run_check(
     seed: int = 0,
     budget: int = 2000,
     corpus_dir: Optional[str] = None,
+    only: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Convenience entry point: run the harness, return the summary."""
     corpus = Corpus(corpus_dir) if corpus_dir else None
-    return CheckRunner(seed=seed, budget=budget, corpus=corpus).run()
+    return CheckRunner(
+        seed=seed, budget=budget, corpus=corpus, only=only
+    ).run()
 
 
 # ---------------------------------------------------------------------------
@@ -153,7 +193,27 @@ def replay_entry(entry: Dict[str, Any]) -> List[Finding]:
         return _replay_ecode(entry["program"], entry.get("inputs"))
     if kind == "fusion":
         return _replay_fusion(entry)
+    if kind == "reliability":
+        return _replay_reliability(entry)
     raise ReproError(f"cannot replay corpus entry of kind {kind!r}")
+
+
+def _replay_reliability(entry: Dict[str, Any]) -> List[Finding]:
+    """Reliability cases are fully determined by their scenario
+    parameters (the virtual network is seeded), so replay re-runs the
+    scenario rather than re-injecting bytes."""
+    scenario = entry.get("scenario")
+    if scenario == "chain":
+        return oracles.check_reliability_chain(
+            entry["net_seed"], entry["loss_rate"], entry["jitter"],
+            entry["messages"],
+        )
+    if scenario == "failover":
+        return oracles.check_reliability_failover(
+            entry["net_seed"], entry["loss_rate"], entry["jitter"],
+            entry["messages"], entry.get("crash_primary", True),
+        )
+    raise ReproError(f"cannot replay reliability scenario {scenario!r}")
 
 
 def _replay_fusion(entry: Dict[str, Any]) -> List[Finding]:

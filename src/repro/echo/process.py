@@ -35,6 +35,7 @@ from repro.morph.maxmatch import (
     DEFAULT_MISMATCH_THRESHOLD,
 )
 from repro.morph.receiver import MorphReceiver
+from repro.net.reliable import ReliableEndpoint
 from repro.net.transport import Network, Node
 from repro.obs import OBS
 from repro.pbio.buffer import HEADER_SIZE, unpack_header
@@ -42,6 +43,7 @@ from repro.pbio.context import PBIOContext
 from repro.pbio.format import IOFormat
 from repro.pbio.record import Record
 from repro.pbio.registry import FormatRegistry
+from repro.pbio.server import CachingFormatResolver
 
 EventHandler = Callable[[Record], Any]
 
@@ -56,37 +58,98 @@ class EChoProcess:
     address:
         This process's contact string (also its network address).
     registry:
-        The shared out-of-band meta-data registry.
+        The shared out-of-band meta-data registry.  Optional when a
+        *resolver* (or *format_servers*) is supplied — the process then
+        works against the resolver's local cache and fetches unknown
+        formats from the server fleet on demand.
     version:
         The ECho release this process runs ("0.0", "1.0" or "2.0") —
         selects which ChannelOpenResponse revision it sends and
         understands.
+    reliable:
+        Wrap the node in a :class:`~repro.net.reliable.ReliableEndpoint`
+        so control and event traffic survives lossy links (seq/ack,
+        retries, dup suppression).  *reliable_options* is forwarded to
+        the endpoint constructor; the default raises the circuit-breaker
+        threshold so bursty loss cannot fail-fast event publishes
+        mid-run.
+    resolver / format_servers:
+        Either an existing :class:`CachingFormatResolver` or a server
+        address list from which the process builds one (at
+        ``<address>:meta``).  Messages whose format id is not locally
+        known are parked, the format fetched out-of-band, and the
+        message replayed when the meta-data arrives.
     """
 
     def __init__(
         self,
         network: Network,
         address: str,
-        registry: FormatRegistry,
+        registry: Optional[FormatRegistry] = None,
         version: str = "2.0",
         diff_threshold: int = DEFAULT_DIFF_THRESHOLD,
         mismatch_threshold: float = DEFAULT_MISMATCH_THRESHOLD,
+        reliable: bool = False,
+        reliable_options: Optional[Dict[str, Any]] = None,
+        resolver: Optional[CachingFormatResolver] = None,
+        format_servers: Optional[List[str]] = None,
+        resolver_options: Optional[Dict[str, Any]] = None,
+        contain_failures: bool = False,
     ) -> None:
         if version not in RESPONSE_BY_VERSION:
             raise ChannelError(f"unknown ECho version {version!r}")
         self.network = network
         self.node: Node = network.add_node(address)
-        self.node.set_handler(self._on_message)
+        if resolver is None and format_servers:
+            options = dict(resolver_options or {})
+            options.setdefault("breaker_threshold", 1_000_000)
+            resolver = CachingFormatResolver(
+                network, f"{address}:meta", servers=format_servers,
+                registry=registry, **options,
+            )
+        self.resolver = resolver
+        if registry is None:
+            if resolver is None:
+                raise ChannelError(
+                    "EChoProcess needs a registry, a resolver, or "
+                    "format_servers"
+                )
+            registry = resolver.registry
         self.registry = registry
+        self.reliable: Optional[ReliableEndpoint] = None
+        if reliable:
+            options = dict(reliable_options or {})
+            # Event bursts over lossy links produce consecutive timeouts
+            # that are retried successfully; don't let them trip the
+            # breaker into rejecting publishes unless explicitly tuned.
+            options.setdefault("breaker_threshold", 1_000_000)
+            self.reliable = ReliableEndpoint(network, node=self.node, **options)
+            self.reliable.set_handler(self._on_message)
+        else:
+            self.node.set_handler(self._on_message)
         self.version = version
+        self.contain_failures = contain_failures
+        #: messages parked while their format is fetched out-of-band
+        self.parked = 0
+        #: parked messages dropped because no server knew the format
+        self.unresolved = 0
+        #: format ids whose meta-data was already refreshed from the
+        #: server fleet (refresh once, then live with what we got)
+        self._refreshed: set = set()
         self.channels: Dict[str, ChannelState] = {}
         self.pbio = PBIOContext(registry)
         self._current_peer: Optional[str] = None
         register_protocol(registry, version)
+        if self.resolver is not None:
+            # Upload the protocol formats (and anything pre-registered)
+            # so peers resolving through the same fleet can morph our
+            # control traffic.
+            self.resolver.publish()
         self.control = MorphReceiver(
             registry,
             diff_threshold=diff_threshold,
             mismatch_threshold=mismatch_threshold,
+            contain_failures=contain_failures,
         )
         self.control.register_handler(OPEN_REQUEST, self._handle_open_request)
         self.control.register_handler(LEAVE_REQUEST, self._handle_leave_request)
@@ -104,6 +167,14 @@ class EChoProcess:
     @property
     def address(self) -> str:
         return self.node.address
+
+    def _send(self, destination: str, data: bytes) -> None:
+        """Send through the reliable endpoint when configured, raw
+        otherwise — every control and event message goes through here."""
+        if self.reliable is not None:
+            self.reliable.send(destination, data)
+        else:
+            self.node.send(destination, data)
 
     # ------------------------------------------------------------------
     # Channel lifecycle
@@ -171,7 +242,7 @@ class EChoProcess:
             if member.contact != self.address
         ]
         for contact in targets:
-            self.node.send(contact, wire)
+            self._send(contact, wire)
 
     def open_channel(
         self,
@@ -195,7 +266,7 @@ class EChoProcess:
             is_Source=channel.is_source,
             is_Sink=channel.is_sink,
         )
-        self.node.send(creator, self.pbio.encode(OPEN_REQUEST, request))
+        self._send(creator, self.pbio.encode(OPEN_REQUEST, request))
         return channel
 
     def leave_channel(self, channel_id: str) -> None:
@@ -212,7 +283,7 @@ class EChoProcess:
         request = LEAVE_REQUEST.make_record(
             channel_id=channel_id, contact=self.address
         )
-        self.node.send(channel.creator_contact, self.pbio.encode(LEAVE_REQUEST, request))
+        self._send(channel.creator_contact, self.pbio.encode(LEAVE_REQUEST, request))
 
     def channel(self, channel_id: str) -> ChannelState:
         try:
@@ -234,6 +305,7 @@ class EChoProcess:
                 self.registry,
                 diff_threshold=self._diff_threshold,
                 mismatch_threshold=self._mismatch_threshold,
+                contain_failures=self.contain_failures,
             )
             self._event_receivers[channel_id] = receiver
         return receiver
@@ -267,7 +339,7 @@ class EChoProcess:
         for member in channel.sinks():
             if member.contact == self.address:
                 continue
-            self.node.send(member.contact, datagram)
+            self._send(member.contact, datagram)
             pushed += 1
         if OBS.enabled and pushed:
             OBS.metrics.counter(
@@ -337,7 +409,7 @@ class EChoProcess:
             for member in derived.sinks():
                 if member.contact == self.address:
                     continue
-                self.node.send(member.contact, datagram)
+                self._send(member.contact, datagram)
                 pushed += 1
         return pushed
 
@@ -345,9 +417,41 @@ class EChoProcess:
     # Message dispatch
     # ------------------------------------------------------------------
 
+    def _park(self, format_id: int, replay: Callable[[], None]) -> None:
+        """Park a message whose meta-data (format or transform closure)
+        is missing locally: fetch it from the format-server fleet, then
+        *replay*.  Messages whose format no server knows either are
+        counted as unresolved and dropped."""
+        self.parked += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "echo.process.parked", process=self.address
+            ).inc()
+
+        def _done(found: Optional[IOFormat]) -> None:
+            if found is None:
+                self.unresolved += 1
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "echo.process.unresolved", process=self.address
+                    ).inc()
+                return
+            # Processed with whatever meta-data the fetch yielded —
+            # never re-parked, so a server missing the transforms
+            # degrades to reconciliation instead of looping.
+            self._refreshed.add(format_id)
+            replay()
+
+        assert self.resolver is not None
+        self.resolver.refresh(format_id, _done)
+
     def _on_message(self, source: str, data: bytes) -> None:
         header = unpack_header(data)
         fmt = self.registry.lookup_id(header.format_id)
+        if fmt is None and self.resolver is not None:
+            self._park(header.format_id,
+                       lambda: self._on_message(source, data))
+            return
         self._current_peer = source
         try:
             if fmt is not None and fmt.name == DERIVED_INFO.name:
@@ -362,8 +466,34 @@ class EChoProcess:
                 channel_id = envelope["channel_id"]
                 receiver = self._event_receivers.get(channel_id)
                 if receiver is not None:
+                    if self.resolver is not None and len(payload) > HEADER_SIZE:
+                        payload_id = unpack_header(payload).format_id
+                        payload_fmt = self.registry.lookup_id(payload_id)
+                        if payload_id not in self._refreshed and (
+                            payload_fmt is None
+                            or not receiver.has_exact_route(payload_fmt)
+                        ):
+                            self._park(
+                                payload_id,
+                                lambda: self._deliver_event(
+                                    channel_id, receiver, payload
+                                ),
+                            )
+                            return
                     self._deliver_event(channel_id, receiver, payload)
             else:
+                if (
+                    self.resolver is not None
+                    and fmt is not None
+                    and header.format_id not in self._refreshed
+                    and not self.control.has_exact_route(fmt)
+                ):
+                    # Known format, but no handler and no transform
+                    # chain reaching one: pull the writer's transform
+                    # closure from the server before reconciling.
+                    self._park(header.format_id,
+                               lambda: self._on_message(source, data))
+                    return
                 self.control.process(data)
         finally:
             self._current_peer = None
@@ -422,14 +552,17 @@ class EChoProcess:
         response = channel.to_response_record(response_format)
         wire = self.pbio.encode(response_format, response)
         # reply to the requester and refresh every other member's replica
+        # (sorted: set iteration depends on string hash randomization,
+        # and send order must be reproducible across processes for the
+        # seeded fault-injection harness)
         targets = {record["contact"]}
         targets.update(
             member.contact
             for member in channel.member_list()
             if member.contact != self.address
         )
-        for contact in targets:
-            self.node.send(contact, wire)
+        for contact in sorted(targets):
+            self._send(contact, wire)
 
     def _handle_leave_request(self, record: Record) -> None:
         channel = self.channels.get(record["channel_id"])
@@ -444,7 +577,7 @@ class EChoProcess:
         )
         for member in channel.member_list():
             if member.contact != self.address:
-                self.node.send(member.contact, wire)
+                self._send(member.contact, wire)
 
     def _handle_open_response(self, record: Record) -> None:
         channel = self.channels.get(record["channel_id"])

@@ -30,7 +30,7 @@ from repro.morph.maxmatch import (
     score_pair,
 )
 from repro.morph.dynamic import ECodeHandler
-from repro.morph.receiver import MorphReceiver, ReceiverStats
+from repro.morph.receiver import DeadLetter, MorphReceiver, ReceiverStats
 from repro.morph.transform import (
     TransformChain,
     Transformation,
@@ -41,6 +41,7 @@ from repro.morph.transform import (
 __all__ = [
     "DEFAULT_DIFF_THRESHOLD",
     "DEFAULT_MISMATCH_THRESHOLD",
+    "DeadLetter",
     "ECodeHandler",
     "MatchResult",
     "MorphReceiver",

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
     MorphError,
@@ -147,6 +148,29 @@ del _name
 
 
 @dataclass
+class DeadLetter:
+    """One message the receiver could not process, parked for forensics
+    and retry: the raw wire bytes, the wire format id (when the header
+    was readable), the pipeline stage that failed and the error.
+
+    Dead letters are the *Schema Evolution in Interactive Programming
+    Systems* stance made concrete: unconvertible data is an inspectable
+    state, not a crash."""
+
+    data: bytes
+    format_id: Optional[int]
+    stage: str  # "decode" | "unknown_format" | "transform" | "no_match" | "dispatch"
+    error: str
+    attempts: int = 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeadLetter(stage={self.stage!r}, format_id={self.format_id}, "
+            f"attempts={self.attempts}, error={self.error!r})"
+        )
+
+
+@dataclass
 class _Route:
     """The cached per-format processing pipeline."""
 
@@ -213,6 +237,23 @@ class MorphReceiver:
         transform (falling back to the structural Python walker for
         shapes the generator does not support, e.g. resized fixed
         arrays).
+    contain_failures:
+        True turns :meth:`process` into a total function: instead of
+        raising, failed messages (undecodable bytes, unknown formats,
+        broken transforms, rejected matches, handler exceptions) land in
+        a bounded **dead-letter queue** with the raw bytes and error
+        attached, and :meth:`process` returns ``None``.  A format id
+        failing *quarantine_threshold* consecutive times is
+        **quarantined**: its messages are counted and dropped at the
+        header peek, so poison traffic stops paying pipeline costs.
+        :meth:`retry_dead_letters` re-processes the queue (e.g. after a
+        late format registration), lifting quarantines for the formats
+        it retries.
+    dlq_limit:
+        Dead-letter queue capacity; the oldest entry is evicted (and
+        counted) when a new failure arrives at capacity.
+    quarantine_threshold:
+        Consecutive failures of one format id before it is quarantined.
     """
 
     #: default for the ``use_fusion`` constructor argument; the test
@@ -234,6 +275,9 @@ class MorphReceiver:
         weighted: bool = False,
         ecode_coercion: bool = False,
         use_fusion: Optional[bool] = None,
+        contain_failures: bool = False,
+        dlq_limit: int = 64,
+        quarantine_threshold: int = 3,
     ) -> None:
         self.registry = registry if registry is not None else FormatRegistry()
         self.context = PBIOContext(self.registry, use_codegen=use_codegen)
@@ -252,6 +296,23 @@ class MorphReceiver:
         self._handler_formats: List[IOFormat] = []
         self._default_handler: Optional[DefaultHandler] = None
         self._routes: Dict[int, _Route] = {}
+        self.contain_failures = contain_failures
+        self.quarantine_threshold = quarantine_threshold
+        self._dead_letters: Deque[DeadLetter] = deque(maxlen=dlq_limit)
+        self._quarantined: Set[int] = set()
+        self._failure_counts: Dict[int, int] = {}
+        #: "dispatch" while a handler runs; lets containment attribute a
+        #: generic exception to the handler rather than the pipeline
+        self._stage = "pipeline"
+        self._retrying = False
+        self.containment = {
+            "dead_lettered": 0,
+            "evicted": 0,
+            "quarantined_formats": 0,
+            "quarantine_drops": 0,
+            "retried": 0,
+            "retry_failures": 0,
+        }
 
     # ------------------------------------------------------------------
     # Registration
@@ -288,11 +349,174 @@ class MorphReceiver:
 
         Raises :class:`UnknownFormatError` for unregistered wire ids and
         :class:`NoMatchError` for rejected messages when no default
-        handler is installed."""
+        handler is installed — unless ``contain_failures`` is set, in
+        which case failures dead-letter and ``None`` is returned."""
+        if self.contain_failures:
+            return self._process_contained(data)
         if not OBS.enabled:
             return self._process(data)
         with OBS.tracer.span("morph.process"):
             return self._process(data)
+
+    def _process_contained(self, data: bytes) -> Any:
+        """Total-function variant of :meth:`process`: classify failures
+        by pipeline stage, dead-letter the message, quarantine repeat
+        offenders — and never raise into the transport."""
+        try:
+            format_id: Optional[int] = unpack_header(data).format_id
+        except Exception as exc:  # noqa: BLE001 - malformed header
+            self._dead_letter(data, None, "decode", exc)
+            return None
+        if format_id in self._quarantined and not self._retrying:
+            self.containment["quarantine_drops"] += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "morph.receiver.quarantine_drops"
+                ).inc()
+            return None
+        self._stage = "pipeline"
+        try:
+            if not OBS.enabled:
+                return self._process(data)
+            with OBS.tracer.span("morph.process"):
+                return self._process(data)
+        except UnknownFormatError as exc:
+            self._dead_letter(data, format_id, "unknown_format", exc)
+        except NoMatchError as exc:
+            self._dead_letter(data, format_id, "no_match", exc)
+        except TransformError as exc:
+            self._dead_letter(data, format_id, "transform", exc)
+        except Exception as exc:  # noqa: BLE001 - defined containment
+            stage = "dispatch" if self._stage == "dispatch" else "decode"
+            self._dead_letter(data, format_id, stage, exc)
+        finally:
+            self._stage = "pipeline"
+        return None
+
+    def _dead_letter(
+        self,
+        data: bytes,
+        format_id: Optional[int],
+        stage: str,
+        exc: BaseException,
+    ) -> None:
+        with self._lock:
+            if (
+                self._dead_letters.maxlen is not None
+                and len(self._dead_letters) == self._dead_letters.maxlen
+            ):
+                self.containment["evicted"] += 1
+                if OBS.enabled:
+                    OBS.metrics.counter("morph.receiver.dlq_evicted").inc()
+            self._dead_letters.append(
+                DeadLetter(
+                    data=data,
+                    format_id=format_id,
+                    stage=stage,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            self.containment["dead_lettered"] += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "morph.receiver.dead_letters", stage=stage
+                ).inc()
+            if format_id is None:
+                return
+            count = self._failure_counts.get(format_id, 0) + 1
+            self._failure_counts[format_id] = count
+            if (
+                count >= self.quarantine_threshold
+                and format_id not in self._quarantined
+            ):
+                self._quarantined.add(format_id)
+                # drop any cached route: if the quarantine is later
+                # lifted, the route is replanned against fresh meta-data
+                self._routes.pop(format_id, None)
+                self.containment["quarantined_formats"] += 1
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "morph.receiver.quarantined_formats"
+                    ).inc()
+
+    # ------------------------------------------------------------------
+    # Dead-letter queue / quarantine introspection and retry
+    # ------------------------------------------------------------------
+
+    @property
+    def dead_letters(self) -> List[DeadLetter]:
+        """A snapshot of the dead-letter queue, oldest first."""
+        with self._lock:
+            return list(self._dead_letters)
+
+    @property
+    def quarantined_formats(self) -> Set[int]:
+        with self._lock:
+            return set(self._quarantined)
+
+    def is_quarantined(self, format_id: int) -> bool:
+        return format_id in self._quarantined
+
+    def lift_quarantine(self, format_id: int) -> bool:
+        """Manually unquarantine a format id (its failure count resets;
+        its route is replanned on the next message)."""
+        with self._lock:
+            self._failure_counts.pop(format_id, None)
+            if format_id in self._quarantined:
+                self._quarantined.discard(format_id)
+                return True
+            return False
+
+    def retry_dead_letters(self) -> Tuple[int, int]:
+        """Re-process every dead letter — the hook to call after the
+        failure cause is fixed (a late format registration, a repaired
+        transform, a redeployed handler).  Quarantines and failure
+        counts for the retried formats are lifted first; messages that
+        fail again re-enter the queue with ``attempts`` bumped.
+
+        Returns ``(succeeded, requeued)``."""
+        with self._lock:
+            entries = list(self._dead_letters)
+            self._dead_letters.clear()
+            for entry in entries:
+                if entry.format_id is not None:
+                    self._quarantined.discard(entry.format_id)
+                    self._failure_counts.pop(entry.format_id, None)
+        succeeded = 0
+        requeued = 0
+        self._retrying = True
+        try:
+            for entry in entries:
+                depth_before = len(self._dead_letters)
+                self._process_contained(entry.data)
+                if len(self._dead_letters) > depth_before:
+                    self._dead_letters[-1].attempts = entry.attempts + 1
+                    requeued += 1
+                    self.containment["retry_failures"] += 1
+                else:
+                    succeeded += 1
+                    self.containment["retried"] += 1
+        finally:
+            self._retrying = False
+        if OBS.enabled and entries:
+            OBS.metrics.counter("morph.receiver.dlq_retried").inc(succeeded)
+            OBS.metrics.counter("morph.receiver.dlq_requeued").inc(requeued)
+        return succeeded, requeued
+
+    def has_exact_route(self, fmt: IOFormat) -> bool:
+        """Whether *fmt* reaches a registered handler without falling
+        back to MaxMatch reconciliation: either a handler is registered
+        for it directly, or a writer-supplied transform chain ends at a
+        handled format.  The morphing-aware transports use this to
+        decide when to refresh a format's transform closure from the
+        format server before processing."""
+        with self._lock:
+            if fmt.format_id in self._handlers:
+                return True
+            for chain in self.registry.transform_closure(fmt):
+                if chain[-1].target.format_id in self._handlers:
+                    return True
+        return False
 
     def _process(self, data: bytes) -> Any:
         self.stats.inc("messages")
@@ -538,13 +762,21 @@ class MorphReceiver:
                 format=handler_format.name,
                 version=handler_format.version,
             ):
-                return handler(record)
+                return self._invoke(handler, record)
+        return self._invoke(handler, record)
+
+    def _invoke(self, handler: Handler, record: Record) -> Any:
+        """Run the application handler with the containment stage marked,
+        so a handler exception dead-letters as ``dispatch``, not as a
+        pipeline failure."""
+        self._stage = "dispatch"
         return handler(record)
 
     def _deliver(self, route: _Route, record: Record) -> Any:
         if route.is_reject:
             self.stats.inc("rejected")
             if self._default_handler is not None:
+                self._stage = "dispatch"
                 return self._default_handler(route.wire_format, record)
             raise NoMatchError(
                 f"no acceptable match for incoming format "
@@ -597,8 +829,8 @@ class MorphReceiver:
                 format=handler_format.name,
                 version=handler_format.version,
             ):
-                return handler(record)
-        return handler(record)
+                return self._invoke(handler, record)
+        return self._invoke(handler, record)
 
     def _reconcile(self, route: _Route, record: Record) -> Record:
         if route.coercion_transform is not None:

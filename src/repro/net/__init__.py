@@ -1,5 +1,6 @@
-"""Simulated network substrate: nodes, links and a deterministic
-discrete-event message fabric."""
+"""Simulated network substrate: nodes, links, a deterministic
+discrete-event message fabric, and a reliable-delivery layer
+(sequence/ack/retry with circuit breaking) on top of it."""
 
 from repro.net.link import (
     FAST_ETHERNET,
@@ -8,15 +9,20 @@ from repro.net.link import (
     WIRELESS_11MBPS,
     LinkSpec,
 )
-from repro.net.transport import Delivery, Network, Node
+from repro.net.reliable import CircuitBreaker, ReliableEndpoint, SendTicket
+from repro.net.transport import Delivery, Network, Node, Timer
 
 __all__ = [
+    "CircuitBreaker",
     "Delivery",
     "FAST_ETHERNET",
     "GIGABIT_LAN",
     "LinkSpec",
     "Network",
     "Node",
+    "ReliableEndpoint",
+    "SendTicket",
+    "Timer",
     "WAN",
     "WIRELESS_11MBPS",
 ]

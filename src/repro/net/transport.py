@@ -32,13 +32,42 @@ MessageHandler = Callable[[str, bytes], None]
 class Delivery:
     """One message outcome, as recorded in the network trace.  Messages
     arriving at a closed node are recorded with ``dropped=True`` instead
-    of vanishing silently."""
+    of vanishing silently; deliveries whose handler raised are recorded
+    with ``handler_error=True`` (the exception never unwinds out of
+    :meth:`Network.run` — handler failures are an endpoint property, not
+    a fabric property)."""
 
     time: float
     source: str
     destination: str
     size: int
     dropped: bool = False
+    handler_error: bool = False
+
+
+class Timer:
+    """A cancellable virtual-time callback scheduled on the network's
+    event queue (the substrate retransmission and request timeouts are
+    built on)."""
+
+    __slots__ = ("when", "callback", "cancelled")
+
+    def __init__(self, when: float, callback: Callable[[], None]) -> None:
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"Timer(when={self.when:.6f}, {state})"
+
+
+#: Sentinel destination marking a queue entry as a timer firing rather
+#: than a message delivery.
+_TIMER = "\x00timer"
 
 
 class Node:
@@ -52,6 +81,8 @@ class Node:
         self.closed = False
         #: messages this node dropped because it was closed
         self.drops = 0
+        #: deliveries whose handler raised (contained by Network.run)
+        self.handler_errors = 0
 
     def set_handler(self, handler: MessageHandler) -> None:
         """Install the receive callback ``handler(source, data)``.  Without
@@ -68,6 +99,11 @@ class Node:
         drop is counted per node (:attr:`drops`), tallied on the network
         (:attr:`Network.dropped`), and recorded in the trace."""
         self.closed = True
+
+    def reopen(self) -> None:
+        """Undo :meth:`close` — the node receives again (recovery
+        scenarios: a format server coming back after a crash)."""
+        self.closed = False
 
     def _deliver(self, source: str, data: bytes) -> bool:
         """Deliver one message; returns False when it was dropped."""
@@ -117,6 +153,11 @@ class Network:
         self.dropped = 0
         #: messages lost in flight by link ``loss_rate`` fault injection
         self.lost = 0
+        #: deliveries whose handler raised (contained, never re-raised)
+        self.handler_errors = 0
+        #: the most recent contained handler failure, for debugging:
+        #: ``(destination, exception)`` or None
+        self.last_handler_error: Optional[Tuple[str, BaseException]] = None
         self.trace: List[Delivery] = []
 
     # ------------------------------------------------------------------
@@ -184,28 +225,77 @@ class Network:
             metrics.gauge("net.transport.queue_depth").set(len(self._queue))
         return arrival
 
+    # ------------------------------------------------------------------
+    # Timers (virtual-time callbacks on the same event queue)
+    # ------------------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
+        """Schedule *callback* to fire at virtual time *when* (clamped to
+        now).  Timers share the event queue with messages, so retries and
+        timeouts interleave deterministically with deliveries.  Returns a
+        cancellable :class:`Timer` handle."""
+        timer = Timer(max(when, self.now), callback)
+        heapq.heappush(
+            self._queue, (timer.when, next(self._sequence), _TIMER, "", timer)
+        )
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule *callback* after *delay* virtual seconds."""
+        if delay < 0:
+            raise TransportError("timer delay must be >= 0")
+        return self.call_at(self.now + delay, callback)
+
     def run(self, max_time: Optional[float] = None, max_events: int = 1_000_000) -> int:
-        """Deliver queued messages in timestamp order until the queue is
-        empty (or *max_time* / *max_events* is hit).  Returns the number
-        of deliveries performed."""
+        """Deliver queued messages (and fire due timers) in timestamp
+        order until the queue is empty (or *max_time* / *max_events* is
+        hit).  Returns the number of message deliveries performed.
+
+        Handler-failure semantics: an exception escaping a node's handler
+        is **contained** — counted on the node and the network, recorded
+        in the trace as ``handler_error=True``, surfaced to ``repro.obs``
+        as ``net.transport.handler_errors`` — and never propagates out of
+        ``run``.  A crashing receiver is an endpoint failure, not a
+        fabric failure; subsequent traffic keeps flowing.
+        """
         delivered = 0
+        events = 0
         while self._queue:
             arrival, _seq, source, destination, data = self._queue[0]
             if max_time is not None and arrival > max_time:
                 break
-            if delivered >= max_events:
+            if events >= max_events:
                 raise TransportError(
                     f"network did not quiesce within {max_events} events "
                     "(possible message loop)"
                 )
             heapq.heappop(self._queue)
+            events += 1
             self.now = max(self.now, arrival)
+            if source is _TIMER:
+                timer = data
+                if not timer.cancelled:
+                    timer.callback()
+                continue
             node = self._nodes[destination]
+            dropped = node.closed
+            handler_error = False
+            try:
+                node._deliver(source, data)
+            except Exception as exc:  # noqa: BLE001 - defined containment
+                handler_error = True
+                node.handler_errors += 1
+                self.handler_errors += 1
+                self.last_handler_error = (destination, exc)
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "net.transport.handler_errors", node=destination
+                    ).inc()
             self.trace.append(
                 Delivery(time=self.now, source=source, destination=destination,
-                         size=len(data), dropped=node.closed)
+                         size=len(data), dropped=dropped,
+                         handler_error=handler_error)
             )
-            node._deliver(source, data)
             delivered += 1
             if OBS.enabled:
                 OBS.metrics.gauge("net.transport.queue_depth").set(

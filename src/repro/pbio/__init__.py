@@ -33,6 +33,7 @@ from repro.pbio.field import ArraySpec, IOField
 from repro.pbio.format import IOFormat
 from repro.pbio.record import Record, make_record, records_equal, trusted_record
 from repro.pbio.registry import FormatRegistry, TransformSpec
+from repro.pbio.server import CachingFormatResolver, FormatServer
 from repro.pbio.serialization import (
     dump_registry,
     format_from_dict,
@@ -45,8 +46,10 @@ from repro.pbio.types import TypeKind
 
 __all__ = [
     "ArraySpec",
+    "CachingFormatResolver",
     "FLAG_BIG_ENDIAN",
     "FormatRegistry",
+    "FormatServer",
     "HEADER_SIZE",
     "IOField",
     "IOFormat",

@@ -1,0 +1,526 @@
+"""The format server as a fallible network service.
+
+:mod:`repro.pbio.service` models the out-of-band meta-data channel as an
+always-up JSON service on raw nodes.  This module is its
+production-shaped sibling, built for the failure modes real deployments
+hit: requests ride a :class:`~repro.net.reliable.ReliableEndpoint`
+(retries, circuit breaking), the server can run with a **standby
+replica** it mirrors registrations to, and the client is a
+:class:`CachingFormatResolver` that
+
+* serves every previously seen format from its **local cache** without
+  touching the network,
+* fails over to the next server in its list when a request times out,
+  is rejected by an open circuit, or exhausts its retries,
+* enters **degraded mode** when every server is unreachable — cached
+  formats keep resolving, unknown ids report a miss instead of hanging,
+  and registrations are queued for replay when a server answers again.
+
+The wire protocol stays JSON (deliberately not PBIO: the meta-data
+channel must not depend on the meta-data it serves).  Counters surface
+through ``repro.obs`` as ``pbio.format_server.*`` / ``pbio.resolver.*``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import TransportError
+from repro.net.reliable import ReliableEndpoint, SendTicket
+from repro.net.transport import Network
+from repro.obs import OBS
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry, TransformSpec
+from repro.pbio.serialization import (
+    format_from_dict,
+    format_to_dict,
+    transform_from_dict,
+    transform_to_dict,
+)
+
+ResolveCallback = Callable[[Optional[IOFormat]], None]
+
+
+def _encode(message: Dict[str, Any]) -> bytes:
+    return json.dumps(message, sort_keys=True).encode("utf-8")
+
+
+def _decode(data: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"malformed format-server message: {exc}") from None
+    if not isinstance(message, dict) or "op" not in message:
+        raise TransportError("format-server message missing 'op'")
+    return message
+
+
+class FormatServer:
+    """A format server process on the reliable transport.
+
+    Operations (JSON, request/reply correlated by ``id``):
+
+    * ``register`` — store formats + transforms; replied with
+      ``register_ok``; mirrored to the standby *peer* when configured,
+    * ``lookup`` — fetch a format by id, shipped together with its whole
+      transform closure so the client can morph without extra round
+      trips,
+    * ``sync`` — replica mirror traffic (never re-forwarded, so two
+      servers may peer with each other without loops).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        address: str = "format-server",
+        registry: Optional[FormatRegistry] = None,
+        peer: Optional[str] = None,
+        seed: int = 0,
+        **endpoint_options: Any,
+    ) -> None:
+        self.endpoint = ReliableEndpoint(
+            network, address, seed=seed, **endpoint_options
+        )
+        self.endpoint.set_handler(self._on_message)
+        self.registry = registry if registry is not None else FormatRegistry()
+        self.peer = peer
+        self.stats = {"registers": 0, "lookups": 0, "misses": 0, "syncs": 0}
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    @property
+    def node(self):
+        return self.endpoint.node
+
+    def close(self) -> None:
+        """Crash the server (its node drops all incoming traffic)."""
+        self.endpoint.node.close()
+
+    def reopen(self) -> None:
+        """Bring a crashed server back up."""
+        self.endpoint.node.reopen()
+
+    # ------------------------------------------------------------------
+
+    def _on_message(self, source: str, data: bytes) -> None:
+        message = _decode(data)
+        op = message["op"]
+        if op == "register":
+            self._ingest(message)
+            self.stats["registers"] += 1
+            self._count("registers")
+            self.endpoint.send(
+                source,
+                _encode({"op": "register_ok", "id": message.get("id")}),
+            )
+            if self.peer is not None:
+                mirror = dict(message)
+                mirror["op"] = "sync"
+                mirror.pop("id", None)
+                self.endpoint.send(self.peer, _encode(mirror))
+        elif op == "sync":
+            self._ingest(message)
+            self.stats["syncs"] += 1
+        elif op == "lookup":
+            self._handle_lookup(source, message)
+        # unknown ops are dropped: the server must tolerate newer clients
+
+    def _ingest(self, message: Dict[str, Any]) -> None:
+        for fmt_dict in message.get("formats", ()):
+            self.registry.register(format_from_dict(fmt_dict))
+        for spec_dict in message.get("transforms", ()):
+            self.registry.register_transform(transform_from_dict(spec_dict))
+
+    def _handle_lookup(self, source: str, message: Dict[str, Any]) -> None:
+        self.stats["lookups"] += 1
+        self._count("lookups")
+        format_id = int(message["format_id"])
+        fmt = self.registry.lookup_id(format_id)
+        reply: Dict[str, Any] = {
+            "op": "lookup_reply",
+            "id": message.get("id"),
+            "format_id": str(format_id),
+            "found": fmt is not None,
+        }
+        if fmt is None:
+            self.stats["misses"] += 1
+            self._count("misses")
+        else:
+            chains = self.registry.transform_closure(fmt)
+            specs = {id(s): s for chain in chains for s in chain}
+            reply["format"] = format_to_dict(fmt)
+            reply["transforms"] = [
+                transform_to_dict(s) for s in specs.values()
+            ]
+        self.endpoint.send(source, _encode(reply))
+
+    def _count(self, name: str) -> None:
+        if OBS.enabled:
+            OBS.metrics.counter(
+                f"pbio.format_server.{name}", server=self.address
+            ).inc()
+
+
+class _Request:
+    """One in-flight client request, across failover attempts."""
+
+    __slots__ = ("message", "on_reply", "on_fail", "servers_left", "timer",
+                 "done")
+
+    def __init__(
+        self,
+        message: Dict[str, Any],
+        on_reply: Callable[[Dict[str, Any]], None],
+        on_fail: Callable[[], None],
+        servers_left: List[str],
+    ) -> None:
+        self.message = message
+        self.on_reply = on_reply
+        self.on_fail = on_fail
+        self.servers_left = servers_left
+        self.timer = None
+        self.done = False
+
+
+class CachingFormatResolver:
+    """A client of the format-server fleet with a local format cache.
+
+    The cache is a full :class:`FormatRegistry` (formats *and*
+    transforms), so a :class:`~repro.morph.receiver.MorphReceiver` can
+    run directly against it — resolving a format once makes every
+    subsequent message of that format a pure local operation.
+
+    Parameters
+    ----------
+    servers:
+        Server addresses in preference order; the resolver fails over
+        down the list and sticks with whichever answered last.
+    request_timeout:
+        Virtual seconds to wait for a reply before trying the next
+        server (on top of the reliable endpoint's own retry budget,
+        which covers lost frames; this covers lost *servers*).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        servers: Sequence[str] = ("format-server",),
+        registry: Optional[FormatRegistry] = None,
+        request_timeout: float = 2.0,
+        seed: int = 0,
+        **endpoint_options: Any,
+    ) -> None:
+        if not servers:
+            raise TransportError("resolver needs at least one server address")
+        self.network = network
+        self.endpoint = ReliableEndpoint(
+            network, address, seed=seed, **endpoint_options
+        )
+        self.endpoint.set_handler(self._on_message)
+        self.registry = registry if registry is not None else FormatRegistry()
+        self.servers = list(servers)
+        self.request_timeout = request_timeout
+        #: index into ``servers`` of the server currently trusted
+        self.active_server = 0
+        self.degraded = False
+        self._ids = itertools.count(1)
+        self._requests: Dict[int, _Request] = {}
+        #: lookup callbacks coalesced per format id
+        self._inflight: Dict[int, List[ResolveCallback]] = {}
+        #: registration payloads queued while degraded
+        self._pending_registrations: List[Dict[str, Any]] = []
+        #: non-meta traffic handler (a receiver, an application...)
+        self.data_handler: Optional[Callable[[str, bytes], None]] = None
+        self.stats = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "lookups_sent": 0,
+            "failovers": 0,
+            "degraded_misses": 0,
+            "queued_registrations": 0,
+            "replayed_registrations": 0,
+        }
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    @property
+    def cache(self) -> FormatRegistry:
+        """Alias for :attr:`registry` — the local replica."""
+        return self.registry
+
+    @property
+    def pending_registrations(self) -> int:
+        return len(self._pending_registrations)
+
+    # ------------------------------------------------------------------
+    # Registration (writer side)
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        *formats: IOFormat,
+        transforms: Sequence[TransformSpec] = (),
+    ) -> None:
+        """Register formats/transforms locally (always succeeds — the
+        cache is authoritative for this process) and push them to the
+        format server, queueing the upload when degraded."""
+        for fmt in formats:
+            self.registry.register(fmt)
+        for spec in transforms:
+            self.registry.register_transform(spec)
+        payload = {
+            "op": "register",
+            "formats": [format_to_dict(f) for f in formats],
+            "transforms": [transform_to_dict(s) for s in transforms],
+        }
+        if not formats and not transforms:
+            return
+        self._send_registration(payload)
+
+    def publish(self) -> None:
+        """Upload the entire local registry — what a writer does at
+        startup (or after recovering from degraded mode)."""
+        formats = self.registry.formats()
+        transforms = [
+            spec
+            for fmt in formats
+            for spec in self.registry.transforms_from(fmt)
+        ]
+        self._send_registration({
+            "op": "register",
+            "formats": [format_to_dict(f) for f in formats],
+            "transforms": [transform_to_dict(s) for s in transforms],
+        })
+
+    def _send_registration(self, payload: Dict[str, Any]) -> None:
+        if self.degraded:
+            self._queue_registration(payload)
+            return
+        self._request(
+            payload,
+            on_reply=lambda _reply: None,
+            on_fail=lambda: self._queue_registration(payload),
+        )
+
+    def _queue_registration(self, payload: Dict[str, Any]) -> None:
+        self._pending_registrations.append(payload)
+        self.stats["queued_registrations"] += 1
+        self._count("queued_registrations")
+        self._enter_degraded()
+
+    # ------------------------------------------------------------------
+    # Resolution (reader side)
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self, format_id: int, on_done: Optional[ResolveCallback] = None
+    ) -> Optional[IOFormat]:
+        """Resolve *format_id* to a format.
+
+        Cache hits return the format immediately (and invoke *on_done*
+        synchronously).  Misses return ``None`` and fetch it from the
+        server fleet; *on_done* fires with the format — or ``None`` when
+        every server is unreachable or none knows the id — once the
+        outcome is known.  Concurrent misses for one id are coalesced
+        into a single request."""
+        fmt = self.registry.lookup_id(format_id)
+        if fmt is not None:
+            self.stats["cache_hits"] += 1
+            self._count("cache_hits")
+            if on_done is not None:
+                on_done(fmt)
+            return fmt
+        self.stats["cache_misses"] += 1
+        self._count("cache_misses")
+        if self.degraded:
+            # Degraded mode serves only the cache; report the miss
+            # instead of hanging on a fleet we know is down.
+            self.stats["degraded_misses"] += 1
+            self._count("degraded_misses")
+            if on_done is not None:
+                on_done(None)
+            return None
+        callbacks = self._inflight.get(format_id)
+        if callbacks is not None:
+            # A fetch for this id is already in flight — coalesce.
+            if on_done is not None:
+                callbacks.append(on_done)
+            return None
+        self._lookup(format_id, on_done)
+        return None
+
+    def refresh(
+        self, format_id: int, on_done: Optional[ResolveCallback] = None
+    ) -> None:
+        """Force a server lookup for *format_id* even when it is cached,
+        merging the reply's format **and transform closure** into the
+        local cache.  A receiver that knows a format but has no
+        transform path for it calls this to pull the writer's
+        retro-transformations before falling back to lossy
+        reconciliation.  *on_done* fires with the freshest locally known
+        format (the cached one when the fleet is unreachable)."""
+        cached = self.registry.lookup_id(format_id)
+        if self.degraded:
+            if on_done is not None:
+                on_done(cached)
+            return
+        callbacks = self._inflight.get(format_id)
+        wrapped: Optional[ResolveCallback] = None
+        if on_done is not None:
+            # A refresh is best-effort: fall back to the cached format
+            # when the lookup fails instead of reporting None.
+            wrapped = lambda fmt: on_done(fmt if fmt is not None else cached)
+        if callbacks is not None:
+            if wrapped is not None:
+                callbacks.append(wrapped)
+            return
+        self._lookup(format_id, wrapped)
+
+    def _lookup(
+        self, format_id: int, on_done: Optional[ResolveCallback]
+    ) -> None:
+        self._inflight[format_id] = [on_done] if on_done is not None else []
+        self.stats["lookups_sent"] += 1
+        self._count("lookups_sent")
+        self._request(
+            {"op": "lookup", "format_id": str(format_id)},
+            on_reply=lambda reply: self._finish_resolve(format_id, reply),
+            on_fail=lambda: self._finish_resolve(format_id, None),
+        )
+
+    def _finish_resolve(
+        self, format_id: int, reply: Optional[Dict[str, Any]]
+    ) -> None:
+        fmt: Optional[IOFormat] = None
+        if reply is not None and reply.get("found"):
+            fmt = format_from_dict(reply["format"])
+            self.registry.register(fmt)
+            for spec_dict in reply.get("transforms", ()):
+                self.registry.register_transform(transform_from_dict(spec_dict))
+        for callback in self._inflight.pop(format_id, ()):
+            callback(fmt)
+
+    # ------------------------------------------------------------------
+    # Request plumbing: correlation, timeout, failover, degradation
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        message: Dict[str, Any],
+        on_reply: Callable[[Dict[str, Any]], None],
+        on_fail: Callable[[], None],
+    ) -> None:
+        order = (
+            self.servers[self.active_server:]
+            + self.servers[:self.active_server]
+        )
+        request = _Request(dict(message), on_reply, on_fail, order)
+        request.message["id"] = next(self._ids)
+        self._requests[request.message["id"]] = request
+        self._attempt(request, first=True)
+
+    def _attempt(self, request: _Request, first: bool = False) -> None:
+        if request.done:
+            return
+        if not request.servers_left:
+            request.done = True
+            self._requests.pop(request.message["id"], None)
+            self._enter_degraded()
+            request.on_fail()
+            return
+        server = request.servers_left.pop(0)
+        if not first:
+            self.stats["failovers"] += 1
+            self._count("failovers")
+            self.active_server = self.servers.index(server)
+        if request.timer is not None:
+            request.timer.cancel()
+        request.timer = self.network.call_later(
+            self.request_timeout, lambda: self._attempt(request)
+        )
+
+        def on_result(ticket: SendTicket) -> None:
+            # Rejected (open circuit) or failed (retries exhausted):
+            # don't wait for the timeout, move on immediately.
+            if ticket.state in ("failed", "rejected") and not request.done:
+                self._attempt(request)
+
+        self.endpoint.send(server, _encode(request.message), on_result)
+
+    def _on_message(self, source: str, data: bytes) -> None:
+        if data[:1] == b"{" and source in self.servers:
+            try:
+                message = _decode(data)
+            except TransportError:
+                return  # hostile or truncated meta traffic: drop
+            op = message.get("op")
+            if op in ("lookup_reply", "register_ok"):
+                self._handle_reply(message)
+                return
+        if self.data_handler is not None:
+            self.data_handler(source, data)
+
+    def _handle_reply(self, message: Dict[str, Any]) -> None:
+        request = self._requests.pop(message.get("id"), None)
+        if request is None or request.done:
+            return
+        request.done = True
+        if request.timer is not None:
+            request.timer.cancel()
+        self._exit_degraded()
+        request.on_reply(message)
+
+    # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+
+    def _enter_degraded(self) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self._count("degraded_entries")
+            if OBS.enabled:
+                OBS.metrics.gauge(
+                    "pbio.resolver.degraded", resolver=self.address
+                ).set(1)
+
+    def _exit_degraded(self) -> None:
+        if self.degraded:
+            self.degraded = False
+            if OBS.enabled:
+                OBS.metrics.gauge(
+                    "pbio.resolver.degraded", resolver=self.address
+                ).set(0)
+        self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        """Replay registrations queued while degraded."""
+        pending, self._pending_registrations = self._pending_registrations, []
+        for payload in pending:
+            self.stats["replayed_registrations"] += 1
+            self._count("replayed_registrations")
+            self._send_registration(payload)
+
+    def retry_pending(self) -> int:
+        """Probe the fleet again after degradation: re-send queued
+        registrations (success flips the resolver out of degraded mode
+        via the reply path).  Returns how many uploads were attempted."""
+        count = len(self._pending_registrations)
+        if not count:
+            return 0
+        # Optimistic: flip out of degraded mode so the probes go out;
+        # failure re-enters it, success is confirmed by the reply path.
+        self._exit_degraded()
+        return count
+
+    def _count(self, name: str) -> None:
+        if OBS.enabled:
+            OBS.metrics.counter(
+                f"pbio.resolver.{name}", resolver=self.address
+            ).inc()

@@ -28,6 +28,7 @@ class TestSmokeRun:
         assert summary["mutations_applied"] > 0
         assert set(summary["cases"]) == {
             "roundtrip", "mutation", "ecode", "fusion", "morph",
+            "reliability",
         }
 
     def test_runs_are_seed_deterministic(self):

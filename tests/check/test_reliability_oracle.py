@@ -1,0 +1,60 @@
+"""The reliability oracle: chain/failover scenarios, focus mode, replay."""
+
+from repro.check.oracles import (
+    check_reliability_chain,
+    check_reliability_failover,
+)
+from repro.check.runner import replay_entry, run_check
+
+
+class TestScenarios:
+    def test_chain_is_clean_on_known_good_seeds(self):
+        for net_seed in (0, 1, 2):
+            findings = check_reliability_chain(
+                net_seed, loss_rate=0.1, jitter=0.005, messages=5
+            )
+            assert findings == [], [f.detail for f in findings]
+
+    def test_failover_is_clean_with_a_crashed_primary(self):
+        findings = check_reliability_failover(
+            net_seed=0, loss_rate=0.05, jitter=0.0, messages=5,
+            crash_primary=True,
+        )
+        assert findings == [], [f.detail for f in findings]
+
+    def test_failover_is_clean_with_a_healthy_primary(self):
+        findings = check_reliability_failover(
+            net_seed=1, loss_rate=0.05, jitter=0.0, messages=5,
+            crash_primary=False,
+        )
+        assert findings == [], [f.detail for f in findings]
+
+
+class TestHarnessIntegration:
+    def test_focus_mode_spends_the_whole_budget_on_reliability(self):
+        summary = run_check(seed=0, budget=100, only="reliability")
+        assert summary["ok"], summary["findings"]
+        assert summary["cases"]["reliability"] > 0
+        for oracle, count in summary["cases"].items():
+            if oracle != "reliability":
+                assert count == 0
+
+    def test_full_run_includes_reliability_cases(self):
+        summary = run_check(seed=0, budget=400)
+        assert summary["cases"]["reliability"] > 0
+
+    def test_replay_reruns_a_chain_scenario_from_its_params(self):
+        entry = {
+            "kind": "reliability", "scenario": "chain", "net_seed": 0,
+            "loss_rate": 0.1, "jitter": 0.005, "messages": 5,
+            "expectation": "exactly_once",
+        }
+        assert replay_entry(entry) == []
+
+    def test_replay_reruns_a_failover_scenario_from_its_params(self):
+        entry = {
+            "kind": "reliability", "scenario": "failover", "net_seed": 0,
+            "loss_rate": 0.05, "jitter": 0.0, "messages": 5,
+            "crash_primary": True, "expectation": "exactly_once",
+        }
+        assert replay_entry(entry) == []

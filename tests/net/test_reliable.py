@@ -1,0 +1,247 @@
+"""ReliableEndpoint: ack/retry determinism, ordering, breaker states."""
+
+import pytest
+
+from repro.net.link import LinkSpec
+from repro.net.reliable import CircuitBreaker, ReliableEndpoint
+from repro.net.transport import Network
+
+
+def lossy_pair(loss_rate=0.0, jitter=0.0, net_seed=0, **options):
+    net = Network(
+        default_link=LinkSpec(latency=0.001, loss_rate=loss_rate,
+                              jitter=jitter),
+        seed=net_seed,
+    )
+    a = ReliableEndpoint(net, "a", **options)
+    b = ReliableEndpoint(net, "b", **options)
+    return net, a, b
+
+
+class TestBackoffSchedule:
+    def test_retry_times_follow_exponential_backoff(self):
+        # No receiver node handler needed: the peer simply never acks.
+        net = Network(default_link=LinkSpec(latency=0.001))
+        a = ReliableEndpoint(net, "a", base_timeout=0.05, backoff_factor=2.0,
+                             retry_jitter=0.0, max_retries=3)
+        net.add_node("void").close()
+        ticket = a.send("void", b"x")
+        net.run()
+        assert ticket.state == "failed"
+        assert ticket.attempts == 4  # initial + max_retries
+        gaps = [
+            t2 - t1
+            for t1, t2 in zip(ticket.retry_times, ticket.retry_times[1:])
+        ]
+        # each wait doubles: 0.05, 0.10, 0.20
+        assert gaps == pytest.approx([0.05, 0.10, 0.20])
+
+    def test_schedule_is_deterministic_for_a_seed(self):
+        def run_once():
+            net, a, _b = lossy_pair(loss_rate=0.3, net_seed=7, seed=5,
+                                    max_retries=6)
+            tickets = [a.send("b", bytes([n])) for n in range(10)]
+            net.run()
+            return [tuple(t.retry_times) for t in tickets]
+
+        assert run_once() == run_once()
+
+    def test_jitter_draws_differ_between_endpoints(self):
+        net, a, b = lossy_pair(retry_jitter=0.01, seed=0)
+        net.add_node("void").close()
+        ta = a.send("void", b"x")
+        tb = b.send("void", b"x")
+        net.run()
+        # same seed, but the per-address RNG decorrelates the schedules
+        assert ta.retry_times != tb.retry_times
+
+
+class TestDelivery:
+    def test_lossy_link_still_delivers_everything(self):
+        net, a, b = lossy_pair(loss_rate=0.3, net_seed=3)
+        seen = []
+        b.set_handler(lambda _s, data: seen.append(data))
+        tickets = [a.send("b", bytes([n])) for n in range(20)]
+        net.run()
+        assert seen == [bytes([n]) for n in range(20)]
+        assert all(t.state == "acked" for t in tickets)
+        assert a.retries > 0  # the loss rate made it work for it
+        assert a.in_flight == 0
+
+    def test_in_order_delivery_under_jitter_and_loss(self):
+        # jitter reorders frames in flight; retransmits arrive very late.
+        # The application must still observe submission order.
+        net, a, b = lossy_pair(loss_rate=0.2, jitter=0.01, net_seed=11)
+        seen = []
+        b.set_handler(lambda _s, data: seen.append(data))
+        for n in range(30):
+            a.send("b", bytes([n]))
+        net.run()
+        assert seen == [bytes([n]) for n in range(30)]
+        assert b.dup_drops + b.reordered > 0  # the fault injection bit
+
+    def test_duplicate_suppression_counts(self):
+        net, a, b = lossy_pair(loss_rate=0.4, net_seed=1)
+        seen = []
+        b.set_handler(lambda _s, data: seen.append(data))
+        for n in range(10):
+            a.send("b", bytes([n]))
+        net.run()
+        assert seen == [bytes([n]) for n in range(10)]
+        # lost acks force retransmits of already-delivered frames
+        assert b.delivered == 10
+
+    def test_raw_traffic_passes_through(self):
+        net, _a, b = lossy_pair()
+        seen = []
+        b.set_handler(lambda source, data: seen.append((source, data)))
+        net.add_node("legacy")
+        net.send("legacy", "b", b"no header here")
+        net.run()
+        assert seen == [("legacy", b"no header here")]
+        assert b.passthrough == 1
+
+
+class TestGapRecovery:
+    def test_giving_up_sends_gap_so_stream_continues(self):
+        # b's node drops one specific frame forever by being closed only
+        # for the first transmission window: instead, emulate a send that
+        # fails by pointing it at a dead peer is not possible here (same
+        # peer must receive later traffic), so shrink the retry budget
+        # and lean on loss to kill one seq -- deterministic via seed.
+        net, a, b = lossy_pair(loss_rate=0.9, net_seed=5, max_retries=1,
+                               base_timeout=0.05, retry_jitter=0.0,
+                               breaker_threshold=1_000_000)
+        seen = []
+        b.set_handler(lambda _s, data: seen.append(data))
+        tickets = [a.send("b", bytes([n])) for n in range(12)]
+        net.run()
+        failed = [t for t in tickets if t.state == "failed"]
+        acked = [t.payload for t in tickets if t.state == "acked"]
+        assert failed, "expected the 90% loss to defeat a 1-retry budget"
+        # every acked frame reached the app (an acked send is a promise);
+        # a failed one may still have arrived (only its acks were lost)
+        assert set(acked) <= set(seen)
+        # and in-order delivery held across the holes
+        assert seen == sorted(seen)
+
+    def test_hole_readvertising_unwedges_after_peer_downtime(self):
+        # The sender gives up while the peer is down (GAP lost with it);
+        # the hole rides along with the next transmit, so the stream
+        # recovers on first contact instead of waiting out the watchdog.
+        net = Network(default_link=LinkSpec(latency=0.001))
+        a = ReliableEndpoint(net, "a", max_retries=1, base_timeout=0.05,
+                             retry_jitter=0.0, breaker_threshold=1_000_000)
+        b = ReliableEndpoint(net, "b")
+        seen = []
+        b.set_handler(lambda _s, data: seen.append(data))
+        a.send("b", b"before")
+        net.run()
+        b.node.close()
+        dead = a.send("b", b"while down")
+        net.run()
+        assert dead.state == "failed"
+        b.node.reopen()
+        late = a.send("b", b"after reopen")
+        net.run()
+        assert late.state == "acked"
+        assert seen == [b"before", b"after reopen"]
+        assert b.gap_skips == 1
+        assert b.stall_skips == 0
+        # the gap-ack pruned the hole: no more re-advertising needed
+        assert not a._holes
+
+    def test_stall_timeout_is_the_last_resort_unwedger(self):
+        # A sender that crashes mid-stream never retransmits and never
+        # advertises its holes; the receiver-side watchdog must step
+        # over the gap on its own.
+        from repro.net.reliable import MAGIC, _FRAME_DATA, _HEADER
+
+        net = Network(default_link=LinkSpec(latency=0.001))
+        b = ReliableEndpoint(net, "b")
+        seen = []
+        b.set_handler(lambda _s, data: seen.append(data))
+        net.add_node("ghost")
+        # seq 1 arrives; seq 0 died with the sender
+        net.send("ghost", "b", _HEADER.pack(MAGIC, _FRAME_DATA, 1) + b"late")
+        net.run()
+        assert seen == [b"late"]
+        assert b.stall_skips == 1
+        assert net.now >= b.stall_timeout
+
+    def test_breaker_reject_does_not_burn_a_seq(self):
+        # A fail-fast rejected send must not leave a hole that would
+        # stall the peer's in-order pipeline.
+        net = Network(default_link=LinkSpec(latency=0.001))
+        a = ReliableEndpoint(net, "a", max_retries=0, base_timeout=0.05,
+                             breaker_threshold=1, breaker_cooldown=10.0)
+        b = ReliableEndpoint(net, "b")
+        seen = []
+        b.set_handler(lambda _s, data: seen.append(data))
+        b.node.close()
+        a.send("b", b"x")  # times out, opens the breaker
+        net.run()
+        rejected = a.send("b", b"y")
+        assert rejected.state == "rejected"
+        b.node.reopen()
+        net.call_later(15.0, lambda: None)  # let the cooldown elapse
+        net.run()
+        ok = a.send("b", b"z")
+        net.run()
+        assert ok.state == "acked"
+        assert seen[-1] == b"z"
+
+
+class TestCircuitBreaker:
+    def test_state_machine_transitions(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=1.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(0.1)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow(0.5)  # cooling down
+        assert breaker.allow(1.2)      # half-open probe admitted
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow(1.2)  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.allow(1.5)
+        breaker.record_failure(1.6)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 2
+
+    def test_endpoint_fails_fast_when_peer_is_down(self):
+        net = Network(default_link=LinkSpec(latency=0.001))
+        a = ReliableEndpoint(net, "a", max_retries=0, base_timeout=0.05,
+                             breaker_threshold=2, breaker_cooldown=5.0)
+        net.add_node("down").close()
+        a.send("down", b"1")
+        net.run()
+        a.send("down", b"2")
+        net.run()
+        assert a.breaker("down").state == CircuitBreaker.OPEN
+        assert a.breaker_opens == 1
+        ticket = a.send("down", b"3")
+        assert ticket.state == "rejected"
+        assert a.rejected == 1
+
+    def test_counters_reconcile_on_clean_run(self):
+        net, a, b = lossy_pair(loss_rate=0.1, net_seed=2)
+        b.set_handler(lambda _s, _d: None)
+        for n in range(15):
+            a.send("b", bytes([n]))
+        net.run()
+        counters = a.counters()
+        assert counters["sent"] == 15
+        assert counters["acked"] == 15
+        assert counters["failed"] == 0
+        assert counters["rejected"] == 0
+        assert a.in_flight == 0

@@ -1,0 +1,223 @@
+"""FormatServer fleet + CachingFormatResolver: failover, degraded mode."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.link import LinkSpec
+from repro.net.transport import Network
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import TransformSpec
+from repro.pbio.server import CachingFormatResolver, FormatServer
+
+EVT_V1 = IOFormat(
+    "Evt", [IOField("n", "integer"), IOField("x", "integer")], version="1.0"
+)
+EVT_V0 = IOFormat("Evt", [IOField("n", "integer")], version="0.0")
+V1_TO_V0 = TransformSpec(
+    source=EVT_V1, target=EVT_V0, code="old.n = new.n;",
+    description="Evt 1.0 -> 0.0",
+)
+
+
+def build_fleet(loss_rate=0.0, standby=True, **resolver_options):
+    net = Network(default_link=LinkSpec(latency=0.001, loss_rate=loss_rate))
+    big = 1_000_000
+    primary = FormatServer(net, "fs-a", peer="fs-b" if standby else None,
+                           breaker_threshold=big)
+    # peers point at each other so registrations landing on either
+    # replica (e.g. after a failover) reach both
+    backup = (FormatServer(net, "fs-b", peer="fs-a", breaker_threshold=big)
+              if standby else None)
+    servers = ["fs-a", "fs-b"] if standby else ["fs-a"]
+    resolver_options.setdefault("request_timeout", 0.5)
+    resolver_options.setdefault("breaker_threshold", big)
+    writer = CachingFormatResolver(net, "writer", servers, **resolver_options)
+    reader = CachingFormatResolver(net, "reader", servers, **resolver_options)
+    return net, primary, backup, writer, reader
+
+
+class TestRegistrationAndLookup:
+    def test_lookup_ships_format_with_transform_closure(self):
+        net, primary, _backup, writer, reader = build_fleet()
+        writer.register(EVT_V1, transforms=[V1_TO_V0])
+        net.run()
+        assert primary.registry.lookup_id(EVT_V1.format_id) is not None
+
+        results = []
+        reader.resolve(EVT_V1.format_id, results.append)
+        net.run()
+        assert results and results[0].format_id == EVT_V1.format_id
+        # the closure came along: the reader can morph without new trips
+        assert reader.registry.transforms_from(EVT_V1)
+
+    def test_cache_hit_skips_the_network(self):
+        net, primary, _backup, writer, reader = build_fleet()
+        writer.register(EVT_V0)
+        net.run()
+        reader.resolve(EVT_V0.format_id)
+        net.run()
+        lookups_before = primary.stats["lookups"]
+        assert reader.resolve(EVT_V0.format_id) is not None
+        net.run()
+        assert primary.stats["lookups"] == lookups_before
+        assert reader.stats["cache_hits"] == 1
+
+    def test_registrations_mirror_to_standby(self):
+        net, _primary, backup, writer, _reader = build_fleet()
+        writer.register(EVT_V1, transforms=[V1_TO_V0])
+        net.run()
+        assert backup.registry.lookup_id(EVT_V1.format_id) is not None
+        assert backup.stats["syncs"] == 1
+
+    def test_concurrent_misses_coalesce(self):
+        net, primary, _backup, writer, reader = build_fleet()
+        writer.register(EVT_V0)
+        net.run()
+        results = []
+        reader.resolve(EVT_V0.format_id, results.append)
+        reader.resolve(EVT_V0.format_id, results.append)
+        net.run()
+        assert len(results) == 2
+        assert reader.stats["lookups_sent"] == 1
+        assert primary.stats["lookups"] == 1
+
+    def test_unknown_id_reports_a_miss(self):
+        net, primary, _backup, _writer, reader = build_fleet()
+        results = []
+        reader.resolve(0xDEAD, results.append)
+        net.run()
+        assert results == [None]
+        assert primary.stats["misses"] == 1
+
+    def test_resolver_requires_servers(self):
+        with pytest.raises(TransportError):
+            CachingFormatResolver(Network(), "lonely", servers=())
+
+
+class TestFailover:
+    def test_crashed_primary_fails_over_to_standby(self):
+        net, primary, _backup, writer, reader = build_fleet()
+        writer.register(EVT_V1, transforms=[V1_TO_V0])
+        net.run()
+        primary.close()
+        results = []
+        reader.resolve(EVT_V1.format_id, results.append)
+        net.run()
+        assert results and results[0].format_id == EVT_V1.format_id
+        assert reader.stats["failovers"] >= 1
+        assert not reader.degraded
+
+    def test_resolver_sticks_with_the_server_that_answered(self):
+        net, primary, backup, writer, reader = build_fleet()
+        writer.register(EVT_V1)
+        writer.register(EVT_V0)
+        net.run()
+        primary.close()
+        reader.resolve(EVT_V1.format_id)
+        net.run()
+        failovers_after_first = reader.stats["failovers"]
+        reader.resolve(EVT_V0.format_id)
+        net.run()
+        # second lookup goes straight to the standby: no second failover
+        assert reader.stats["failovers"] == failovers_after_first
+        assert backup.stats["lookups"] == 2
+
+
+class TestDegradedMode:
+    def test_whole_fleet_down_serves_cache_and_queues_registrations(self):
+        net, primary, backup, writer, reader = build_fleet()
+        writer.register(EVT_V0)
+        net.run()
+        reader.resolve(EVT_V0.format_id)
+        net.run()
+        primary.close()
+        backup.close()
+
+        # an uncached id: both attempts fail, the resolver degrades
+        results = []
+        reader.resolve(EVT_V1.format_id, results.append)
+        net.run()
+        assert results == [None]
+        assert reader.degraded
+        # cached formats still resolve, instantly and offline
+        assert reader.resolve(EVT_V0.format_id) is not None
+        # further misses fail fast instead of hammering a dead fleet
+        more = []
+        reader.resolve(0xBEEF, more.append)
+        assert more == [None]
+        assert reader.stats["degraded_misses"] >= 1
+
+        # writer-side: registrations queue while degraded
+        writer.resolve(0xF00D)  # degrade the writer too
+        net.run()
+        assert writer.degraded
+        writer.register(EVT_V1, transforms=[V1_TO_V0])
+        assert writer.pending_registrations == 1
+        # the local cache is authoritative regardless
+        assert writer.registry.lookup_id(EVT_V1.format_id) is not None
+
+    def test_recovery_replays_queued_registrations(self):
+        net, primary, backup, writer, reader = build_fleet()
+        primary.close()
+        backup.close()
+        writer.resolve(0xF00D)  # discover the outage, degrade
+        net.run()
+        writer.register(EVT_V1, transforms=[V1_TO_V0])
+        assert writer.pending_registrations == 1
+
+        primary.reopen()
+        backup.reopen()
+        assert writer.retry_pending() == 1
+        net.run()
+        assert not writer.degraded
+        assert writer.pending_registrations == 0
+        assert writer.stats["replayed_registrations"] >= 1
+        assert primary.registry.lookup_id(EVT_V1.format_id) is not None
+
+        # and a reader can now resolve it end to end
+        results = []
+        reader.resolve(EVT_V1.format_id, results.append)
+        net.run()
+        assert results and results[0].format_id == EVT_V1.format_id
+
+
+class TestRefresh:
+    def test_refresh_pulls_transform_closure_for_known_format(self):
+        net, _primary, _backup, writer, reader = build_fleet()
+        writer.register(EVT_V1, transforms=[V1_TO_V0])
+        net.run()
+        # the reader knows the format locally but has no transforms
+        reader.registry.register(EVT_V1)
+        assert not reader.registry.transforms_from(EVT_V1)
+        results = []
+        reader.refresh(EVT_V1.format_id, results.append)
+        net.run()
+        assert results and results[0].format_id == EVT_V1.format_id
+        assert reader.registry.transforms_from(EVT_V1)
+
+    def test_refresh_falls_back_to_cache_when_fleet_is_down(self):
+        net, primary, backup, writer, reader = build_fleet()
+        writer.register(EVT_V1)
+        net.run()
+        reader.resolve(EVT_V1.format_id)
+        net.run()
+        primary.close()
+        backup.close()
+        results = []
+        reader.refresh(EVT_V1.format_id, results.append)
+        net.run()
+        # best-effort: the cached format is better than nothing
+        assert results and results[0].format_id == EVT_V1.format_id
+
+
+class TestLossyMetaPlane:
+    def test_meta_protocol_survives_a_lossy_link(self):
+        net, _primary, _backup, writer, reader = build_fleet(loss_rate=0.2)
+        writer.register(EVT_V1, transforms=[V1_TO_V0])
+        net.run()
+        results = []
+        reader.resolve(EVT_V1.format_id, results.append)
+        net.run()
+        assert results and results[0].format_id == EVT_V1.format_id
+        assert not reader.degraded

@@ -123,8 +123,10 @@ class TestProtocolRobustness:
         net, service = build_world()
         net.add_node("hostile")
         net.send("hostile", service.address, b"\xff\x00 not json")
-        with pytest.raises(TransportError, match="malformed"):
-            net.run()
+        net.run()  # contained by the fabric, counted for inspection
+        _destination, error = net.last_handler_error
+        assert isinstance(error, TransportError)
+        assert "malformed" in str(error)
 
     def test_message_without_op_rejected(self):
         from repro.errors import TransportError
@@ -132,8 +134,10 @@ class TestProtocolRobustness:
         net, service = build_world()
         net.add_node("hostile")
         net.send("hostile", service.address, b'{"hello": 1}')
-        with pytest.raises(TransportError, match="op"):
-            net.run()
+        net.run()
+        _destination, error = net.last_handler_error
+        assert isinstance(error, TransportError)
+        assert "op" in str(error)
 
     def test_unknown_op_ignored(self):
         net, service = build_world()
@@ -152,8 +156,9 @@ class TestProtocolRobustness:
             service.address,
             b'{"op": "register", "formats": [{"broken": true}]}',
         )
-        with pytest.raises(FormatError):
-            net.run()
+        net.run()
+        _destination, error = net.last_handler_error
+        assert isinstance(error, FormatError)
 
     def test_non_meta_traffic_reaches_data_handler(self):
         net, service = build_world()
