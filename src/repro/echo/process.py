@@ -38,7 +38,14 @@ from repro.morph.receiver import MorphReceiver
 from repro.net.reliable import ReliableEndpoint
 from repro.net.transport import Network, Node
 from repro.obs import OBS
-from repro.pbio.buffer import HEADER_SIZE, unpack_header
+from repro.obs.tracectx import TraceContext, activate, make_context
+from repro.pbio.buffer import (
+    HEADER_SIZE,
+    MessageHeader,
+    attach_trace,
+    peek_trace,
+    unpack_header,
+)
 from repro.pbio.context import PBIOContext
 from repro.pbio.format import IOFormat
 from repro.pbio.record import Record
@@ -330,25 +337,46 @@ class EChoProcess:
             raise ChannelError(
                 f"{self.address} did not open channel {channel_id!r} as a source"
             )
+        # A fresh distributed trace per published event.  Both the
+        # envelope and the payload wires carry the 26-byte context block,
+        # so a payload parked in the DLQ or replayed after a format fetch
+        # still knows which trace it belongs to.  With tracing off, no
+        # block is attached and the wire is byte-identical to an
+        # untraced build.
+        ctx: Optional[TraceContext] = None
+        if OBS.enabled:
+            ctx = make_context()
         payload = self.pbio.encode(fmt, record)
         envelope = EVENT_ENVELOPE.make_record(
             channel_id=channel_id, seq=channel.next_seq()
         )
-        datagram = self.pbio.encode(EVENT_ENVELOPE, envelope) + payload
-        pushed = 0
-        for member in channel.sinks():
-            if member.contact == self.address:
-                continue
-            self._send(member.contact, datagram)
-            pushed += 1
-        if OBS.enabled and pushed:
-            OBS.metrics.counter(
-                "echo.channel.events_pushed", channel=channel_id
-            ).inc(pushed)
-        if channel.is_sink and channel_id in self._event_receivers:
-            self._deliver_event(channel_id, self._event_receivers[channel_id],
-                                payload)
-        pushed += self._submit_derived(channel_id, record, payload)
+        envelope_wire = self.pbio.encode(EVENT_ENVELOPE, envelope)
+        if ctx is not None:
+            payload = attach_trace(payload, ctx)
+            envelope_wire = attach_trace(envelope_wire, ctx)
+        datagram = envelope_wire + payload
+        with activate(ctx), OBS.tracer.span(
+            "echo.publish",
+            channel=channel_id,
+            process=self.address,
+            format=fmt.name,
+            vtime=self.network.now,
+        ):
+            pushed = 0
+            for member in channel.sinks():
+                if member.contact == self.address:
+                    continue
+                self._send(member.contact, datagram)
+                pushed += 1
+            if OBS.enabled and pushed:
+                OBS.metrics.bounded_counter(
+                    "echo.channel.events_pushed", channel=channel_id
+                ).inc(pushed)
+            if channel.is_sink and channel_id in self._event_receivers:
+                self._deliver_event(
+                    channel_id, self._event_receivers[channel_id], payload
+                )
+            pushed += self._submit_derived(channel_id, record, payload, ctx)
         return pushed
 
     def _deliver_event(
@@ -359,15 +387,25 @@ class EChoProcess:
         if not OBS.enabled:
             receiver.process(payload)
             return
-        with OBS.tracer.span(
+        # The payload carries its own trace block (attached at submit),
+        # so delivery resumed from a DLQ retry or a format-fetch replay
+        # re-joins the original trace even though the publishing call
+        # stack is long gone.
+        with activate(peek_trace(payload)), OBS.tracer.span(
             "echo.deliver", channel=channel_id, process=self.address
         ):
             receiver.process(payload)
-        OBS.metrics.counter(
+        OBS.metrics.bounded_counter(
             "echo.channel.events_delivered", channel=channel_id
         ).inc()
 
-    def _submit_derived(self, parent_id: str, record: Record, payload: bytes) -> int:
+    def _submit_derived(
+        self,
+        parent_id: str,
+        record: Record,
+        payload: bytes,
+        ctx: Optional[TraceContext] = None,
+    ) -> int:
         """Run each derived channel's compiled filter on *record* at the
         source; forward the event to the derived sinks only when the
         filter keeps it (events that fail never touch the wire)."""
@@ -397,7 +435,7 @@ class EChoProcess:
             if not keep:
                 self.filtered_out += 1
                 if OBS.enabled:
-                    OBS.metrics.counter(
+                    OBS.metrics.bounded_counter(
                         "echo.channel.filtered_out",
                         channel=derived.channel_id,
                     ).inc()
@@ -405,7 +443,10 @@ class EChoProcess:
             envelope = EVENT_ENVELOPE.make_record(
                 channel_id=derived.channel_id, seq=derived.next_seq()
             )
-            datagram = self.pbio.encode(EVENT_ENVELOPE, envelope) + payload
+            envelope_wire = self.pbio.encode(EVENT_ENVELOPE, envelope)
+            if ctx is not None:
+                envelope_wire = attach_trace(envelope_wire, ctx)
+            datagram = envelope_wire + payload
             for member in derived.sinks():
                 if member.contact == self.address:
                     continue
@@ -453,50 +494,63 @@ class EChoProcess:
                        lambda: self._on_message(source, data))
             return
         self._current_peer = source
+        # Restore the wire-carried trace context (None when untraced) so
+        # every span recorded while dispatching — decode, MaxMatch, the
+        # transform chain, handlers — joins the publisher's trace.
+        body_end = header.body_offset + header.payload_length
         try:
-            if fmt is not None and fmt.name == DERIVED_INFO.name:
-                info = self.pbio.decode_as(
-                    fmt, data[: HEADER_SIZE + header.payload_length]
-                )
-                trailing = data[HEADER_SIZE + header.payload_length :]
-                self._handle_derived_info(source, info, trailing)
-            elif fmt is not None and fmt.name == EVENT_ENVELOPE.name:
-                envelope = self.pbio.decode_as(fmt, data[: HEADER_SIZE + header.payload_length])
-                payload = data[HEADER_SIZE + header.payload_length :]
-                channel_id = envelope["channel_id"]
-                receiver = self._event_receivers.get(channel_id)
-                if receiver is not None:
-                    if self.resolver is not None and len(payload) > HEADER_SIZE:
-                        payload_id = unpack_header(payload).format_id
-                        payload_fmt = self.registry.lookup_id(payload_id)
-                        if payload_id not in self._refreshed and (
-                            payload_fmt is None
-                            or not receiver.has_exact_route(payload_fmt)
-                        ):
-                            self._park(
-                                payload_id,
-                                lambda: self._deliver_event(
-                                    channel_id, receiver, payload
-                                ),
-                            )
-                            return
-                    self._deliver_event(channel_id, receiver, payload)
-            else:
-                if (
-                    self.resolver is not None
-                    and fmt is not None
-                    and header.format_id not in self._refreshed
-                    and not self.control.has_exact_route(fmt)
-                ):
-                    # Known format, but no handler and no transform
-                    # chain reaching one: pull the writer's transform
-                    # closure from the server before reconciling.
-                    self._park(header.format_id,
-                               lambda: self._on_message(source, data))
-                    return
-                self.control.process(data)
+            with activate(header.trace):
+                self._dispatch_message(source, data, header, fmt, body_end)
         finally:
             self._current_peer = None
+
+    def _dispatch_message(
+        self,
+        source: str,
+        data: bytes,
+        header: MessageHeader,
+        fmt: Optional[IOFormat],
+        body_end: int,
+    ) -> None:
+        if fmt is not None and fmt.name == DERIVED_INFO.name:
+            info = self.pbio.decode_as(fmt, data[:body_end])
+            trailing = data[body_end:]
+            self._handle_derived_info(source, info, trailing)
+        elif fmt is not None and fmt.name == EVENT_ENVELOPE.name:
+            envelope = self.pbio.decode_as(fmt, data[:body_end])
+            payload = data[body_end:]
+            channel_id = envelope["channel_id"]
+            receiver = self._event_receivers.get(channel_id)
+            if receiver is not None:
+                if self.resolver is not None and len(payload) > HEADER_SIZE:
+                    payload_id = unpack_header(payload).format_id
+                    payload_fmt = self.registry.lookup_id(payload_id)
+                    if payload_id not in self._refreshed and (
+                        payload_fmt is None
+                        or not receiver.has_exact_route(payload_fmt)
+                    ):
+                        self._park(
+                            payload_id,
+                            lambda: self._deliver_event(
+                                channel_id, receiver, payload
+                            ),
+                        )
+                        return
+                self._deliver_event(channel_id, receiver, payload)
+        else:
+            if (
+                self.resolver is not None
+                and fmt is not None
+                and header.format_id not in self._refreshed
+                and not self.control.has_exact_route(fmt)
+            ):
+                # Known format, but no handler and no transform
+                # chain reaching one: pull the writer's transform
+                # closure from the server before reconciling.
+                self._park(header.format_id,
+                           lambda: self._on_message(source, data))
+                return
+            self.control.process(data)
 
     # ------------------------------------------------------------------
     # Control handlers

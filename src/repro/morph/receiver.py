@@ -54,7 +54,13 @@ from repro.morph.maxmatch import (
 )
 from repro.morph.fusion import FusedRoute, plan_fusion
 from repro.morph.transform import TransformChain, Transformation, build_chain
-from repro.pbio.buffer import FLAG_BIG_ENDIAN, HEADER_SIZE, unpack_header
+from repro.obs.tracectx import activate
+from repro.pbio.buffer import (
+    FLAG_BIG_ENDIAN,
+    HEADER_SIZE,
+    peek_trace,
+    unpack_header,
+)
 from repro.pbio.context import PBIOContext
 from repro.pbio.format import IOFormat
 from repro.pbio.record import Record
@@ -355,7 +361,11 @@ class MorphReceiver:
             return self._process_contained(data)
         if not OBS.enabled:
             return self._process(data)
-        with OBS.tracer.span("morph.process"):
+        # re-activate the wire-carried trace context (a no-op for
+        # untraced messages) so standalone receivers — and replays from
+        # queues where the publishing call stack is gone — still join
+        # the message's distributed trace
+        with activate(peek_trace(data)), OBS.tracer.span("morph.process"):
             return self._process(data)
 
     def _process_contained(self, data: bytes) -> Any:
@@ -378,7 +388,10 @@ class MorphReceiver:
         try:
             if not OBS.enabled:
                 return self._process(data)
-            with OBS.tracer.span("morph.process"):
+            # the DLQ keeps the raw wire bytes, so a retry_dead_letters
+            # pass re-enters here with the original trace block intact —
+            # the retry's spans resume the original trace
+            with activate(peek_trace(data)), OBS.tracer.span("morph.process"):
                 return self._process(data)
         except UnknownFormatError as exc:
             self._dead_letter(data, format_id, "unknown_format", exc)
@@ -723,7 +736,8 @@ class MorphReceiver:
         chain that ran to completion (including when a subsequent ecode
         reconcile step fails), ``reconciled``/``perfect_matches`` count
         deliveries."""
-        end = HEADER_SIZE + header.payload_length
+        body = header.body_offset
+        end = body + header.payload_length
         observing = OBS.enabled
         try:
             if observing:
@@ -734,11 +748,11 @@ class MorphReceiver:
                     version=route.wire_format.version,
                 ):
                     start = time.perf_counter()
-                    record = fn(data, HEADER_SIZE, end)
+                    record = fn(data, body, end)
                     elapsed = time.perf_counter() - start
                 OBS.metrics.histogram("morph.fused.seconds").observe(elapsed)
             else:
-                record = fn(data, HEADER_SIZE, end)
+                record = fn(data, body, end)
         except TransformError as exc:
             if (
                 getattr(exc, "fused_stage", None) == "coercion"
@@ -749,6 +763,12 @@ class MorphReceiver:
             raise
         if route.chain is not None:
             self.stats.inc("morphed")
+            if observing:
+                # identical labeled counter to the staged path, so the
+                # fused/staged differential oracle sees no divergence
+                OBS.metrics.bounded_counter(
+                    "morph.transform.applied", format=route.wire_format.name
+                ).inc()
         if route.coercion is not None:
             self.stats.inc("reconciled")
         else:
@@ -757,6 +777,9 @@ class MorphReceiver:
         assert handler_format is not None
         handler = self._handlers[handler_format.format_id]
         if observing:
+            OBS.metrics.bounded_counter(
+                "morph.dispatch.delivered", format=handler_format.name
+            ).inc()
             with OBS.tracer.span(
                 "morph.dispatch",
                 format=handler_format.name,
@@ -797,6 +820,9 @@ class MorphReceiver:
                     record = route.chain.apply(record)
                     elapsed = time.perf_counter() - start
                 OBS.metrics.histogram("morph.transform.seconds").observe(elapsed)
+                OBS.metrics.bounded_counter(
+                    "morph.transform.applied", format=route.wire_format.name
+                ).inc()
             else:
                 record = route.chain.apply(record)
             self.stats.inc("morphed")
@@ -824,6 +850,9 @@ class MorphReceiver:
         assert handler_format is not None
         handler = self._handlers[handler_format.format_id]
         if observing:
+            OBS.metrics.bounded_counter(
+                "morph.dispatch.delivered", format=handler_format.name
+            ).inc()
             with OBS.tracer.span(
                 "morph.dispatch",
                 format=handler_format.name,

@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import TransportError
 from repro.net.transport import Network, Node
 from repro.obs import OBS
+from repro.obs.tracectx import activate
 
 #: Frame magic: deliberately distinct from PBIO's header magic and from
 #: the ``{``-prefixed JSON of the meta-data plane.
@@ -340,7 +341,27 @@ class ReliableEndpoint:
                 ticket.destination, _HEADER.pack(MAGIC, _FRAME_GAP, hole)
             )
         frame = _HEADER.pack(MAGIC, _FRAME_DATA, ticket.seq) + ticket.payload
-        self.node.send(ticket.destination, frame)
+        if OBS.enabled:
+            # A traced payload makes every (re)transmission a span of its
+            # trace, so the flight recorder can show loss recovery and
+            # backoff as part of the message's journey.
+            from repro.pbio.buffer import peek_trace  # late: layering
+
+            name = (
+                "net.reliable.send" if ticket.attempts == 1
+                else "net.reliable.retransmit"
+            )
+            with activate(peek_trace(ticket.payload)), OBS.tracer.span(
+                name,
+                peer=ticket.destination,
+                process=self.address,
+                seq=ticket.seq,
+                attempt=ticket.attempts,
+                vtime=self.network.now,
+            ):
+                self.node.send(ticket.destination, frame)
+        else:
+            self.node.send(ticket.destination, frame)
         timeout = self.base_timeout * (
             self.backoff_factor ** (ticket.attempts - 1)
         )
@@ -438,7 +459,19 @@ class ReliableEndpoint:
                     # zero-delay deliveries) reentrantly; re-reading
                     # _expected each iteration keeps the drain
                     # consistent under that.
-                    self._handler(source, payload)
+                    if OBS.enabled:
+                        from repro.pbio.buffer import peek_trace  # layering
+
+                        with activate(peek_trace(payload)), OBS.tracer.span(
+                            "net.reliable.deliver",
+                            peer=source,
+                            process=self.address,
+                            seq=expected,
+                            vtime=self.network.now,
+                        ):
+                            self._handler(source, payload)
+                    else:
+                        self._handler(source, payload)
         self._watch_stall(source)
 
     def _watch_stall(self, source: str) -> None:

@@ -24,8 +24,25 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import TransportError
 from repro.net.link import LinkSpec
 from repro.obs import OBS
+from repro.obs.tracectx import activate
 
 MessageHandler = Callable[[str, bytes], None]
+
+#: Reliable-layer frame prefix (mirrors :data:`repro.net.reliable.MAGIC`
+#: without importing it — reliable sits *above* this module): a traced
+#: PBIO message inside a data frame starts after the 13-byte RLP1 header.
+_RELIABLE_MAGIC = b"RLP1"
+_RELIABLE_HEADER_SIZE = 13
+
+
+def _sniff_trace(data: bytes):
+    """Best-effort trace-context sniff for a raw frame: a bare PBIO
+    message, or one wrapped in a reliable-layer data frame."""
+    from repro.pbio.buffer import peek_trace  # late: keep net below pbio
+
+    if data[:4] == _RELIABLE_MAGIC:
+        return peek_trace(data, _RELIABLE_HEADER_SIZE)
+    return peek_trace(data)
 
 
 @dataclass(frozen=True)
@@ -281,7 +298,21 @@ class Network:
             dropped = node.closed
             handler_error = False
             try:
-                node._deliver(source, data)
+                if OBS.enabled:
+                    # every physical delivery of a traced message becomes
+                    # a child span of that message's trace — including
+                    # each retransmission of the same payload
+                    with activate(_sniff_trace(data)), OBS.tracer.span(
+                        "net.deliver",
+                        source=source,
+                        destination=destination,
+                        process=destination,
+                        size=len(data),
+                        vtime=self.now,
+                    ):
+                        node._deliver(source, data)
+                else:
+                    node._deliver(source, data)
             except Exception as exc:  # noqa: BLE001 - defined containment
                 handler_error = True
                 node.handler_errors += 1

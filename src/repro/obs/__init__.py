@@ -36,11 +36,21 @@ from typing import Any, Optional
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     Counter,
+    DEFAULT_LABEL_LIMIT,
     Gauge,
     Histogram,
     LATENCY_BUCKETS,
+    OVERFLOW_LABEL,
     RATIO_BUCKETS,
     Registry,
+)
+from repro.obs.tracectx import (
+    TRACE_BLOCK_SIZE,
+    TraceContext,
+    activate,
+    current,
+    make_context,
+    seed_ids,
 )
 from repro.obs.tracing import (
     DEFAULT_CAPACITY,
@@ -49,26 +59,38 @@ from repro.obs.tracing import (
     SpanRecorder,
     find_spans,
 )
+from repro.obs.distributed import FlightReport, TraceStore, flight
 
 __all__ = [
     "COUNT_BUCKETS",
     "Counter",
+    "DEFAULT_LABEL_LIMIT",
+    "FlightReport",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
     "NullRecorder",
     "OBS",
+    "OVERFLOW_LABEL",
     "RATIO_BUCKETS",
     "Registry",
     "Span",
     "SpanRecorder",
+    "TRACE_BLOCK_SIZE",
+    "TraceContext",
+    "TraceStore",
+    "activate",
+    "current",
     "disable",
     "enable",
     "find_spans",
+    "flight",
     "get_registry",
     "get_tracer",
     "is_enabled",
+    "make_context",
     "render_text",
+    "seed_ids",
     "snapshot",
     "span",
     "to_json",

@@ -1,4 +1,4 @@
-"""``python -m repro.obs`` — pretty-print an observability snapshot.
+"""``python -m repro.obs`` — snapshots, flight recordings, Perfetto export.
 
 With no arguments, runs a small live demo — the quickstart's evolving
 ``Reading`` format pushed through an ECho channel to a sink one revision
@@ -12,15 +12,28 @@ Usage::
     python -m repro.obs --prometheus      # same, Prometheus text format
     python -m repro.obs --json out.json   # also write the JSON snapshot
     python -m repro.obs --load snap.json  # pretty-print a saved snapshot
+    python -m repro.obs --format chrome --out trace.json
+                                          # traced lossy demo -> Chrome
+                                          # trace-event JSON (load the
+                                          # file at https://ui.perfetto.dev)
+    python -m repro.obs --flight          # traced lossy demo -> per-message
+                                          # flight-recorder hop timelines
+    python -m repro.obs --trace-smoke --out trace.json
+                                          # CI gate: V2->V1->V0 morph chain
+                                          # over a 10% lossy link; asserts
+                                          # every delivered message produced
+                                          # one complete trace, writes the
+                                          # Chrome export, exits 1 on failure
 """
 
 from __future__ import annotations
 
 import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import obs
+from repro.obs.distributed import TraceStore
 from repro.obs.export import build_snapshot, render_text, to_prometheus
 
 
@@ -73,6 +86,189 @@ def _demo_workload(messages: int = 25) -> None:
     network.run()
 
 
+def _traced_chain_workload(
+    messages: int = 20, loss_rate: float = 0.10, seed: int = 7
+) -> Tuple[int, int]:
+    """The distributed-tracing demo: a V2 producer publishing to a V0
+    consumer over a *lossy* link with reliable endpoints — every message
+    crosses the wire (possibly several times), morphs V2→V1→V0 through
+    the writer-supplied transform chain, and dispatches.  Returns
+    ``(delivered, messages)``."""
+    from repro.echo.process import EChoProcess
+    from repro.net.link import LinkSpec
+    from repro.net.transport import Network
+    from repro.pbio.field import IOField
+    from repro.pbio.format import IOFormat
+    from repro.pbio.registry import FormatRegistry
+
+    reading_v0 = IOFormat(
+        "Reading", [IOField("celsius", "float")], version="0"
+    )
+    reading_v1 = IOFormat(
+        "Reading",
+        [IOField("celsius", "float"), IOField("station", "string")],
+        version="1",
+    )
+    reading_v2 = IOFormat(
+        "Reading",
+        [
+            IOField("kelvin", "float"),
+            IOField("station", "string"),
+            IOField("sensor_id", "integer"),
+        ],
+        version="2",
+    )
+    registry = FormatRegistry()
+    registry.add_transform(
+        reading_v2,
+        reading_v1,
+        "old.celsius = new.kelvin - 273.15;\nold.station = new.station;",
+        description="Reading v2 -> v1",
+    )
+    registry.add_transform(
+        reading_v1,
+        reading_v0,
+        "old.celsius = new.celsius;",
+        description="Reading v1 -> v0",
+    )
+    network = Network(
+        seed=seed,
+        default_link=LinkSpec(latency=0.001, loss_rate=loss_rate),
+    )
+    producer = EChoProcess(network, "producer", registry, version="2.0",
+                           reliable=True)
+    consumer = EChoProcess(network, "consumer", registry, version="0.0",
+                           reliable=True)
+    producer.create_channel("readings")
+    consumer.open_channel("readings", "producer", as_sink=True)
+    network.run()
+    delivered: List[object] = []
+    consumer.subscribe("readings", reading_v0, delivered.append)
+    for i in range(messages):
+        producer.submit(
+            "readings",
+            reading_v2,
+            reading_v2.make_record(
+                kelvin=290.0 + i, station=f"st-{i % 3}", sensor_id=i
+            ),
+        )
+    network.run()
+    return len(delivered), messages
+
+
+#: Span names every complete traced delivery must contain (the morph
+#: chain shows as ``morph.transform`` staged or ``morph.fused`` fused).
+_REQUIRED_SPANS = (
+    "echo.publish",
+    "net.deliver",
+    "morph.process",
+    "morph.dispatch",
+)
+
+
+def _collect_store() -> TraceStore:
+    store = TraceStore()
+    tracer = obs.get_tracer()
+    if isinstance(tracer, obs.SpanRecorder):
+        store.add_recorder("local", tracer)
+    return store
+
+
+def _run_chrome(out_path: Optional[str]) -> int:
+    obs.disable(reset=True)
+    obs.enable()
+    obs.seed_ids(42)
+    _traced_chain_workload()
+    store = _collect_store()
+    text = store.to_chrome_json()
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote Chrome trace-event JSON for {len(store.trace_ids())} "
+            f"trace(s) to {out_path} — load it at https://ui.perfetto.dev"
+        )
+    else:
+        print(text)
+    obs.disable(reset=True)
+    return 0
+
+
+def _run_flight(trace_id: Optional[str]) -> int:
+    obs.disable(reset=True)
+    obs.enable()
+    obs.seed_ids(42)
+    _traced_chain_workload()
+    store = _collect_store()
+    ids = store.trace_ids()
+    if not ids:
+        print("no traces recorded", file=sys.stderr)
+        return 1
+    targets = [trace_id] if trace_id is not None else ids[:3]
+    for tid in targets:
+        print(store.flight(tid).hop_report())
+        print()
+    total = sum(store.flight(t).retransmits for t in ids)
+    print(f"{len(ids)} trace(s) recorded, {total} retransmit(s) across all")
+    obs.disable(reset=True)
+    return 0
+
+
+def _run_trace_smoke(out_path: Optional[str]) -> int:
+    """The CI smoke gate: run the lossy V2→V1→V0 chain traced, assert
+    trace completeness for every delivered message, export Chrome JSON."""
+    obs.disable(reset=True)
+    obs.enable(capacity=65536)
+    obs.seed_ids(42)
+    delivered, sent = _traced_chain_workload(messages=30)
+    store = _collect_store()
+    failures: List[str] = []
+    if delivered != sent:
+        failures.append(f"delivered {delivered}/{sent} messages")
+    ids = store.trace_ids()
+    # the channel-open handshake is untraced; every published message
+    # must have produced exactly one trace
+    if len(ids) != sent:
+        failures.append(f"{len(ids)} trace(s) for {sent} published messages")
+    incomplete = 0
+    for tid in ids:
+        report = store.flight(tid)
+        names = set(report.span_names())
+        missing = [n for n in _REQUIRED_SPANS if n not in names]
+        if "morph.transform" not in names and "morph.fused" not in names:
+            missing.append("morph.transform|morph.fused")
+        if missing:
+            incomplete += 1
+            if incomplete <= 3:
+                failures.append(f"trace {tid} missing spans: {missing}")
+    if incomplete:
+        failures.append(f"{incomplete} incomplete trace(s)")
+    snapshot = build_snapshot(obs.get_registry(), obs.get_tracer())
+    if snapshot["spans"]["dropped"]:
+        failures.append(
+            f"{snapshot['spans']['dropped']} span(s) evicted from the ring "
+            "(raise the capacity)"
+        )
+    chrome = store.to_chrome()
+    if not chrome["traceEvents"]:
+        failures.append("Chrome export is empty")
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(chrome, handle, indent=2)
+    retransmits = sum(store.flight(t).retransmits for t in ids)
+    obs.disable(reset=True)
+    if failures:
+        for failure in failures:
+            print(f"trace-smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"trace-smoke OK: {delivered}/{sent} delivered, {len(ids)} complete "
+        f"trace(s), {retransmits} retransmit(s) recovered"
+        + (f", Chrome export at {out_path}" if out_path else "")
+    )
+    return 0
+
+
 def _print_loaded(path: str) -> int:
     """Pretty-print a snapshot previously saved with ``--json``."""
     from repro.bench.reporting import format_table
@@ -91,26 +287,47 @@ def _print_loaded(path: str) -> int:
     spans = snap.get("spans", {})
     print(
         f"\nspans: {spans.get('buffered', 0)} buffered / "
-        f"{spans.get('recorded_total', 0)} recorded"
+        f"{spans.get('recorded_total', 0)} recorded / "
+        f"{spans.get('dropped', 0)} dropped"
     )
     return 0
 
 
+def _option(args: List[str], flag: str) -> Optional[str]:
+    """The value following *flag*, or None when the flag is absent.
+    Exits with status 2 (via SystemExit) when the value is missing."""
+    if flag not in args:
+        return None
+    index = args.index(flag)
+    if index + 1 >= len(args) or args[index + 1].startswith("--"):
+        print(f"error: {flag} requires a value", file=sys.stderr)
+        raise SystemExit(2)
+    return args[index + 1]
+
+
 def main(argv: "Optional[List[str]]" = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
-    if "--load" in args:
-        index = args.index("--load")
-        if index + 1 >= len(args):
-            print("error: --load requires a file path", file=sys.stderr)
+    load_path = _option(args, "--load")
+    if load_path is not None:
+        return _print_loaded(load_path)
+    out_path = _option(args, "--out")
+    if "--trace-smoke" in args:
+        return _run_trace_smoke(out_path)
+    fmt = _option(args, "--format")
+    if fmt is not None:
+        if fmt != "chrome":
+            print(f"error: unknown --format {fmt!r} (expected 'chrome')",
+                  file=sys.stderr)
             return 2
-        return _print_loaded(args[index + 1])
-    json_path = None
-    if "--json" in args:
-        index = args.index("--json")
-        if index + 1 >= len(args):
-            print("error: --json requires a file path", file=sys.stderr)
-            return 2
-        json_path = args[index + 1]
+        return _run_chrome(out_path)
+    if "--flight" in args:
+        # optional positional trace id after the flag
+        index = args.index("--flight")
+        trace_id = None
+        if index + 1 < len(args) and not args[index + 1].startswith("--"):
+            trace_id = args[index + 1]
+        return _run_flight(trace_id)
+    json_path = _option(args, "--json")
 
     obs.disable(reset=True)
     obs.enable()

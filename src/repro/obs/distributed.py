@@ -1,0 +1,377 @@
+"""Distributed trace assembly — merge per-process spans into one story.
+
+A single :class:`~repro.obs.tracing.SpanRecorder` only sees one
+process's half of a message's journey.  This module is the other half
+of distributed tracing: a :class:`TraceStore` that merges span
+snapshots from many processes (tagged with a process name), a **flight
+recorder** that reconstructs one message's ordered hop timeline —
+publish, retransmits, decode, the transform chain, dispatch — with a
+per-stage latency breakdown and error rollup, and exporters:
+
+* :func:`TraceStore.to_chrome` — Chrome trace-event JSON, loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; each
+  process becomes a track,
+* :meth:`FlightReport.hop_report` — a plain-text timeline for terminals
+  and CI logs.
+
+Cross-process linkage uses the span fields stamped by
+:mod:`repro.obs.tracing`: the sender's publish span claims the wire
+context's hop id as its ``dspan_id``; every receive-side root span
+carries the same id as ``remote_parent``.  Matching the two joins the
+processes' timelines without any shared span-id space.
+
+The "processes" here are whatever the caller says they are — separate
+OS processes feeding snapshots over JSON, or (as in the tests and the
+demo) several :class:`~repro.echo.process.EChoProcess` instances inside
+one interpreter, distinguished by the ``process`` attribute their spans
+carry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.tracing import Span, SpanRecorder
+
+#: Span names counted as retransmissions in flight reports.
+RETRANSMIT_SPAN = "net.reliable.retransmit"
+
+
+@dataclass
+class StoredSpan:
+    """One span in the store, tagged with its origin.
+
+    ``source`` scopes ``span_id``/``parent_id`` (recorder-local counters
+    that collide across recorders); ``process`` is the human name used
+    for grouping and display.  Trace/hop ids are kept in their hex
+    renderings, matching the JSON snapshot form."""
+
+    source: int
+    process: str
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    duration: float
+    attrs: Dict[str, Any]
+    trace_id: Optional[str] = None
+    dspan_id: Optional[str] = None
+    remote_parent: Optional[str] = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def error(self) -> Optional[str]:
+        value = self.attrs.get("error")
+        return str(value) if value is not None else None
+
+
+@dataclass
+class Hop:
+    """One process-local subtree of a trace: a root span plus everything
+    recorded under it."""
+
+    process: str
+    root: StoredSpan
+    spans: List[StoredSpan] = field(default_factory=list)
+
+    @property
+    def start(self) -> float:
+        return self.root.start
+
+    @property
+    def errors(self) -> List[Tuple[str, str]]:
+        """``(span name, error)`` pairs anywhere in this hop."""
+        return [(s.name, s.error) for s in self.spans if s.error is not None]
+
+    @property
+    def retransmits(self) -> int:
+        return sum(1 for s in self.spans if s.name == RETRANSMIT_SPAN)
+
+
+@dataclass
+class FlightReport:
+    """A message's reconstructed journey: ordered hops, latency
+    breakdown by span name, retransmit count, and error rollup."""
+
+    trace_id: str
+    hops: List[Hop]
+
+    @property
+    def spans(self) -> List[StoredSpan]:
+        return [s for hop in self.hops for s in hop.spans]
+
+    @property
+    def retransmits(self) -> int:
+        return sum(hop.retransmits for hop in self.hops)
+
+    @property
+    def errors(self) -> List[Tuple[str, str, str]]:
+        """``(process, span name, error)`` across all hops."""
+        return [
+            (hop.process, name, err)
+            for hop in self.hops
+            for name, err in hop.errors
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def breakdown(self) -> Dict[str, float]:
+        """Total seconds spent per span name (queue wait, retransmit
+        backoff, morph time etc. each show up under their span)."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def span_names(self) -> List[str]:
+        """Distinct span names in first-appearance (timeline) order."""
+        seen: List[str] = []
+        for span in sorted(self.spans, key=lambda s: s.start):
+            if span.name not in seen:
+                seen.append(span.name)
+        return seen
+
+    def hop_report(self) -> str:
+        """The plain-text flight-recorder rendering."""
+        if not self.hops:
+            return f"trace {self.trace_id}: no spans recorded"
+        base = min(hop.start for hop in self.hops)
+        lines = [
+            f"trace {self.trace_id}: {len(self.hops)} hop(s), "
+            f"{len(self.spans)} span(s), {self.retransmits} retransmit(s)"
+            + ("" if self.ok else f", {len(self.errors)} error(s)")
+        ]
+        for index, hop in enumerate(self.hops):
+            root = hop.root
+            flag = ""
+            if hop.errors:
+                kinds = sorted({err for _, err in hop.errors})
+                flag = f"  !! {','.join(kinds)}"
+            lines.append(
+                f"  hop {index} [{hop.process}] {root.name}  "
+                f"+{(root.start - base) * 1e3:.3f}ms  "
+                f"dur={root.duration * 1e3:.3f}ms{flag}"
+            )
+            for span in sorted(hop.spans, key=lambda s: (s.start, s.span_id)):
+                if span is root:
+                    continue
+                err = f"  !! {span.error}" if span.error else ""
+                lines.append(
+                    f"      {span.name}  +{(span.start - base) * 1e3:.3f}ms  "
+                    f"dur={span.duration * 1e3:.3f}ms{err}"
+                )
+        lines.append("  breakdown:")
+        totals = self.breakdown()
+        width = max(len(name) for name in totals)
+        for name in self.span_names():
+            lines.append(f"    {name.ljust(width)}  {totals[name] * 1e3:.3f}ms")
+        return "\n".join(lines)
+
+
+class TraceStore:
+    """Merged spans from many processes, queryable by trace id.
+
+    Feed it live recorders (:meth:`add_recorder`) or JSON snapshots
+    produced by :func:`repro.obs.export.build_snapshot`
+    (:meth:`add_snapshot`) — e.g. collected from each node of a real
+    deployment — then ask for a message's :meth:`flight` or export
+    everything :meth:`to_chrome`."""
+
+    def __init__(self) -> None:
+        self._spans: List[StoredSpan] = []
+        self._sources = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # -- ingestion ------------------------------------------------------
+
+    def add_recorder(self, process: str, recorder: SpanRecorder) -> int:
+        """Snapshot a live recorder's buffered spans under *process*
+        (a span's own ``process`` attribute, when present, wins — several
+        in-interpreter EChoProcesses share one recorder).  Returns the
+        number of spans added."""
+        return self._ingest(process, recorder.spans())
+
+    def add_snapshot(self, process: str, snapshot: Dict[str, Any]) -> int:
+        """Ingest a ``build_snapshot``-style dict (or just its ``spans``
+        sub-dict) under *process*.  Returns the number of spans added."""
+        spans = snapshot.get("spans", snapshot)
+        flat: List[Dict[str, Any]] = []
+
+        def walk(nodes: List[Dict[str, Any]]) -> None:
+            for node in nodes:
+                flat.append(node)
+                walk(node.get("children", []))
+
+        walk(spans.get("tree", []))
+        return self._ingest(process, flat)
+
+    def _ingest(
+        self, process: str, spans: Iterable[Any]
+    ) -> int:
+        source = self._sources
+        self._sources += 1
+        added = 0
+        for raw in spans:
+            if isinstance(raw, Span):
+                item = raw.to_dict()
+            else:
+                item = raw
+            attrs = dict(item.get("attrs", {}))
+            self._spans.append(
+                StoredSpan(
+                    source=source,
+                    process=str(attrs.get("process", process)),
+                    name=item["name"],
+                    span_id=item["span_id"],
+                    parent_id=item.get("parent_id"),
+                    start=item["start"],
+                    duration=item.get("duration", 0.0),
+                    attrs=attrs,
+                    trace_id=item.get("trace_id"),
+                    dspan_id=item.get("dspan_id"),
+                    remote_parent=item.get("remote_parent"),
+                )
+            )
+            added += 1
+        return added
+
+    # -- queries --------------------------------------------------------
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids, ordered by each trace's earliest span."""
+        earliest: Dict[str, float] = {}
+        for span in self._spans:
+            if span.trace_id is None:
+                continue
+            prior = earliest.get(span.trace_id)
+            if prior is None or span.start < prior:
+                earliest[span.trace_id] = span.start
+        return sorted(earliest, key=earliest.__getitem__)
+
+    def spans_for(self, trace_id: str) -> List[StoredSpan]:
+        """All spans of one trace, in start order."""
+        return sorted(
+            (s for s in self._spans if s.trace_id == trace_id),
+            key=lambda s: (s.start, s.source, s.span_id),
+        )
+
+    def flight(self, trace_id: str) -> FlightReport:
+        """Reconstruct one message's hop timeline.
+
+        Hops are the trace's root spans (no recorded parent within the
+        same source) with their descendants attached; hops are ordered
+        by start time, and cross-process parentage (``remote_parent``
+        matching an earlier hop's ``dspan_id``) falls out of that order
+        because a child hop cannot start before its cause."""
+        spans = self.spans_for(trace_id)
+        by_key = {(s.source, s.span_id): s for s in spans}
+        # map every span up to its root within its source
+        root_of: Dict[Tuple[int, int], StoredSpan] = {}
+
+        def resolve(span: StoredSpan) -> StoredSpan:
+            key = (span.source, span.span_id)
+            cached = root_of.get(key)
+            if cached is not None:
+                return cached
+            parent = (
+                by_key.get((span.source, span.parent_id))
+                if span.parent_id is not None
+                else None
+            )
+            root = span if parent is None else resolve(parent)
+            root_of[key] = root
+            return root
+
+        hops: Dict[Tuple[int, int], Hop] = {}
+        order: List[Tuple[int, int]] = []
+        for span in spans:
+            root = resolve(span)
+            key = (root.source, root.span_id)
+            hop = hops.get(key)
+            if hop is None:
+                hop = Hop(process=root.process, root=root)
+                hops[key] = hop
+                order.append(key)
+            hop.spans.append(span)
+        return FlightReport(
+            trace_id=trace_id,
+            hops=sorted((hops[k] for k in order), key=lambda h: h.start),
+        )
+
+    # -- Chrome trace-event export --------------------------------------
+
+    def to_chrome(self, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """The store (or one trace of it) as a Chrome trace-event JSON
+        object: complete (``"ph": "X"``) events on one track per
+        process, timestamps rebased to the earliest span.  Load the
+        serialized form in Perfetto or ``chrome://tracing``."""
+        if trace_id is not None:
+            spans = self.spans_for(trace_id)
+        else:
+            spans = sorted(
+                self._spans, key=lambda s: (s.start, s.source, s.span_id)
+            )
+        pids: Dict[str, int] = {}
+        events: List[Dict[str, Any]] = []
+        base = min((s.start for s in spans), default=0.0)
+        for span in spans:
+            pid = pids.get(span.process)
+            if pid is None:
+                pid = len(pids) + 1
+                pids[span.process] = pid
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "name": "process_name",
+                        "args": {"name": span.process},
+                    }
+                )
+            args: Dict[str, Any] = {
+                str(k): v for k, v in sorted(span.attrs.items())
+            }
+            if span.trace_id is not None:
+                args["trace_id"] = span.trace_id
+            if span.dspan_id is not None:
+                args["dspan_id"] = span.dspan_id
+            if span.remote_parent is not None:
+                args["remote_parent"] = span.remote_parent
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 1,
+                    "cat": "repro",
+                    "name": span.name,
+                    "ts": (span.start - base) * 1e6,
+                    "dur": span.duration * 1e6,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_chrome_json(
+        self, trace_id: Optional[str] = None, indent: int = 2
+    ) -> str:
+        return json.dumps(self.to_chrome(trace_id), indent=indent)
+
+
+def flight(trace_id: str, store: Optional[TraceStore] = None) -> FlightReport:
+    """Convenience: flight-record *trace_id* from *store*, or from the
+    process-global recorder when no store is given."""
+    if store is None:
+        from repro.obs import OBS
+
+        store = TraceStore()
+        if isinstance(OBS.tracer, SpanRecorder):
+            store.add_recorder("local", OBS.tracer)
+    return store.flight(trace_id)

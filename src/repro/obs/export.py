@@ -36,11 +36,12 @@ def build_snapshot(registry: Registry, tracer: Tracer) -> Dict[str, Any]:
             "capacity": tracer.capacity,
             "recorded_total": tracer.recorded_total,
             "buffered": len(tracer.spans()),
+            "dropped": tracer.dropped,
             "tree": tracer.tree(),
         }
     else:
         snap["spans"] = {"capacity": 0, "recorded_total": 0, "buffered": 0,
-                         "tree": []}
+                         "dropped": 0, "tree": []}
     return snap
 
 

@@ -23,8 +23,18 @@ from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ObsError
+from repro.obs import tracectx
 
 LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default bound on distinct values per (metric, label key) enforced by
+#: :meth:`Registry.bounded` — past it, new values collapse to
+#: :data:`OVERFLOW_LABEL` so a misbehaving caller (unbounded channel or
+#: format names) cannot blow up the registry.
+DEFAULT_LABEL_LIMIT = 32
+
+#: The collapse bucket for label values past the cardinality bound.
+OVERFLOW_LABEL = "__other__"
 
 #: Default histogram bounds for latencies in seconds: 1 µs .. 10 s in
 #: roughly 1-2.5-5 decade steps (21 finite buckets + overflow).
@@ -147,7 +157,8 @@ class Histogram(Instrument):
     above the last edge.
     """
 
-    __slots__ = ("bounds", "_bucket_counts", "_count", "_sum", "_min", "_max")
+    __slots__ = ("bounds", "_bucket_counts", "_count", "_sum", "_min", "_max",
+                 "_exemplars")
     kind = "histogram"
 
     def __init__(
@@ -168,9 +179,13 @@ class Histogram(Instrument):
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        #: last traceparent observed per bucket (exemplars): a p99 spike
+        #: links straight to a concrete distributed trace
+        self._exemplars: List[Optional[str]] = [None] * (len(bounds) + 1)
 
     def observe(self, value: float) -> None:
         index = bisect_left(self.bounds, value)
+        ctx = tracectx.current()
         with self._lock:
             self._bucket_counts[index] += 1
             self._count += 1
@@ -179,6 +194,8 @@ class Histogram(Instrument):
                 self._min = value
             if self._max is None or value > self._max:
                 self._max = value
+            if ctx is not None and ctx.sampled:
+                self._exemplars[index] = ctx.traceparent()
 
     @property
     def count(self) -> int:
@@ -236,6 +253,18 @@ class Histogram(Instrument):
     def p99(self) -> float:
         return self.percentile(0.99)
 
+    def exemplars(self) -> List[Tuple[Optional[float], str]]:
+        """``(bucket upper edge, traceparent)`` pairs for buckets with a
+        recorded exemplar (``None`` edge = the overflow bucket)."""
+        with self._lock:
+            samples = list(self._exemplars)
+        edges = list(self.bounds) + [None]
+        return [
+            (edges[i], trace)
+            for i, trace in enumerate(samples)
+            if trace is not None
+        ]
+
     def reset(self) -> None:
         with self._lock:
             self._bucket_counts = [0] * (len(self.bounds) + 1)
@@ -243,12 +272,14 @@ class Histogram(Instrument):
             self._sum = 0.0
             self._min = None
             self._max = None
+            self._exemplars = [None] * (len(self.bounds) + 1)
 
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             counts = list(self._bucket_counts)
             count, total = self._count, self._sum
             low, high = self._min, self._max
+            samples = list(self._exemplars)
         snap: Dict[str, Any] = {
             "count": count,
             "sum": total,
@@ -259,6 +290,13 @@ class Histogram(Instrument):
                 for i, bound in enumerate(self.bounds)
             ] + [{"le": None, "count": counts[-1]}],
         }
+        if any(trace is not None for trace in samples):
+            edges = list(self.bounds) + [None]
+            snap["exemplars"] = [
+                {"le": edges[i], "trace": trace}
+                for i, trace in enumerate(samples)
+                if trace is not None
+            ]
         if count:
             snap["mean"] = total / count
             snap["p50"] = self.percentile(0.50)
@@ -280,6 +318,52 @@ class Registry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._instruments: "Dict[Tuple[str, LabelItems], Instrument]" = {}
+        #: distinct values seen per ``(metric name, label key)`` — the
+        #: cardinality guard's memory
+        self._label_seen: Dict[Tuple[str, str], set] = {}
+
+    # -- label-cardinality guard ----------------------------------------
+
+    def bounded(
+        self, name: str, limit: int = DEFAULT_LABEL_LIMIT, **labels: Any
+    ) -> Dict[str, str]:
+        """Guard a label set against unbounded cardinality: each label
+        value counts toward a per-``(name, key)`` budget of *limit*
+        distinct values; values past the budget collapse to
+        :data:`OVERFLOW_LABEL` (and bump ``obs.labels.overflow``).
+
+        Call-site idiom::
+
+            registry.counter("morph.transform.applied",
+                             **registry.bounded("morph.transform.applied",
+                                                format=fmt.name)).inc()
+        """
+        out: Dict[str, str] = {}
+        overflowed = False
+        with self._lock:
+            for key, value in labels.items():
+                text = str(value)
+                seen = self._label_seen.setdefault((name, key), set())
+                if text in seen:
+                    out[key] = text
+                elif len(seen) < limit:
+                    seen.add(text)
+                    out[key] = text
+                else:
+                    out[key] = OVERFLOW_LABEL
+                    overflowed = True
+        if overflowed:
+            self._get_or_create(Counter, "obs.labels.overflow",
+                                {"metric": name}).inc()
+        return out
+
+    def bounded_counter(
+        self, name: str, limit: int = DEFAULT_LABEL_LIMIT, **labels: Any
+    ) -> Counter:
+        """Get-or-create a counter with its labels cardinality-guarded."""
+        return self._get_or_create(
+            Counter, name, self.bounded(name, limit=limit, **labels)
+        )
 
     # -- get-or-create -------------------------------------------------
 

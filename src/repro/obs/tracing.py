@@ -26,12 +26,21 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional
 
+from repro.obs import tracectx
+
 DEFAULT_CAPACITY = 4096
 
 
 @dataclass
 class Span:
-    """One finished (or in-flight) span."""
+    """One finished (or in-flight) span.
+
+    The three distributed-tracing fields are populated only for spans
+    recorded while a :class:`~repro.obs.tracectx.TraceContext` was
+    active: ``trace_id`` joins the span to its cross-process trace,
+    ``dspan_id`` is set on the root span that *created* the context (the
+    hop id the wire block carries downstream), and ``remote_parent``
+    links a receive-side root span back to the sender's hop."""
 
     name: str
     span_id: int
@@ -39,9 +48,12 @@ class Span:
     start: float  # seconds, time.perf_counter() clock
     duration: float = 0.0
     attrs: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[int] = None
+    dspan_id: Optional[int] = None
+    remote_parent: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -49,6 +61,13 @@ class Span:
             "duration": self.duration,
             "attrs": dict(self.attrs),
         }
+        if self.trace_id is not None:
+            out["trace_id"] = f"{self.trace_id:032x}"
+            if self.dspan_id is not None:
+                out["dspan_id"] = f"{self.dspan_id:016x}"
+            if self.remote_parent is not None:
+                out["remote_parent"] = f"{self.remote_parent:016x}"
+        return out
 
 
 class _ActiveSpan:
@@ -74,9 +93,21 @@ class _ActiveSpan:
 
     def __enter__(self) -> "_ActiveSpan":
         stack = self.recorder._stack()
-        self.span.parent_id = stack[-1] if stack else None
-        stack.append(self.span.span_id)
-        self.span.start = time.perf_counter()
+        span = self.span
+        span.parent_id = stack[-1] if stack else None
+        stack.append(span.span_id)
+        ctx = tracectx.current()
+        if ctx is not None and ctx.sampled:
+            span.trace_id = ctx.trace_id
+            if span.parent_id is None:
+                if ctx.origin:
+                    # this root span *is* the hop the context names; the
+                    # wire block carries its id to the receiving process
+                    span.dspan_id = ctx.span_id
+                    ctx.origin = False
+                else:
+                    span.remote_parent = ctx.span_id
+        span.start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -85,7 +116,15 @@ class _ActiveSpan:
         if stack and stack[-1] == self.span.span_id:
             stack.pop()
         if exc_type is not None:
+            # mark the span as failed with the exception type (and a
+            # bounded message) so exports and the flight recorder can
+            # roll an error flag up the hop timeline
             self.span.attrs.setdefault("error", exc_type.__name__)
+            if exc is not None:
+                message = str(exc)
+                if len(message) > 200:
+                    message = message[:197] + "..."
+                self.span.attrs.setdefault("error_message", message)
         self.recorder.record(self.span)
 
 
@@ -111,6 +150,7 @@ class NullRecorder:
     """The disabled-tracing recorder: every span is the same no-op."""
 
     capacity = 0
+    dropped = 0
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -137,6 +177,10 @@ class SpanRecorder:
         self._local = threading.local()
         self._lock = threading.Lock()
         self.recorded_total = 0  # includes spans already evicted
+        #: spans silently evicted from the ring by newer recordings —
+        #: surfaced in snapshots and as the ``obs.trace.dropped`` counter
+        #: so a truncated trace is distinguishable from a complete one
+        self.dropped = 0
 
     def _stack(self) -> List[int]:
         stack = getattr(self._local, "stack", None)
@@ -150,8 +194,16 @@ class SpanRecorder:
 
     def record(self, span: Span) -> None:
         with self._lock:
+            evicting = len(self._ring) == self.capacity
             self._ring.append(span)
             self.recorded_total += 1
+            if evicting:
+                self.dropped += 1
+        if evicting:
+            from repro.obs import OBS  # late: obs.__init__ imports us
+
+            if OBS.enabled:
+                OBS.metrics.counter("obs.trace.dropped").inc()
 
     def spans(self) -> List[Span]:
         """Buffered spans, oldest first (completion order)."""

@@ -24,9 +24,15 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.errors import DecodeError, EncodeError
+from repro.obs.tracectx import (
+    TRACE_BLOCK_SIZE,
+    TraceContext,
+    decode_block,
+    encode_block,
+)
 
 MAGIC = 0x5042494F  # "PBIO"
 WIRE_VERSION = 1
@@ -38,18 +44,35 @@ HEADER_SIZE = HEADER.size  # 20 bytes: the paper's "< 30 bytes" envelope
 #: orders differ ("receiver makes right"); the flag carries that decision.
 FLAG_BIG_ENDIAN = 0x01
 
+#: Header flag bit: a 26-byte distributed trace-context block
+#: (:mod:`repro.obs.tracectx`) sits between the header and the payload.
+#: Messages published with tracing disabled never set this flag and
+#: carry zero extra bytes — the wire is byte-identical to an untraced
+#: build, so the paper's Figure 8-10 numbers are untouched.
+FLAG_TRACE = 0x02
+
+#: Byte offset of the flags field inside the packed header.
+_FLAGS_OFFSET = 5
+
 #: struct prefix characters per byte-order name.
 ORDER_PREFIX = {"little": "<", "big": ">"}
 
 
 @dataclass(frozen=True)
 class MessageHeader:
-    """Decoded wire header."""
+    """Decoded wire header (plus the optional trace-context block).
+
+    ``body_offset`` is the absolute index where the payload starts —
+    ``offset + HEADER_SIZE``, plus :data:`~repro.obs.tracectx.TRACE_BLOCK_SIZE`
+    when the message carries a trace block.  Every payload-slicing site
+    must use it instead of assuming ``HEADER_SIZE``."""
 
     format_id: int
     payload_length: int
     flags: int = 0
     version: int = WIRE_VERSION
+    trace: Optional[TraceContext] = None
+    body_offset: int = HEADER_SIZE
 
 
 def pack_header(format_id: int, payload_length: int, flags: int = 0) -> bytes:
@@ -72,12 +95,73 @@ def unpack_header(data: bytes, offset: int = 0) -> MessageHeader:
         raise DecodeError(f"bad magic {magic:#x} (expected {MAGIC:#x})")
     if version != WIRE_VERSION:
         raise DecodeError(f"unsupported wire version {version}")
-    if len(data) - offset - HEADER_SIZE < length:
+    trace: Optional[TraceContext] = None
+    body = offset + HEADER_SIZE
+    if flags & FLAG_TRACE:
+        trace = decode_block(data, body)  # raises DecodeError when malformed
+        body += TRACE_BLOCK_SIZE
+    if len(data) - body < length:
         raise DecodeError(
             f"truncated payload: header declares {length} bytes, "
-            f"have {len(data) - offset - HEADER_SIZE}"
+            f"have {len(data) - body}"
         )
-    return MessageHeader(format_id=format_id, payload_length=length, flags=flags)
+    return MessageHeader(
+        format_id=format_id, payload_length=length, flags=flags,
+        trace=trace, body_offset=body,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trace-context block attachment (the morphing layer's send path calls
+# these; encoders themselves never emit the block, keeping every encode
+# byte-identical whether tracing exists or not)
+# ---------------------------------------------------------------------------
+
+
+def attach_trace(wire: bytes, ctx: TraceContext) -> bytes:
+    """Return *wire* with *ctx* spliced in as its trace-context block
+    (header flag set, 26 bytes inserted after the header)."""
+    if len(wire) < HEADER_SIZE:
+        raise EncodeError("cannot attach a trace block to a truncated message")
+    flags = wire[_FLAGS_OFFSET]
+    if flags & FLAG_TRACE:
+        raise EncodeError("wire message already carries a trace block")
+    out = bytearray(wire)
+    out[_FLAGS_OFFSET] = flags | FLAG_TRACE
+    out[HEADER_SIZE:HEADER_SIZE] = encode_block(ctx)
+    return bytes(out)
+
+
+def strip_trace(wire: bytes) -> Tuple[bytes, Optional[TraceContext]]:
+    """Split a wire message into its traceless form and the carried
+    context (``(wire, None)`` when no block is present)."""
+    if len(wire) < HEADER_SIZE or not wire[_FLAGS_OFFSET] & FLAG_TRACE:
+        return wire, None
+    ctx = decode_block(wire, HEADER_SIZE)
+    out = bytearray(wire)
+    out[_FLAGS_OFFSET] &= ~FLAG_TRACE & 0xFF
+    del out[HEADER_SIZE : HEADER_SIZE + TRACE_BLOCK_SIZE]
+    return bytes(out), ctx
+
+
+def peek_trace(data: bytes, offset: int = 0) -> Optional[TraceContext]:
+    """Best-effort trace-context sniff: the carried context when *data*
+    holds a well-formed traced PBIO message at *offset*, else None.
+    Never raises — the transport layers call this on arbitrary frames."""
+    if len(data) - offset < HEADER_SIZE + TRACE_BLOCK_SIZE:
+        return None
+    if not data[offset + _FLAGS_OFFSET] & FLAG_TRACE:
+        return None
+    try:
+        magic, version = struct.unpack_from("<IB", data, offset)
+    except struct.error:
+        return None
+    if magic != MAGIC or version != WIRE_VERSION:
+        return None
+    try:
+        return decode_block(data, offset + HEADER_SIZE)
+    except DecodeError:
+        return None
 
 
 class WireWriter:

@@ -416,9 +416,10 @@ def make_decoder(fmt: IOFormat) -> DecoderFn:
         if payload_decoder is None:
             payload_decoder = make_payload_decoder(fmt, order)
             payload_decoders[order] = payload_decoder
-        end = HEADER_SIZE + header.payload_length
+        start = header.body_offset
+        end = start + header.payload_length
         try:
-            record, off = payload_decoder(data, HEADER_SIZE, end)
+            record, off = payload_decoder(data, start, end)
         except struct.error as exc:
             raise DecodeError(f"truncated message for {fmt.name!r}: {exc}") from None
         except UnicodeDecodeError as exc:

@@ -66,7 +66,8 @@ def decode_record(
         )
     order = ">" if header.flags & FLAG_BIG_ENDIAN else "<"
     reader = WireReader(
-        data, HEADER_SIZE, HEADER_SIZE + header.payload_length, order=order
+        data, header.body_offset, header.body_offset + header.payload_length,
+        order=order,
     )
     try:
         record = decode_payload(reader, fmt)

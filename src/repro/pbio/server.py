@@ -389,6 +389,18 @@ class CachingFormatResolver:
         self._inflight[format_id] = [on_done] if on_done is not None else []
         self.stats["lookups_sent"] += 1
         self._count("lookups_sent")
+        if OBS.enabled:
+            # Initiation marker only: the reply arrives asynchronously,
+            # and the parked message's replay re-joins the trace from its
+            # own wire-carried context.  Recorded while the triggering
+            # message's context is still active, so the flight recorder
+            # shows the out-of-band fetch as part of the journey.
+            with OBS.tracer.span(
+                "pbio.resolver.lookup",
+                format_id=format_id,
+                resolver=self.address,
+            ):
+                pass
         self._request(
             {"op": "lookup", "format_id": str(format_id)},
             on_reply=lambda reply: self._finish_resolve(format_id, reply),

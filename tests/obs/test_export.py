@@ -57,7 +57,8 @@ def test_to_json_round_trips(populated):
 def test_snapshot_with_null_recorder_has_empty_spans():
     snap = build_snapshot(Registry(), NullRecorder())
     assert snap["spans"] == {
-        "capacity": 0, "recorded_total": 0, "buffered": 0, "tree": [],
+        "capacity": 0, "recorded_total": 0, "buffered": 0, "dropped": 0,
+        "tree": [],
     }
 
 

@@ -17,11 +17,13 @@ from repro.pbio.buffer import (
 
 class TestHeader:
     def test_roundtrip(self):
-        data = pack_header(0xDEADBEEF, 123, flags=7)
+        # flags=5 keeps FLAG_TRACE (0x02) clear: that bit now announces a
+        # trace-context block after the header
+        data = pack_header(0xDEADBEEF, 123, flags=5)
         header = unpack_header(data + b"\x00" * 123)
         assert header.format_id == 0xDEADBEEF
         assert header.payload_length == 123
-        assert header.flags == 7
+        assert header.flags == 5
 
     def test_header_size_under_30_bytes(self):
         # the paper: "PBIO encoding adds less than 30 bytes"
