@@ -28,9 +28,15 @@ from __future__ import annotations
 import json
 import math
 import sys
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.bench.fabric import (
+    bench_fabric_churn,
+    bench_fabric_scaling,
+    calibration_seconds,
+)
 from repro.bench.figures import (
     ComparisonRow,
     fig8_encoding,
@@ -51,8 +57,25 @@ REGRESSION_TOLERANCE = 1.15
 
 #: Timing metrics the gate compares, in priority order (the first one a
 #: workload carries wins): end-to-end PBIO time for the comparison
-#: figures, fused-route time for the ablation figure.
-_GATE_METRICS = ("pbio_seconds", "fused_seconds")
+#: figures, and two *self-normalized* intra-run ratios — the ablation's
+#: fused-over-staged cost and the fabric bench's per-fleet cost over
+#: the same run's 1-worker row.  Each ratio's sides share the host
+#: regime, so machine-speed drift cancels and the gate tracks exactly
+#: what those figures demonstrate (the fusion win; horizontal scaling).
+#: ``fused_seconds`` stays listed after the ratio for old baselines.
+_GATE_METRICS = (
+    "pbio_seconds",
+    "fused_relative_cost",
+    "fused_seconds",
+    "fabric_scaling_cost",
+)
+
+#: Per-figure tolerance overrides.  The fabric scaling cost is a ratio
+#: of two multiprocess CPU measurements, each noisier than a best-of-K
+#: single-process wall loop, so its gate is wider: 1.35 still catches a
+#: genuine loss of horizontal scaling (a serialized fabric would push
+#: the cost ratio toward 2-4x) without tripping on scheduler noise.
+_GATE_TOLERANCES = {"BENCH_fabric": 1.35}
 
 
 def _rows_record(figure: str, rows: "List[ComparisonRow]") -> Dict[str, Any]:
@@ -77,7 +100,14 @@ def _rows_record(figure: str, rows: "List[ComparisonRow]") -> Dict[str, Any]:
 
 
 def _ablation_record(rows) -> Dict[str, Any]:
-    """The BENCH_fusion JSON record."""
+    """The BENCH_fusion JSON record.
+
+    The gated timing is ``fused_relative_cost`` — fused over staged
+    time, the inverse of the figure's speedup column.  Both arms run
+    back-to-back on the same wire, so host-speed drift cancels and the
+    gate tracks exactly what the ablation demonstrates: the fusion win.
+    (Absolute morph-path latency is gated by ``BENCH_fig10``, whose
+    pipeline takes the fused route.)"""
     return {
         "figure": "fusion_ablation",
         "chain_length": 2,
@@ -86,6 +116,11 @@ def _ablation_record(rows) -> Dict[str, Any]:
                 "label": row.label,
                 "unencoded_bytes": row.unencoded_bytes,
                 "timings": {
+                    "fused_relative_cost": (
+                        row.fused.best / row.staged.best
+                        if row.staged.best
+                        else 1.0
+                    ),
                     "fused_seconds": row.fused.best,
                     "staged_seconds": row.staged.best,
                     "interpreted_seconds": row.interpreted.best,
@@ -135,10 +170,11 @@ def _compare_to_baseline(
             continue
         geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
         geomeans[key] = geomean
-        if geomean > tolerance:
+        figure_tolerance = _GATE_TOLERANCES.get(key, tolerance)
+        if geomean > figure_tolerance:
             failures.append(
                 f"{key}: geomean current/baseline = {geomean:.3f} "
-                f"(> {tolerance:.2f} tolerance)"
+                f"(> {figure_tolerance:.2f} tolerance)"
             )
     return geomeans, failures
 
@@ -228,6 +264,11 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     if obs_mode:
         registry = obs.Registry()
         obs.enable(registry=registry)
+
+    # Machine-speed yardstick, bracketing the whole run (best of the two
+    # draws): a fixed wall-clocked codec loop the gate uses to normalize
+    # wall-time ratios against the committed baseline's machine.
+    wall_calibration = calibration_seconds(clock=time.perf_counter)
 
     payload: Dict[str, Any] = {
         "schema": "repro-bench/v1",
@@ -343,6 +384,109 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         ],
     }
 
+    fabric_counts = (1, 2, 4) if "--quick" in args else (1, 2, 4, 8)
+    fabric_rows = bench_fabric_scaling(worker_counts=fabric_counts)
+    # Speedups compare *calibrated* per-row costs — raw capacities from
+    # different time windows would fold host-speed drift into the ratio.
+    base_units = fabric_rows[0].cpu_units
+    print("\n== Fabric scaling: aggregate morphing capacity vs worker "
+          "processes (UDP loopback) ==")
+    print(
+        format_table(
+            ["fleet", "delivered", "wall(ms)", "maxCPU(ms)", "cpu-units",
+             "msg/cpu-s", "capacity vs 1w"],
+            [
+                (
+                    r.label,
+                    r.delivered,
+                    format_ms(r.wall_seconds),
+                    format_ms(r.max_cpu_seconds),
+                    f"{r.cpu_units:.1f}",
+                    f"{r.capacity:.0f}",
+                    f"{base_units / r.cpu_units:.2f}x",
+                )
+                for r in fabric_rows
+            ],
+        )
+    )
+    # ``fabric_scaling_cost`` (this fleet's calibrated cost over the
+    # same run's 1-worker cost — the inverse of the speedup column) is
+    # the gated timing for every scaled row; the 1w row anchors the
+    # ratio and carries no gate metric.  Absolute CPU seconds and units
+    # ride along as metrics: worker CPU time mixes interpreter and
+    # kernel work that drift differently with host speed, so absolute
+    # values are not comparable across runs.
+    payload["BENCH_fabric"] = {
+        "figure": "fabric_scaling",
+        "workloads": [
+            {
+                "label": r.label,
+                "timings": {
+                    **(
+                        {"fabric_scaling_cost": r.cpu_units / base_units}
+                        if r is not fabric_rows[0]
+                        else {}
+                    ),
+                    "wall_seconds": r.wall_seconds,
+                },
+                "metrics": {
+                    "messages": r.messages,
+                    "delivered": r.delivered,
+                    "max_cpu_seconds": r.max_cpu_seconds,
+                    "cpu_units": r.cpu_units,
+                    "calibration_seconds": r.calibration,
+                    "capacity_per_cpu_second": r.capacity,
+                    "speedup_vs_1w": base_units / r.cpu_units,
+                    "worker_cpu_seconds": r.worker_cpu_seconds,
+                    "worker_processed": r.worker_processed,
+                },
+            }
+            for r in fabric_rows
+        ],
+    }
+
+    churn = bench_fabric_churn()
+    print("\n== Fabric churn: seeded join/leave under a 15%-lossy morph "
+          "chain (virtual time) ==")
+    print(
+        format_table(
+            ["published", "delivered", "dup", "handoffs", "forwarded",
+             "epochs", "exactly-once"],
+            [
+                (
+                    churn.published,
+                    f"{churn.delivered_v1}+{churn.delivered_v0}",
+                    churn.duplicates,
+                    churn.handoffs,
+                    churn.forwarded,
+                    churn.epochs,
+                    "yes" if churn.exactly_once else "NO",
+                )
+            ],
+        )
+    )
+    # Deterministic virtual-clock scenario -> metrics only, no timings
+    # (same reasoning as BENCH_reliability).
+    payload["BENCH_fabric_churn"] = {
+        "figure": "fabric_churn",
+        "workloads": [
+            {
+                "label": f"seed{11}",
+                "metrics": {
+                    "published": churn.published,
+                    "delivered_v1": churn.delivered_v1,
+                    "delivered_v0": churn.delivered_v0,
+                    "duplicates": churn.duplicates,
+                    "handoffs": churn.handoffs,
+                    "forwarded": churn.forwarded,
+                    "redirects": churn.redirects,
+                    "epochs": churn.epochs,
+                    "exactly_once": churn.exactly_once,
+                },
+            }
+        ],
+    }
+
     print("\n== Table 1: ChannelOpenResponse message size (KB) ==")
     rows = table1_sizes(table_kb)
     payload["BENCH_table1"] = {
@@ -375,6 +519,10 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     if obs_mode:
         obs.disable(reset=True)
+    wall_calibration = min(
+        wall_calibration, calibration_seconds(clock=time.perf_counter)
+    )
+    payload["calibration_seconds"] = wall_calibration
     if json_path is not None:
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -389,6 +537,16 @@ def main(argv: "Optional[List[str]]" = None) -> int:
             return 2
         geomeans, failures = _compare_to_baseline(payload, baseline)
         print(f"\n== Regression gate vs {compare_path} ==")
+        baseline_cal = baseline.get("calibration_seconds")
+        if baseline_cal:
+            # Diagnostic only: how fast this host is running relative to
+            # the baseline machine (reading a FAIL below, check this
+            # first — a factor far from 1.0 means host drift, so refresh
+            # the baseline rather than hunting a phantom regression).
+            print(
+                "machine-speed factor (current/baseline calibration): "
+                f"{wall_calibration / baseline_cal:.3f}"
+            )
         print(
             format_table(
                 ["figure", "geomean(current/baseline)", "status"],
@@ -396,7 +554,11 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                     (
                         key,
                         f"{ratio:.3f}",
-                        "FAIL" if ratio > REGRESSION_TOLERANCE else "ok",
+                        "FAIL"
+                        if ratio > _GATE_TOLERANCES.get(
+                            key, REGRESSION_TOLERANCE
+                        )
+                        else "ok",
                     )
                     for key, ratio in sorted(geomeans.items())
                 ],

@@ -43,6 +43,12 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--oracle", default=None, choices=sorted(BUDGET_SPLIT),
                         help="focus the whole budget on one oracle "
                              "(e.g. the reliability chaos smoke)")
+    parser.add_argument("--transport", default="sim",
+                        choices=("sim", "socket"),
+                        help="fabric the deployment oracles run on: the "
+                             "deterministic simulated network, or real "
+                             "UDP loopback sockets with the same seeded "
+                             "fault injection")
     args = parser.parse_args(argv)
 
     if args.replay is not None:
@@ -51,7 +57,7 @@ def main(argv: "list[str] | None" = None) -> int:
         corpus = Corpus(args.corpus) if args.corpus else None
         summary = CheckRunner(
             seed=args.seed, budget=args.budget, corpus=corpus,
-            only=args.oracle,
+            only=args.oracle, transport=args.transport,
         ).run()
     print(to_json(summary))
     return 0 if summary["ok"] else 1

@@ -49,6 +49,26 @@ class Finding:
     entry: Optional[Dict[str, Any]] = None
 
 
+def make_network(
+    transport: str, net_seed: int, loss_rate: float, jitter: float
+) -> Any:
+    """Build the fault-injected fabric for a chaos scenario on the
+    requested transport: ``"sim"`` (deterministic virtual clock) or
+    ``"socket"`` (real UDP loopback, loss/jitter still injected in user
+    space from the same seed).  Both honor the same node/timer contract,
+    so the scenarios themselves do not branch."""
+    link = LinkSpec(loss_rate=loss_rate, jitter=jitter)
+    if transport == "sim":
+        return Network(seed=net_seed, default_link=link)
+    if transport == "socket":
+        from repro.net.socket import SocketNetwork
+
+        return SocketNetwork(seed=net_seed, default_link=link)
+    raise ReproError(
+        f"unknown transport {transport!r}; expected 'sim' or 'socket'"
+    )
+
+
 def _outcome(fn: Callable[[], Any]) -> "tuple[str, Any]":
     """Classify a decode attempt: ``("ok", record)``, ``("clean", exc)``
     for a ReproError, or ``("dirty", exc)`` for anything else — the
@@ -526,7 +546,8 @@ def _reconcile_endpoint(flag: Callable[[str], None], proc) -> None:
 
 
 def check_reliability_chain(
-    net_seed: int, loss_rate: float, jitter: float, messages: int
+    net_seed: int, loss_rate: float, jitter: float, messages: int,
+    transport: str = "sim",
 ) -> List[Finding]:
     """Exactly-once across a mixed-version ECho chain: a V2 writer
     publishes over a lossy/jittery/reordering fabric to V1 and V0 sinks,
@@ -539,7 +560,7 @@ def check_reliability_chain(
     base_entry = {
         "kind": "reliability", "scenario": "chain", "net_seed": net_seed,
         "loss_rate": loss_rate, "jitter": jitter, "messages": messages,
-        "expectation": "exactly_once",
+        "transport": transport, "expectation": "exactly_once",
     }
 
     def flag(detail: str) -> None:
@@ -550,10 +571,8 @@ def check_reliability_chain(
 
     prior = (obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer)
     obs.enable(registry=Registry())
+    net = make_network(transport, net_seed, loss_rate, jitter)
     try:
-        net = Network(seed=net_seed, default_link=LinkSpec(
-            loss_rate=loss_rate, jitter=jitter,
-        ))
         registry = FormatRegistry()
         registry.register_transform(_EVT_V2_TO_V1)
         registry.register_transform(_EVT_V1_TO_V0)
@@ -599,6 +618,9 @@ def check_reliability_chain(
     if net.handler_errors:
         flag(f"{net.handler_errors} handler exceptions were contained by "
              f"the transport during a healthy-path run")
+    closer = getattr(net, "close", None)
+    if closer is not None:
+        closer()
     return findings
 
 
@@ -608,6 +630,7 @@ def check_reliability_failover(
     jitter: float,
     messages: int,
     crash_primary: bool = True,
+    transport: str = "sim",
 ) -> List[Finding]:
     """Format-server failover: processes resolve formats through a
     primary/standby fleet; the primary crashes after the writer's
@@ -620,7 +643,8 @@ def check_reliability_failover(
     base_entry = {
         "kind": "reliability", "scenario": "failover", "net_seed": net_seed,
         "loss_rate": loss_rate, "jitter": jitter, "messages": messages,
-        "crash_primary": crash_primary, "expectation": "exactly_once",
+        "crash_primary": crash_primary, "transport": transport,
+        "expectation": "exactly_once",
     }
 
     def flag(detail: str) -> None:
@@ -631,10 +655,8 @@ def check_reliability_failover(
 
     prior = (obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer)
     obs.enable(registry=Registry())
+    net = make_network(transport, net_seed, loss_rate, jitter)
     try:
-        net = Network(seed=net_seed, default_link=LinkSpec(
-            loss_rate=loss_rate, jitter=jitter,
-        ))
         big = 1_000_000  # lossy-link timeouts must not trip server breakers
         primary = FormatServer(net, "fs-a", peer="fs-b", seed=1,
                                breaker_threshold=big)
@@ -684,19 +706,27 @@ def check_reliability_failover(
         flag("primary crashed but the sink resolver never failed over")
     if net.pending:
         flag(f"network did not quiesce: {net.pending} events still queued")
+    closer = getattr(net, "close", None)
+    if closer is not None:
+        closer()
     return findings
 
 
-def check_reliability(rng: random.Random, messages: int = 5) -> List[Finding]:
+def check_reliability(
+    rng: random.Random, messages: int = 5, transport: str = "sim"
+) -> List[Finding]:
     """One randomized reliability case: exactly-once over a faulty
     fabric, either a pure transport-chain scenario or a format-server
-    failover scenario."""
+    failover scenario.  *transport* picks the fabric the deployment runs
+    on — the simulated network or real UDP loopback sockets."""
     loss_rate = rng.choice([0.05, 0.1, 0.2])
     jitter = rng.choice([0.0, 0.005, 0.01])
     net_seed = rng.randrange(2**31)
     if rng.random() < 0.5:
-        return check_reliability_chain(net_seed, loss_rate, jitter, messages)
+        return check_reliability_chain(
+            net_seed, loss_rate, jitter, messages, transport=transport
+        )
     return check_reliability_failover(
         net_seed, loss_rate, jitter, messages,
-        crash_primary=rng.random() < 0.7,
+        crash_primary=rng.random() < 0.7, transport=transport,
     )

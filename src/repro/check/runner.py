@@ -54,11 +54,17 @@ class CheckRunner:
         budget: int = 2000,
         corpus: Optional[Corpus] = None,
         only: Optional[str] = None,
+        transport: str = "sim",
     ) -> None:
         if only is not None and only not in BUDGET_SPLIT:
             raise ReproError(
                 f"unknown oracle {only!r}; expected one of "
                 f"{sorted(BUDGET_SPLIT)}"
+            )
+        if transport not in ("sim", "socket"):
+            raise ReproError(
+                f"unknown transport {transport!r}; expected 'sim' or "
+                "'socket'"
             )
         self.seed = seed
         self.budget = budget
@@ -66,6 +72,8 @@ class CheckRunner:
         #: restrict the run to a single oracle (the whole budget goes to
         #: it); None runs the full split
         self.only = only
+        #: fabric the deployment oracles run on: "sim" or "socket"
+        self.transport = transport
         self.findings: List[Finding] = []
         self.cases: Dict[str, int] = {name: 0 for name in BUDGET_SPLIT}
         self.mutations_applied = 0
@@ -141,7 +149,10 @@ class CheckRunner:
         for index in range(plan["reliability"]):
             self.cases["reliability"] += 1
             self._record(
-                oracles.check_reliability(self._rng("reliability", index))
+                oracles.check_reliability(
+                    self._rng("reliability", index),
+                    transport=self.transport,
+                )
             )
         return self.summary()
 
@@ -149,6 +160,7 @@ class CheckRunner:
         return {
             "seed": self.seed,
             "budget": self.budget,
+            "transport": self.transport,
             "cases": dict(self.cases),
             "cases_total": sum(self.cases.values()),
             "mutations_applied": self.mutations_applied,
@@ -166,11 +178,13 @@ def run_check(
     budget: int = 2000,
     corpus_dir: Optional[str] = None,
     only: Optional[str] = None,
+    transport: str = "sim",
 ) -> Dict[str, Any]:
     """Convenience entry point: run the harness, return the summary."""
     corpus = Corpus(corpus_dir) if corpus_dir else None
     return CheckRunner(
-        seed=seed, budget=budget, corpus=corpus, only=only
+        seed=seed, budget=budget, corpus=corpus, only=only,
+        transport=transport,
     ).run()
 
 
@@ -203,15 +217,17 @@ def _replay_reliability(entry: Dict[str, Any]) -> List[Finding]:
     parameters (the virtual network is seeded), so replay re-runs the
     scenario rather than re-injecting bytes."""
     scenario = entry.get("scenario")
+    transport = entry.get("transport", "sim")
     if scenario == "chain":
         return oracles.check_reliability_chain(
             entry["net_seed"], entry["loss_rate"], entry["jitter"],
-            entry["messages"],
+            entry["messages"], transport=transport,
         )
     if scenario == "failover":
         return oracles.check_reliability_failover(
             entry["net_seed"], entry["loss_rate"], entry["jitter"],
             entry["messages"], entry.get("crash_primary", True),
+            transport=transport,
         )
     raise ReproError(f"cannot replay reliability scenario {scenario!r}")
 

@@ -86,6 +86,13 @@ class EChoProcess:
         ``<address>:meta``).  Messages whose format id is not locally
         known are parked, the format fetched out-of-band, and the
         message replayed when the meta-data arrives.
+    directory:
+        A fabric :class:`~repro.fabric.membership.FabricDirectory` (or
+        anything with its ``owner_contact``/``register_echo_channel``
+        shape).  When set, channels created here are registered with the
+        fabric and :meth:`open_channel` can resolve a channel's creator
+        by consistent hashing instead of requiring out-of-band contact
+        exchange.
     """
 
     def __init__(
@@ -102,6 +109,7 @@ class EChoProcess:
         format_servers: Optional[List[str]] = None,
         resolver_options: Optional[Dict[str, Any]] = None,
         contain_failures: bool = False,
+        directory: Optional[Any] = None,
     ) -> None:
         if version not in RESPONSE_BY_VERSION:
             raise ChannelError(f"unknown ECho version {version!r}")
@@ -135,6 +143,7 @@ class EChoProcess:
         else:
             self.node.set_handler(self._on_message)
         self.version = version
+        self.directory = directory
         self.contain_failures = contain_failures
         #: messages parked while their format is fetched out-of-band
         self.parked = 0
@@ -194,6 +203,11 @@ class EChoProcess:
         channel = ChannelState(channel_id, creator_contact=self.address)
         channel.ready = True
         self.channels[channel_id] = channel
+        if self.directory is not None:
+            # Make the channel discoverable through the fabric: peers
+            # with the same directory can open it without being told
+            # this process's contact string out-of-band.
+            self.directory.register_echo_channel(channel_id, self.address)
         return channel
 
     def create_derived_channel(
@@ -254,13 +268,24 @@ class EChoProcess:
     def open_channel(
         self,
         channel_id: str,
-        creator: str,
+        creator: Optional[str] = None,
         as_source: bool = False,
         as_sink: bool = False,
     ) -> ChannelState:
         """Join a remote channel by sending a ChannelOpenRequest to its
         creator.  Membership becomes `ready` once the response arrives
-        (run the network to completion first in tests)."""
+        (run the network to completion first in tests).
+
+        *creator* may be omitted when the process has a fabric
+        *directory* — the creator contact is then resolved through it
+        (registered echo channels first, shard owner otherwise)."""
+        if creator is None:
+            if self.directory is None:
+                raise ChannelError(
+                    f"opening {channel_id!r} without a creator contact "
+                    "requires a fabric directory"
+                )
+            creator = self.directory.owner_contact(channel_id)
         channel = self.channels.get(channel_id)
         if channel is None:
             channel = ChannelState(channel_id, creator_contact=creator)

@@ -99,7 +99,12 @@ class ChannelError(EChoError):
 
 
 class TransportError(ReproError):
-    """The simulated network transport failed (no route, closed node...)."""
+    """A network transport failed (no route, closed node...)."""
+
+
+class FabricError(ReproError):
+    """The sharded event fabric was misused or lost coherence (unknown
+    channel route, ownership violation, malformed handoff state...)."""
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,91 @@
+"""Fabric smoke check — a real multi-process deployment in miniature.
+
+Usage::
+
+    python -m repro.fabric --smoke [--workers N] [--messages M]
+
+Spawns N worker processes on UDP loopback (each hosting one
+:class:`~repro.fabric.worker.FabricWorker` and its own directory
+replica), publishes M ChannelOpenResponse v2.0 events round-robin over
+ownership-balanced channels, and asserts every one was morphed and
+delivered exactly once.  Then replays the seeded churn scenario on the
+simulated transport and asserts the exactly-once invariant held across
+join/leave handoffs.  Exit 0 on success, 1 on any violation — the CI
+stage that guards the subsystem end to end.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.bench.fabric import bench_fabric_churn, bench_fabric_scaling
+
+
+def _flag_value(args: List[str], flag: str, default: int) -> int:
+    if flag in args:
+        index = args.index(flag)
+        if index + 1 >= len(args):
+            raise SystemExit(f"error: {flag} requires an integer")
+        return int(args[index + 1])
+    return default
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if "--smoke" not in args:
+        print(__doc__)
+        return 2
+    workers = _flag_value(args, "--workers", 2)
+    messages = _flag_value(args, "--messages", 240)
+
+    failures: List[str] = []
+    [row] = bench_fabric_scaling(
+        worker_counts=(workers,), messages=messages
+    )
+    print(
+        f"socket fleet: {row.workers} workers, {row.delivered}/"
+        f"{row.messages} delivered in {row.wall_seconds * 1000:.0f} ms "
+        f"(busiest worker {row.max_cpu_seconds * 1000:.1f} ms CPU)"
+    )
+    print(f"  per-worker processed: {row.worker_processed}")
+    if row.delivered != messages:
+        failures.append(
+            f"socket fleet lost messages: {row.delivered}/{messages}"
+        )
+    if sum(row.worker_processed.values()) != messages:
+        failures.append(
+            "worker processed counts do not add up to the publish count: "
+            f"{row.worker_processed}"
+        )
+    if min(row.worker_processed.values(), default=0) == 0 and workers > 1:
+        failures.append(
+            f"a worker processed nothing: {row.worker_processed}"
+        )
+
+    churn = bench_fabric_churn()
+    print(
+        f"sim churn: {churn.published} published, "
+        f"{churn.delivered_v1}+{churn.delivered_v0} delivered, "
+        f"{churn.duplicates} duplicates, {churn.handoffs} handoffs, "
+        f"{churn.forwarded} forwarded, {churn.epochs} epochs"
+    )
+    if not churn.exactly_once:
+        failures.append(
+            "churn scenario violated exactly-once: "
+            f"{churn.delivered_v1}+{churn.delivered_v0} of "
+            f"{churn.published}, {churn.duplicates} duplicates"
+        )
+    if churn.handoffs == 0:
+        failures.append("churn scenario produced no handoffs")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("fabric smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

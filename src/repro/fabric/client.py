@@ -1,0 +1,243 @@
+"""Fabric client — publish/subscribe against the sharded worker fleet.
+
+Clients cache a ``(owner, epoch)`` route per channel: the directory is
+consulted once on first use, then the cache is maintained entirely by
+:data:`FABRIC_REDIRECT` corrections from workers.  A stale route is not
+an error — the old owner forwards, the redirect catches the cache up,
+and the per-``(channel, publisher)`` receive ledger keeps delivery
+exactly-once regardless of how many hops a message took.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import FabricError
+from repro.fabric.protocol import (
+    FABRIC_DELIVER,
+    FABRIC_PUBLISH,
+    FABRIC_REDIRECT,
+    FABRIC_SUBSCRIBE,
+    register_fabric_protocol,
+)
+from repro.fabric.worker import SeqLedger
+from repro.net.reliable import ReliableEndpoint
+from repro.obs import OBS
+from repro.obs.tracectx import TraceContext, activate, make_context
+from repro.pbio.buffer import attach_trace, peek_trace, unpack_header
+from repro.pbio.context import PBIOContext
+from repro.pbio.format import IOFormat
+from repro.pbio.record import Record
+from repro.pbio.registry import FormatRegistry
+from repro.pbio.server import CachingFormatResolver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fabric.membership import FabricDirectory
+
+EventHandler = Callable[[str, str, int, Record], Any]
+
+
+class FabricClient:
+    """One application endpoint on the fabric.
+
+    *handler* signature: ``handler(channel_id, publisher, seq, record)``
+    — publisher and seq are surfaced so tests can ledger-reconcile
+    end-to-end.
+    """
+
+    def __init__(
+        self,
+        directory: "FabricDirectory",
+        network: Any,
+        address: str,
+        registry: Optional[FormatRegistry] = None,
+        reliable: bool = False,
+        reliable_options: Optional[Dict[str, Any]] = None,
+        resolver: Optional[CachingFormatResolver] = None,
+        format_servers: Optional[List[str]] = None,
+        resolver_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.directory = directory
+        self.network = network
+        self.node = network.add_node(address)
+        if resolver is None and format_servers:
+            options = dict(resolver_options or {})
+            options.setdefault("breaker_threshold", 1_000_000)
+            resolver = CachingFormatResolver(
+                network, f"{address}:meta", servers=format_servers,
+                registry=registry, **options,
+            )
+        self.resolver = resolver
+        if registry is None:
+            if resolver is None:
+                raise FabricError(
+                    "FabricClient needs a registry, a resolver, or "
+                    "format_servers"
+                )
+            registry = resolver.registry
+        self.registry = registry
+        register_fabric_protocol(registry)
+        self.pbio = PBIOContext(registry)
+        self.reliable: Optional[ReliableEndpoint] = None
+        if reliable:
+            options = dict(reliable_options or {})
+            options.setdefault("breaker_threshold", 1_000_000)
+            self.reliable = ReliableEndpoint(network, node=self.node, **options)
+            self.reliable.set_handler(self._on_message)
+        else:
+            self.node.set_handler(self._on_message)
+        if self.resolver is not None:
+            self.resolver.publish()
+        #: channel -> (owner, epoch) route cache
+        self._routes: Dict[str, Tuple[str, int]] = {}
+        #: channel -> next publish sequence number
+        self._next_seq: Dict[str, int] = {}
+        #: channel -> (fmt, handler) local subscription
+        self._subscriptions: Dict[str, Tuple[IOFormat, EventHandler]] = {}
+        #: (channel, publisher) -> receive-side exactly-once ledger
+        self.received: Dict[Tuple[str, str], SeqLedger] = {}
+        self.published = 0
+        self.delivered = 0
+        self.duplicates = 0
+        self.redirects = 0
+        self.errors = 0
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    def _send(self, destination: str, data: bytes) -> None:
+        if self.reliable is not None:
+            self.reliable.send(destination, data)
+        else:
+            self.node.send(destination, data)
+
+    def _route(self, channel_id: str) -> Tuple[str, int]:
+        route = self._routes.get(channel_id)
+        if route is None:
+            # First use: one directory lookup.  From here on the cache
+            # is maintained only by worker redirects, so a membership
+            # change after this point exercises the stale-route path.
+            route = self.directory.route(channel_id)
+            self._routes[channel_id] = route
+        return route
+
+    # ------------------------------------------------------------------
+    # Publish / subscribe
+    # ------------------------------------------------------------------
+
+    def publish(self, channel_id: str, fmt: IOFormat, record: Record) -> int:
+        """Publish one event; returns the sequence number used."""
+        owner, epoch = self._route(channel_id)
+        seq = self._next_seq.get(channel_id, 0) + 1
+        self._next_seq[channel_id] = seq
+        ctx: Optional[TraceContext] = None
+        if OBS.enabled:
+            ctx = make_context()
+        payload = self.pbio.encode(fmt, record)
+        envelope = FABRIC_PUBLISH.make_record(
+            channel_id=channel_id,
+            publisher=self.address,
+            seq=seq,
+            epoch=epoch,
+        )
+        envelope_wire = self.pbio.encode(FABRIC_PUBLISH, envelope)
+        if ctx is not None:
+            payload = attach_trace(payload, ctx)
+            envelope_wire = attach_trace(envelope_wire, ctx)
+        with activate(ctx), OBS.tracer.span(
+            "fabric.publish",
+            channel=channel_id,
+            publisher=self.address,
+            format=fmt.name,
+        ):
+            self._send(owner, envelope_wire + payload)
+        self.published += 1
+        if OBS.enabled:
+            OBS.metrics.bounded_counter(
+                "fabric.published", channel=channel_id
+            ).inc()
+        return seq
+
+    def subscribe(
+        self, channel_id: str, fmt: IOFormat, handler: EventHandler
+    ) -> None:
+        """Subscribe to *channel_id* in *fmt*; the owning worker morphs
+        every published event into *fmt* before delivery."""
+        if fmt not in self.registry:
+            self.registry.register(fmt)
+        if self.resolver is not None:
+            # Make the subscription format resolvable by whichever
+            # worker ends up owning (or inheriting) the shard.
+            self.resolver.publish()
+        self._subscriptions[channel_id] = (fmt, handler)
+        owner, epoch = self._route(channel_id)
+        record = FABRIC_SUBSCRIBE.make_record(
+            channel_id=channel_id,
+            contact=self.address,
+            format_id=fmt.format_id,
+            epoch=epoch,
+        )
+        self._send(owner, self.pbio.encode(FABRIC_SUBSCRIBE, record))
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def _on_message(self, source: str, data: bytes) -> None:
+        header = unpack_header(data)
+        fmt = self.registry.lookup_id(header.format_id)
+        if fmt is None:
+            self.errors += 1
+            return
+        body_end = header.body_offset + header.payload_length
+        record = self.pbio.decode_as(fmt, data[:body_end])
+        if fmt.name == FABRIC_DELIVER.name:
+            self._on_deliver(record, data[body_end:])
+        elif fmt.name == FABRIC_REDIRECT.name:
+            self._on_redirect(record)
+        else:
+            self.errors += 1
+
+    def _on_redirect(self, record: Record) -> None:
+        channel_id = record["channel_id"]
+        current = self._routes.get(channel_id)
+        route = (record["owner"], record["epoch"])
+        # Epochs are monotonic; never let a late redirect roll the
+        # cache backwards.
+        if current is None or route[1] >= current[1]:
+            self._routes[channel_id] = route
+            self.redirects += 1
+
+    def _on_deliver(self, record: Record, payload: bytes) -> None:
+        channel_id = record["channel_id"]
+        publisher = record["publisher"]
+        seq = record["seq"]
+        subscription = self._subscriptions.get(channel_id)
+        if subscription is None:
+            self.errors += 1
+            return
+        key = (channel_id, publisher)
+        ledger = self.received.get(key)
+        if ledger is None:
+            ledger = self.received[key] = SeqLedger()
+        if not ledger.admit(seq):
+            self.duplicates += 1
+            return
+        fmt, handler = subscription
+        with activate(peek_trace(payload)), OBS.tracer.span(
+            "fabric.deliver",
+            channel=channel_id,
+            subscriber=self.address,
+        ):
+            payload_header = unpack_header(payload)
+            body_end = (
+                payload_header.body_offset + payload_header.payload_length
+            )
+            event = self.pbio.decode_as(fmt, payload[:body_end])
+            handler(channel_id, publisher, seq, event)
+        self.delivered += 1
+        if OBS.enabled:
+            OBS.metrics.bounded_counter(
+                "fabric.delivered", channel=channel_id
+            ).inc()

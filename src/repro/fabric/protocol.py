@@ -1,0 +1,112 @@
+"""Fabric wire protocol — PBIO formats for the sharded event fabric.
+
+Data-plane messages use the EventEnvelope framing trick: the envelope
+is a complete PBIO message and the (separately encoded, possibly
+trace-stamped) event payload rides concatenated behind it, so the
+payload bytes pass through publish -> forward -> morph untouched — which
+is what keeps one trace id on a message across a shard-handoff hop.
+
+Handoff state travels as JSON inside a string field rather than nested
+PBIO arrays: it is control-plane meta data (like the format-server
+protocol, deliberately not dependent on the format machinery it moves).
+"""
+
+from __future__ import annotations
+
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry
+
+#: One published event, addressed to the channel's owning worker.  The
+#: event payload (a PBIO message in the publisher's event format) is
+#: concatenated behind.  ``publisher``+``seq`` are the exactly-once
+#: ledger key; ``epoch`` is the ownership epoch the publisher routed
+#: under (stale epochs still deliver — the owner forwards — but tell
+#: the receiving worker to send a redirect).
+FABRIC_PUBLISH = IOFormat(
+    "FabricPublish",
+    [
+        IOField("channel_id", "string"),
+        IOField("publisher", "string"),
+        IOField("seq", "unsigned", 8),
+        IOField("epoch", "unsigned", 4),
+    ],
+    version="1.0",
+)
+
+#: Subscribe *contact* to a channel, in the format with id
+#: ``format_id`` (resolved out-of-band through the format servers when
+#: the owner does not know it).
+FABRIC_SUBSCRIBE = IOFormat(
+    "FabricSubscribe",
+    [
+        IOField("channel_id", "string"),
+        IOField("contact", "string"),
+        IOField("format_id", "unsigned", 8),
+        IOField("epoch", "unsigned", 4),
+    ],
+    version="1.0",
+)
+
+#: One morphed event pushed to a subscriber; the payload (re-encoded in
+#: the subscriber's format, original trace context re-attached) rides
+#: behind.  ``publisher``/``seq`` let subscribers ledger-reconcile.
+FABRIC_DELIVER = IOFormat(
+    "FabricDeliver",
+    [
+        IOField("channel_id", "string"),
+        IOField("publisher", "string"),
+        IOField("seq", "unsigned", 8),
+    ],
+    version="1.0",
+)
+
+#: Routing correction, sent to a publisher whose traffic arrived at a
+#: worker that no longer (or never did) own the channel's shard.
+FABRIC_REDIRECT = IOFormat(
+    "FabricRedirect",
+    [
+        IOField("channel_id", "string"),
+        IOField("owner", "string"),
+        IOField("epoch", "unsigned", 4),
+    ],
+    version="1.0",
+)
+
+#: Shard handoff: the old owner ships the shard's channel state
+#: (subscriber table + exactly-once ledgers, as JSON) to the successor
+#: and switches itself to drain-and-forward mode.
+FABRIC_HANDOFF = IOFormat(
+    "FabricHandoff",
+    [
+        IOField("shard", "unsigned", 4),
+        IOField("epoch", "unsigned", 4),
+        IOField("state", "string"),
+    ],
+    version="1.0",
+)
+
+FABRIC_HANDOFF_ACK = IOFormat(
+    "FabricHandoffAck",
+    [
+        IOField("shard", "unsigned", 4),
+        IOField("epoch", "unsigned", 4),
+    ],
+    version="1.0",
+)
+
+FABRIC_FORMATS = (
+    FABRIC_PUBLISH,
+    FABRIC_SUBSCRIBE,
+    FABRIC_DELIVER,
+    FABRIC_REDIRECT,
+    FABRIC_HANDOFF,
+    FABRIC_HANDOFF_ACK,
+)
+
+
+def register_fabric_protocol(registry: FormatRegistry) -> None:
+    """Register the fabric control formats (idempotent)."""
+    for fmt in FABRIC_FORMATS:
+        if fmt not in registry:
+            registry.register(fmt)

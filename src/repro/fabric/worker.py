@@ -1,0 +1,565 @@
+"""Fabric worker — owns shards, morphs at the owner, hands off cleanly.
+
+A :class:`FabricWorker` is one member of the sharded fleet.  For every
+shard it owns it runs the full morphing data plane: decode the published
+payload, run the ECode transform chain to each subscriber format group,
+reconcile, re-encode, and push a :data:`FABRIC_DELIVER` to every
+subscriber in the group.  Morphing happens **at the owner** so adding
+workers adds morphing capacity — the property the scaling bench
+measures.
+
+Exactly-once across rebalancing rests on three mechanisms:
+
+* a per-``(channel, publisher)`` :class:`SeqLedger` (contiguous
+  high-water mark plus a sparse out-of-order set) that admits each
+  sequence number once,
+* **drain-and-forward handoff**: the old owner snapshots the shard's
+  channel state (subscribers + ledgers) into a
+  :data:`FABRIC_HANDOFF` message, stops owning, and forwards any
+  late-arriving traffic raw to the successor — forwarded bytes are
+  untouched, so trace blocks survive the extra hop,
+* a **pending buffer** on the successor for traffic that outruns the
+  handoff state message (reordering under jitter), replayed once the
+  state lands.
+
+Duplicate paths all converge on the ledger: a publisher retry absorbed
+by the reliable layer never reaches us; a retry that raced a handoff is
+forwarded to the successor, whose moved ledger already admitted the
+sequence number and drops it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import FabricError
+from repro.fabric.hashing import shard_of
+from repro.fabric.protocol import (
+    FABRIC_DELIVER,
+    FABRIC_HANDOFF,
+    FABRIC_HANDOFF_ACK,
+    FABRIC_PUBLISH,
+    FABRIC_REDIRECT,
+    FABRIC_SUBSCRIBE,
+    register_fabric_protocol,
+)
+from repro.morph.receiver import MorphReceiver
+from repro.net.reliable import ReliableEndpoint
+from repro.obs import OBS
+from repro.obs.tracectx import activate
+from repro.pbio.buffer import attach_trace, peek_trace, unpack_header
+from repro.pbio.context import PBIOContext
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry
+from repro.pbio.server import CachingFormatResolver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fabric.membership import FabricDirectory
+
+#: Per-shard cap on messages buffered while handoff state is in flight.
+PENDING_LIMIT = 1024
+
+
+class SeqLedger:
+    """Exactly-once admission for one ``(channel, publisher)`` stream.
+
+    ``high`` is the highest *contiguous* sequence admitted (all of
+    ``1..high`` seen); ``sparse`` holds admitted numbers beyond the gap.
+    The pair serializes to a couple of integers for most workloads,
+    which is what keeps handoff state small.
+    """
+
+    __slots__ = ("high", "sparse")
+
+    def __init__(self, high: int = 0, sparse: Optional[Set[int]] = None) -> None:
+        self.high = high
+        self.sparse: Set[int] = set(sparse or ())
+
+    def admit(self, seq: int) -> bool:
+        """True exactly once per sequence number."""
+        if seq <= self.high or seq in self.sparse:
+            return False
+        self.sparse.add(seq)
+        while self.high + 1 in self.sparse:
+            self.high += 1
+            self.sparse.discard(self.high)
+        return True
+
+    @property
+    def admitted(self) -> int:
+        return self.high + len(self.sparse)
+
+    def to_state(self) -> Dict[str, Any]:
+        return {"high": self.high, "sparse": sorted(self.sparse)}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "SeqLedger":
+        return cls(int(state.get("high", 0)), set(state.get("sparse", ())))
+
+
+class _SubscriberGroup:
+    """Subscribers of one channel sharing one event format.
+
+    Each group owns a :class:`MorphReceiver` whose single handler
+    re-encodes the morphed record in the group format and pushes it to
+    every contact — one decode+transform per *format group*, not per
+    subscriber."""
+
+    __slots__ = ("fmt", "contacts", "receiver")
+
+    def __init__(self, fmt: IOFormat, receiver: MorphReceiver) -> None:
+        self.fmt = fmt
+        self.contacts: List[str] = []
+        self.receiver = receiver
+
+
+class FabricChannel:
+    """Owner-side state of one channel: subscriber groups + ledgers."""
+
+    __slots__ = ("channel_id", "groups", "ledgers")
+
+    def __init__(self, channel_id: str) -> None:
+        self.channel_id = channel_id
+        #: format_id -> subscriber group
+        self.groups: Dict[int, _SubscriberGroup] = {}
+        #: publisher address -> exactly-once ledger
+        self.ledgers: Dict[str, SeqLedger] = {}
+
+    def subscribers(self) -> List[Tuple[str, int]]:
+        return [
+            (contact, format_id)
+            for format_id, group in sorted(self.groups.items())
+            for contact in group.contacts
+        ]
+
+
+class FabricWorker:
+    """One sharded-fabric worker process.
+
+    Parameters mirror :class:`~repro.echo.process.EChoProcess`: the
+    worker sits on one transport node (optionally wrapped in a
+    :class:`~repro.net.reliable.ReliableEndpoint`), shares the format
+    registry out-of-band or resolves formats through the server fleet
+    on demand (*format_servers* / *resolver*).
+    """
+
+    def __init__(
+        self,
+        directory: "FabricDirectory",
+        network: Any,
+        address: str,
+        registry: Optional[FormatRegistry] = None,
+        reliable: bool = False,
+        reliable_options: Optional[Dict[str, Any]] = None,
+        resolver: Optional[CachingFormatResolver] = None,
+        format_servers: Optional[List[str]] = None,
+        resolver_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.directory = directory
+        self.network = network
+        self.node = network.add_node(address)
+        if resolver is None and format_servers:
+            options = dict(resolver_options or {})
+            options.setdefault("breaker_threshold", 1_000_000)
+            resolver = CachingFormatResolver(
+                network, f"{address}:meta", servers=format_servers,
+                registry=registry, **options,
+            )
+        self.resolver = resolver
+        if registry is None:
+            if resolver is None:
+                raise FabricError(
+                    "FabricWorker needs a registry, a resolver, or "
+                    "format_servers"
+                )
+            registry = resolver.registry
+        self.registry = registry
+        register_fabric_protocol(registry)
+        self.pbio = PBIOContext(registry)
+        self.reliable: Optional[ReliableEndpoint] = None
+        if reliable:
+            options = dict(reliable_options or {})
+            options.setdefault("breaker_threshold", 1_000_000)
+            self.reliable = ReliableEndpoint(network, node=self.node, **options)
+            self.reliable.set_handler(self._on_message)
+        else:
+            self.node.set_handler(self._on_message)
+        if self.resolver is not None:
+            self.resolver.publish()
+        #: shard -> ownership epoch
+        self._owned: Dict[int, int] = {}
+        #: shard -> (successor address, epoch it moved under)
+        self._forwarding: Dict[int, Tuple[str, int]] = {}
+        #: shard -> raw datagrams that outran the handoff state message
+        self._pending: Dict[int, List[Tuple[str, bytes]]] = {}
+        self._channels: Dict[str, FabricChannel] = {}
+        #: format ids already refreshed from the server fleet
+        self._refreshed: Set[int] = set()
+        #: set while fanning out one publish, read by group handlers
+        self._delivering: Optional[Tuple[str, str, int, bytes]] = None
+        self.processed = 0
+        self.duplicates = 0
+        self.forwarded = 0
+        self.deliveries = 0
+        self.handoffs_sent = 0
+        self.handoffs_received = 0
+        self.handoffs_acked = 0
+        self.redirects_sent = 0
+        self.errors = 0
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    def owned_shards(self) -> List[int]:
+        return sorted(self._owned)
+
+    def owns(self, channel_id: str) -> bool:
+        return shard_of(channel_id, self.directory.num_shards) in self._owned
+
+    def _send(self, destination: str, data: bytes) -> None:
+        if self.reliable is not None:
+            self.reliable.send(destination, data)
+        else:
+            self.node.send(destination, data)
+
+    def _update_owned_gauge(self) -> None:
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "fabric.shards_owned", worker=self.address
+            ).set(len(self._owned))
+
+    # ------------------------------------------------------------------
+    # Ownership transitions (driven by the directory)
+    # ------------------------------------------------------------------
+
+    def grant_shard(self, shard: int, epoch: int) -> None:
+        """Own *shard* with no predecessor state (fresh shard, or the
+        predecessor's process crashed before it could hand off)."""
+        self._owned[shard] = epoch
+        self._forwarding.pop(shard, None)
+        self._update_owned_gauge()
+        self._replay_pending(shard)
+
+    def begin_handoff(self, shard: int, successor: str, epoch: int) -> None:
+        """Drain-and-forward handoff of *shard* to *successor*: snapshot
+        the shard's channels (subscribers + ledgers), ship the snapshot,
+        stop owning, and forward stale traffic from here on."""
+        if shard not in self._owned:
+            # Stacked membership changes: the shard's snapshot is still
+            # in flight to us from the previous owner.  Mark the relay —
+            # when the snapshot lands, _on_handoff passes it straight on
+            # to the newer successor instead of installing it here.
+            self._forwarding[shard] = (successor, epoch)
+            return
+        state: Dict[str, Any] = {"channels": {}}
+        for channel_id in sorted(self._channels):
+            if shard_of(channel_id, self.directory.num_shards) != shard:
+                continue
+            channel = self._channels.pop(channel_id)
+            state["channels"][channel_id] = {
+                "subscribers": channel.subscribers(),
+                "ledgers": {
+                    publisher: ledger.to_state()
+                    for publisher, ledger in sorted(channel.ledgers.items())
+                },
+            }
+        del self._owned[shard]
+        self._forwarding[shard] = (successor, epoch)
+        self._update_owned_gauge()
+        self.handoffs_sent += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "fabric.handoff", worker=self.address, role="source"
+            ).inc()
+        record = FABRIC_HANDOFF.make_record(
+            shard=shard, epoch=epoch, state=json.dumps(state, sort_keys=True)
+        )
+        self._send(successor, self.pbio.encode(FABRIC_HANDOFF, record))
+
+    def _replay_pending(self, shard: int) -> None:
+        for source, data in self._pending.pop(shard, ()):
+            self._on_message(source, data)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def _park(self, format_id: int, replay: Callable[[], None]) -> None:
+        """Fetch missing meta-data from the format-server fleet, then
+        replay (mirrors :meth:`EChoProcess._park`)."""
+
+        def _done(found: Optional[IOFormat]) -> None:
+            self._refreshed.add(format_id)
+            if found is None:
+                self.errors += 1
+                return
+            replay()
+
+        assert self.resolver is not None
+        self.resolver.refresh(format_id, _done)
+
+    def _on_message(self, source: str, data: bytes) -> None:
+        header = unpack_header(data)
+        fmt = self.registry.lookup_id(header.format_id)
+        if fmt is None:
+            if self.resolver is not None and header.format_id not in self._refreshed:
+                self._park(header.format_id,
+                           lambda: self._on_message(source, data))
+            else:
+                self.errors += 1
+            return
+        body_end = header.body_offset + header.payload_length
+        record = self.pbio.decode_as(fmt, data[:body_end])
+        trailing = data[body_end:]
+        name = fmt.name
+        if name == FABRIC_PUBLISH.name:
+            self._on_publish(source, data, record, trailing)
+        elif name == FABRIC_SUBSCRIBE.name:
+            self._on_subscribe(source, data, record)
+        elif name == FABRIC_HANDOFF.name:
+            self._on_handoff(source, record)
+        elif name == FABRIC_HANDOFF_ACK.name:
+            self.handoffs_acked += 1
+        else:
+            self.errors += 1
+
+    def _reroute(
+        self, shard: int, source: str, data: bytes, reply_to: str, channel_id: str
+    ) -> None:
+        """A channel message for a shard we do not own: forward it raw
+        (drain-and-forward — payload bytes, trace block included, pass
+        untouched) or buffer it if our own handoff state is in flight."""
+        owner = self.directory.assignment.get(shard)
+        if owner == self.address:
+            # We are the new owner but the FABRIC_HANDOFF snapshot has
+            # not landed yet — hold the message, replay on arrival.
+            pending = self._pending.setdefault(shard, [])
+            if len(pending) >= PENDING_LIMIT:
+                self.errors += 1
+                return
+            pending.append((source, data))
+            return
+        if shard in self._forwarding:
+            target = self._forwarding[shard][0]
+        elif owner is not None:
+            target = owner
+        else:
+            self.errors += 1
+            return
+        self.forwarded += 1
+        if OBS.enabled:
+            OBS.metrics.counter("fabric.forwarded", worker=self.address).inc()
+        self._send(target, data)
+        self._send_redirect(channel_id, reply_to)
+
+    def _send_redirect(self, channel_id: str, contact: str) -> None:
+        try:
+            owner, epoch = self.directory.route(channel_id)
+        except FabricError:
+            return
+        self.redirects_sent += 1
+        if OBS.enabled:
+            OBS.metrics.counter("fabric.redirects", worker=self.address).inc()
+        record = FABRIC_REDIRECT.make_record(
+            channel_id=channel_id, owner=owner, epoch=epoch
+        )
+        self._send(contact, self.pbio.encode(FABRIC_REDIRECT, record))
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def _channel(self, channel_id: str) -> FabricChannel:
+        channel = self._channels.get(channel_id)
+        if channel is None:
+            channel = FabricChannel(channel_id)
+            self._channels[channel_id] = channel
+        return channel
+
+    def _on_publish(
+        self, source: str, data: bytes, record: Any, payload: bytes
+    ) -> None:
+        channel_id = record["channel_id"]
+        shard = shard_of(channel_id, self.directory.num_shards)
+        if shard not in self._owned:
+            self._reroute(shard, source, data, record["publisher"], channel_id)
+            return
+        if record["epoch"] != self.directory.epoch:
+            # Stale route: deliver anyway (we own it), but correct the
+            # publisher's cache so it stops paying the extra hop.
+            self._send_redirect(channel_id, record["publisher"])
+        channel = self._channel(channel_id)
+        ledger = channel.ledgers.get(record["publisher"])
+        if ledger is None:
+            ledger = channel.ledgers[record["publisher"]] = SeqLedger()
+        if not ledger.admit(record["seq"]):
+            self.duplicates += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "fabric.duplicates", worker=self.address
+                ).inc()
+            return
+        self.processed += 1
+        if OBS.enabled:
+            OBS.metrics.bounded_counter(
+                "fabric.shard.processed", shard=str(shard)
+            ).inc()
+        self._fan_out(channel, record["publisher"], record["seq"], payload)
+
+    def _fan_out(
+        self, channel: FabricChannel, publisher: str, seq: int, payload: bytes
+    ) -> None:
+        """Morph-at-owner: run the payload through each format group's
+        receiver; the group handler re-encodes and pushes."""
+        if not channel.groups:
+            return
+        ctx = peek_trace(payload)
+        self._delivering = (channel.channel_id, publisher, seq, payload)
+        try:
+            with activate(ctx), OBS.tracer.span(
+                "fabric.morph",
+                channel=channel.channel_id,
+                worker=self.address,
+            ):
+                for _format_id, group in sorted(channel.groups.items()):
+                    if not group.contacts:
+                        continue
+                    group.receiver.process(payload)
+        finally:
+            self._delivering = None
+
+    def _make_group(
+        self, channel: FabricChannel, fmt: IOFormat
+    ) -> _SubscriberGroup:
+        receiver = MorphReceiver(self.registry, contain_failures=True)
+        group = _SubscriberGroup(fmt, receiver)
+
+        def deliver(morphed: Any, _group: _SubscriberGroup = group) -> None:
+            self._deliver_group(_group, morphed)
+
+        receiver.register_handler(fmt, deliver)
+        return group
+
+    def _deliver_group(self, group: _SubscriberGroup, morphed: Any) -> None:
+        assert self._delivering is not None
+        channel_id, publisher, seq, original = self._delivering
+        out_payload = self.pbio.encode(group.fmt, morphed)
+        envelope = FABRIC_DELIVER.make_record(
+            channel_id=channel_id, publisher=publisher, seq=seq
+        )
+        envelope_wire = self.pbio.encode(FABRIC_DELIVER, envelope)
+        # Re-attach the original publish's trace block so the delivery
+        # hop joins the same trace even though the payload was
+        # re-encoded in the subscriber's format.
+        ctx = peek_trace(original)
+        if ctx is not None:
+            out_payload = attach_trace(out_payload, ctx)
+            envelope_wire = attach_trace(envelope_wire, ctx)
+        datagram = envelope_wire + out_payload
+        for contact in group.contacts:
+            self._send(contact, datagram)
+            self.deliveries += 1
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+
+    def _on_subscribe(self, source: str, data: bytes, record: Any) -> None:
+        channel_id = record["channel_id"]
+        shard = shard_of(channel_id, self.directory.num_shards)
+        if shard not in self._owned:
+            self._reroute(shard, source, data, record["contact"], channel_id)
+            return
+        self._install_subscriber(
+            channel_id, record["contact"], record["format_id"]
+        )
+
+    def _install_subscriber(
+        self, channel_id: str, contact: str, format_id: int
+    ) -> None:
+        fmt = self.registry.lookup_id(format_id)
+        if fmt is None:
+            if self.resolver is not None and format_id not in self._refreshed:
+                self._park(
+                    format_id,
+                    lambda: self._install_subscriber(
+                        channel_id, contact, format_id
+                    ),
+                )
+            else:
+                self.errors += 1
+            return
+        channel = self._channel(channel_id)
+        group = channel.groups.get(format_id)
+        if group is None:
+            group = channel.groups[format_id] = self._make_group(channel, fmt)
+        if contact not in group.contacts:
+            group.contacts.append(contact)
+
+    # ------------------------------------------------------------------
+    # Handoff receive side
+    # ------------------------------------------------------------------
+
+    def _on_handoff(self, source: str, record: Any) -> None:
+        shard = record["shard"]
+        epoch = record["epoch"]
+        relay = self._forwarding.get(shard)
+        if relay is not None and relay[1] >= epoch:
+            # Ownership moved on (to ``relay``) while this snapshot was
+            # in flight: relay it under the newer epoch, stay in
+            # forwarding mode, and flush anything we buffered while the
+            # directory briefly pointed at us.
+            target, relay_epoch = relay
+            self.handoffs_sent += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "fabric.handoff", worker=self.address, role="relay"
+                ).inc()
+            relayed = FABRIC_HANDOFF.make_record(
+                shard=shard, epoch=relay_epoch, state=record["state"]
+            )
+            self._send(target, self.pbio.encode(FABRIC_HANDOFF, relayed))
+            ack = FABRIC_HANDOFF_ACK.make_record(shard=shard, epoch=epoch)
+            self._send(source, self.pbio.encode(FABRIC_HANDOFF_ACK, ack))
+            self._replay_pending(shard)
+            return
+        try:
+            state = json.loads(record["state"])
+        except ValueError:
+            self.errors += 1
+            raise FabricError(
+                f"malformed handoff state for shard {shard}"
+            ) from None
+        for channel_id, channel_state in state.get("channels", {}).items():
+            for publisher, ledger_state in channel_state.get(
+                "ledgers", {}
+            ).items():
+                channel = self._channel(channel_id)
+                merged = channel.ledgers.get(publisher)
+                if merged is None:
+                    channel.ledgers[publisher] = SeqLedger.from_state(
+                        ledger_state
+                    )
+                else:
+                    # Shouldn't happen (a shard lives in one place), but
+                    # merging is strictly safer than replacing.
+                    restored = SeqLedger.from_state(ledger_state)
+                    for seq in range(1, restored.high + 1):
+                        merged.admit(seq)
+                    for seq in restored.sparse:
+                        merged.admit(seq)
+            for contact, format_id in channel_state.get("subscribers", ()):
+                self._install_subscriber(channel_id, contact, format_id)
+        self._owned[shard] = epoch
+        self._forwarding.pop(shard, None)
+        self._update_owned_gauge()
+        self.handoffs_received += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "fabric.handoff", worker=self.address, role="target"
+            ).inc()
+        ack = FABRIC_HANDOFF_ACK.make_record(shard=shard, epoch=epoch)
+        self._send(source, self.pbio.encode(FABRIC_HANDOFF_ACK, ack))
+        self._replay_pending(shard)

@@ -1,0 +1,127 @@
+"""Scheduler/clock abstraction shared by every transport.
+
+The simulated :class:`~repro.net.transport.Network` and the real-socket
+:class:`~repro.net.socket.SocketNetwork` expose the same timer contract
+— ``now`` / ``call_at`` / ``call_later`` returning cancellable
+:class:`Timer` handles — so everything layered above them (the reliable
+endpoint's retransmission schedule, the format-resolver's request
+timeouts, the fabric's handoff drains) runs unchanged on either
+substrate.  This module holds that contract (:class:`Scheduler`) plus
+the discrete-event implementation the simulated transport is built on
+(:class:`VirtualScheduler`): one heap ordering both timer firings and
+message deliveries by ``(time, sequence)``, so retries and timeouts
+interleave deterministically with traffic.
+
+The real-socket transport implements the same protocol on an asyncio
+loop clock instead; see :mod:`repro.net.socket`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import TransportError
+
+try:  # pragma: no cover - Protocol is 3.8+; keep the import defensive
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+class Timer:
+    """A cancellable callback scheduled on a transport's event queue
+    (the substrate retransmission and request timeouts are built on).
+    ``when`` is in the owning scheduler's clock domain — virtual seconds
+    on the simulated network, loop seconds on the socket transport."""
+
+    __slots__ = ("when", "callback", "cancelled")
+
+    def __init__(self, when: float, callback: Callable[[], None]) -> None:
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"Timer(when={self.when:.6f}, {state})"
+
+
+class Scheduler(Protocol):
+    """The clock/timer contract every transport satisfies.
+
+    Implementations: :class:`~repro.net.transport.Network` (virtual
+    time, discrete events), :class:`~repro.net.socket.SocketNetwork`
+    (asyncio loop time).  Consumers — :class:`ReliableEndpoint`,
+    :class:`CachingFormatResolver`, the fabric workers — only ever use
+    these three members, which is what makes them transport-portable.
+    """
+
+    now: float
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
+        """Schedule *callback* at clock time *when* (clamped to now);
+        returns a cancellable handle."""
+        ...  # pragma: no cover - protocol stub
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule *callback* after *delay* seconds (>= 0)."""
+        ...  # pragma: no cover - protocol stub
+
+
+class VirtualScheduler:
+    """Discrete-event queue + virtual clock.
+
+    Entries are ``(when, sequence, payload)`` where *payload* is either
+    a :class:`Timer` or an opaque item the owning transport scheduled
+    (the simulated network's message deliveries).  One shared sequence
+    counter keeps the interleaving of timers and messages total-ordered
+    and reproducible — exactly the behavior the pre-extraction
+    ``Network`` event queue had.
+    """
+
+    __slots__ = ("now", "_queue", "_sequence")
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list = []
+        self._sequence = itertools.count()
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, when: float, payload: Any) -> None:
+        """Enqueue an opaque *payload* (a message delivery) at *when*."""
+        heapq.heappush(self._queue, (when, next(self._sequence), payload))
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
+        timer = Timer(max(when, self.now), callback)
+        heapq.heappush(self._queue, (timer.when, next(self._sequence), timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        if delay < 0:
+            raise TransportError("timer delay must be >= 0")
+        return self.call_at(self.now + delay, callback)
+
+    # -- draining ------------------------------------------------------
+
+    def peek_when(self) -> Optional[float]:
+        """Timestamp of the next due entry, or None when idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def pop(self) -> Tuple[float, Any]:
+        """Pop the next ``(when, payload)`` entry and advance the clock
+        to it (the clock never runs backwards)."""
+        when, _seq, payload = heapq.heappop(self._queue)
+        self.now = max(self.now, when)
+        return when, payload
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

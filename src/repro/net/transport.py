@@ -15,14 +15,13 @@ every test fully deterministic.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.net.link import LinkSpec
+from repro.net.scheduler import Timer, VirtualScheduler
 from repro.obs import OBS
 from repro.obs.tracectx import activate
 
@@ -60,31 +59,6 @@ class Delivery:
     size: int
     dropped: bool = False
     handler_error: bool = False
-
-
-class Timer:
-    """A cancellable virtual-time callback scheduled on the network's
-    event queue (the substrate retransmission and request timeouts are
-    built on)."""
-
-    __slots__ = ("when", "callback", "cancelled")
-
-    def __init__(self, when: float, callback: Callable[[], None]) -> None:
-        self.when = when
-        self.callback = callback
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        self.cancelled = True
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "armed"
-        return f"Timer(when={self.when:.6f}, {state})"
-
-
-#: Sentinel destination marking a queue entry as a timer firing rather
-#: than a message delivery.
-_TIMER = "\x00timer"
 
 
 class Node:
@@ -161,10 +135,8 @@ class Network:
         self.default_link = default_link if default_link is not None else LinkSpec()
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], LinkSpec] = {}
-        self._queue: List[Tuple[float, int, str, str, bytes]] = []
-        self._sequence = itertools.count()
+        self._scheduler = VirtualScheduler()
         self._rng = random.Random(seed)
-        self.now = 0.0
         self.bytes_sent = 0
         self.messages_sent = 0
         self.dropped = 0
@@ -176,6 +148,11 @@ class Network:
         #: ``(destination, exception)`` or None
         self.last_handler_error: Optional[Tuple[str, BaseException]] = None
         self.trace: List[Delivery] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds) — the scheduler's clock."""
+        return self._scheduler.now
 
     # ------------------------------------------------------------------
     # Topology
@@ -228,9 +205,7 @@ class Network:
                     "net.transport.lost", source=source, destination=destination
                 ).inc()
             return arrival
-        heapq.heappush(
-            self._queue, (arrival, next(self._sequence), source, destination, data)
-        )
+        self._scheduler.schedule(arrival, (source, destination, data))
         if OBS.enabled:
             metrics = OBS.metrics
             metrics.counter(
@@ -239,7 +214,7 @@ class Network:
             metrics.counter(
                 "net.transport.bytes", source=source, destination=destination
             ).inc(len(data))
-            metrics.gauge("net.transport.queue_depth").set(len(self._queue))
+            metrics.gauge("net.transport.queue_depth").set(len(self._scheduler))
         return arrival
 
     # ------------------------------------------------------------------
@@ -251,17 +226,11 @@ class Network:
         now).  Timers share the event queue with messages, so retries and
         timeouts interleave deterministically with deliveries.  Returns a
         cancellable :class:`Timer` handle."""
-        timer = Timer(max(when, self.now), callback)
-        heapq.heappush(
-            self._queue, (timer.when, next(self._sequence), _TIMER, "", timer)
-        )
-        return timer
+        return self._scheduler.call_at(when, callback)
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule *callback* after *delay* virtual seconds."""
-        if delay < 0:
-            raise TransportError("timer delay must be >= 0")
-        return self.call_at(self.now + delay, callback)
+        return self._scheduler.call_later(delay, callback)
 
     def run(self, max_time: Optional[float] = None, max_events: int = 1_000_000) -> int:
         """Deliver queued messages (and fire due timers) in timestamp
@@ -277,8 +246,8 @@ class Network:
         """
         delivered = 0
         events = 0
-        while self._queue:
-            arrival, _seq, source, destination, data = self._queue[0]
+        while self._scheduler:
+            arrival = self._scheduler.peek_when()
             if max_time is not None and arrival > max_time:
                 break
             if events >= max_events:
@@ -286,14 +255,13 @@ class Network:
                     f"network did not quiesce within {max_events} events "
                     "(possible message loop)"
                 )
-            heapq.heappop(self._queue)
+            _when, payload = self._scheduler.pop()
             events += 1
-            self.now = max(self.now, arrival)
-            if source is _TIMER:
-                timer = data
-                if not timer.cancelled:
-                    timer.callback()
+            if isinstance(payload, Timer):
+                if not payload.cancelled:
+                    payload.callback()
                 continue
+            source, destination, data = payload
             node = self._nodes[destination]
             dropped = node.closed
             handler_error = False
@@ -330,13 +298,13 @@ class Network:
             delivered += 1
             if OBS.enabled:
                 OBS.metrics.gauge("net.transport.queue_depth").set(
-                    len(self._queue)
+                    len(self._scheduler)
                 )
         return delivered
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._scheduler)
 
     def drops_by_node(self) -> Dict[str, int]:
         """Per-node drop counts (only nodes that dropped something)."""

@@ -159,6 +159,33 @@ class TestRegressionGate:
         geomeans, failures = _compare_to_baseline(payload, self._payload(1.0))
         assert len(failures) == 1 and "BENCH_fig9" in failures[0]
 
+    def test_fused_relative_cost_outranks_raw_seconds(self):
+        from repro.bench.__main__ import _compare_to_baseline
+
+        def doc(cost, seconds):
+            return {
+                "BENCH_fusion": {
+                    "figure": "fusion_ablation",
+                    "workloads": [
+                        {
+                            "label": "1KB",
+                            "timings": {
+                                "fused_relative_cost": cost,
+                                "fused_seconds": seconds,
+                            },
+                        },
+                    ],
+                },
+            }
+
+        # Raw wall time 40% slower (host drift) but the fused/staged
+        # ratio held: the self-normalized metric wins, gate passes.
+        geomeans, failures = _compare_to_baseline(
+            doc(0.6, 1.4), doc(0.6, 1.0)
+        )
+        assert failures == []
+        assert geomeans["BENCH_fusion"] == pytest.approx(1.0)
+
     def test_missing_figures_and_labels_are_skipped(self):
         from repro.bench.__main__ import _compare_to_baseline
 
@@ -173,3 +200,56 @@ class TestRegressionGate:
         }
         geomeans, failures = _compare_to_baseline(payload, baseline)
         assert geomeans == {} and failures == []
+
+
+class TestFabricBenchSupport:
+    def test_balanced_channels_spread_ownership_evenly(self):
+        from repro.bench.fabric import balanced_channels
+        from repro.fabric import HashRing, shard_of
+
+        fleet = ["w1", "w2", "w3", "w4"]
+        channels = balanced_channels(fleet, per_worker=4)
+        assert len(channels) == 16
+        assert len(set(channels)) == 16
+        ring = HashRing()
+        for address in fleet:
+            ring.add(address)
+        assignment = ring.assign(128)
+        per_owner = {address: 0 for address in fleet}
+        for channel_id in channels:
+            per_owner[assignment[shard_of(channel_id)]] += 1
+        assert per_owner == {address: 4 for address in fleet}
+
+    def test_fabric_scaling_cost_participates_in_the_gate(self):
+        from repro.bench.__main__ import _compare_to_baseline
+
+        def doc(scale):
+            return {
+                "BENCH_fabric": {
+                    "figure": "fabric_scaling",
+                    "workloads": [
+                        {
+                            "label": "2w",
+                            "timings": {"fabric_scaling_cost": 0.5 * scale},
+                            "metrics": {"delivered": 100},
+                        },
+                    ],
+                },
+            }
+
+        # Inside the widened multiprocess tolerance: no failure.
+        geomeans, failures = _compare_to_baseline(doc(1.3), doc(1.0))
+        assert failures == []
+        assert abs(geomeans["BENCH_fabric"] - 1.3) < 1e-9
+
+        # A genuine scaling loss blows straight through it.
+        geomeans, failures = _compare_to_baseline(doc(1.5), doc(1.0))
+        assert len(failures) == 1 and "BENCH_fabric" in failures[0]
+
+    def test_churn_record_is_exactly_once(self):
+        from repro.bench.fabric import bench_fabric_churn
+
+        result = bench_fabric_churn(rounds=3)
+        assert result.exactly_once
+        assert result.handoffs > 0
+        assert result.epochs >= 4

@@ -1,0 +1,15 @@
+"""Global-state hygiene for fabric tests that enable observability:
+leave obs disabled with a pristine registry/tracer afterwards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable(reset=True)
+    yield
+    obs.disable(reset=True)

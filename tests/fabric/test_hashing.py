@@ -1,0 +1,113 @@
+"""Consistent-hashing tests: stability across processes, balance under
+the load cap, and near-minimal movement on membership change."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.hashing import (
+    DEFAULT_NUM_SHARDS,
+    HashRing,
+    shard_of,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("sensors/temp") == stable_hash("sensors/temp")
+
+    def test_spreads(self):
+        values = {stable_hash(f"ch-{i}") for i in range(100)}
+        assert len(values) == 100
+
+    def test_stable_across_interpreters(self):
+        """The property PYTHONHASHSEED randomization would break with
+        ``hash()``: a fresh interpreter computes the same value."""
+        expected = stable_hash("cross-process")
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.fabric.hashing import stable_hash;"
+             "print(stable_hash('cross-process'))"],
+            capture_output=True, text=True, check=True,
+        )
+        assert int(out.stdout) == expected
+
+    def test_shard_of_range(self):
+        for i in range(50):
+            assert 0 <= shard_of(f"ch-{i}") < DEFAULT_NUM_SHARDS
+
+    def test_shard_of_rejects_bad_count(self):
+        with pytest.raises(FabricError):
+            shard_of("x", 0)
+
+
+def _ring(*members: str) -> HashRing:
+    ring = HashRing()
+    for member in members:
+        ring.add(member)
+    return ring
+
+
+class TestMembership:
+    def test_add_remove_contains(self):
+        ring = _ring("a", "b")
+        assert "a" in ring and "b" in ring and len(ring) == 2
+        ring.remove("a")
+        assert "a" not in ring and len(ring) == 1
+
+    def test_duplicate_add_rejected(self):
+        ring = _ring("a")
+        with pytest.raises(FabricError, match="already"):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(FabricError, match="not on the ring"):
+            _ring("a").remove("b")
+
+    def test_assign_requires_members(self):
+        with pytest.raises(FabricError, match="no workers"):
+            HashRing().assign(8)
+
+
+class TestAssignment:
+    def test_every_shard_assigned(self):
+        assignment = _ring("w1", "w2", "w3").assign(128)
+        assert sorted(assignment) == list(range(128))
+        assert set(assignment.values()) == {"w1", "w2", "w3"}
+
+    def test_balanced_within_cap(self):
+        for n in (1, 2, 3, 4, 8):
+            members = [f"w{i}" for i in range(n)]
+            assignment = _ring(*members).assign(128)
+            cap = -(-128 // n)
+            loads = [
+                sum(1 for owner in assignment.values() if owner == member)
+                for member in members
+            ]
+            assert max(loads) <= cap
+
+    def test_pure_function_of_membership(self):
+        """Any process holding the same member list computes the same
+        placement — insertion order must not matter."""
+        a = _ring("w1", "w2", "w3").assign(64)
+        b = _ring("w3", "w1", "w2").assign(64)
+        assert a == b
+
+    def test_join_moves_about_one_nth(self):
+        before = _ring("w1", "w2").assign(128)
+        after = _ring("w1", "w2", "w3").assign(128)
+        moved = sum(1 for s in range(128) if before[s] != after[s])
+        # Optimum is ceil(128/3) = 43; allow a little cap-walk slack.
+        assert moved <= 55
+
+    def test_leave_moves_only_the_leavers_shards(self):
+        before = _ring("w1", "w2", "w3").assign(128)
+        after = _ring("w1", "w2").assign(128)
+        moved = [s for s in range(128) if before[s] != after[s]]
+        lost = [s for s in range(128) if before[s] == "w3"]
+        # every lost shard moves, and little else
+        assert set(lost) <= set(moved)
+        assert len(moved) <= len(lost) + 12

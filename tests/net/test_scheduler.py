@@ -1,0 +1,111 @@
+"""Unit tests for the shared event-loop scheduler abstraction.
+
+The :class:`VirtualScheduler` is the timing heart of the simulated
+transport; these tests pin the ordering contract both transports rely
+on: strictly non-decreasing virtual time, FIFO tie-breaking at equal
+timestamps, and cancelled timers staying in the heap but never firing.
+"""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.scheduler import Timer, VirtualScheduler
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualScheduler().now == 0.0
+
+    def test_pop_advances_the_clock(self):
+        sched = VirtualScheduler()
+        sched.schedule(1.5, "a")
+        when, payload = sched.pop()
+        assert (when, payload) == (1.5, "a")
+        assert sched.now == 1.5
+
+    def test_clock_never_rewinds(self):
+        sched = VirtualScheduler()
+        sched.schedule(2.0, "late")
+        sched.pop()
+        # an event scheduled in the past pops at its recorded time but
+        # cannot pull the clock backwards
+        sched.schedule(1.0, "past")
+        when, payload = sched.pop()
+        assert payload == "past"
+        assert when == 1.0
+        assert sched.now == 2.0
+
+
+class TestOrdering:
+    def test_equal_timestamps_are_fifo(self):
+        sched = VirtualScheduler()
+        for label in ("first", "second", "third"):
+            sched.schedule(1.0, label)
+        assert [sched.pop()[1] for _ in range(3)] == [
+            "first", "second", "third"
+        ]
+
+    def test_peek_does_not_pop(self):
+        sched = VirtualScheduler()
+        sched.schedule(3.0, "x")
+        assert sched.peek_when() == 3.0
+        assert len(sched) == 1
+        assert sched.now == 0.0
+
+    def test_len_and_truthiness(self):
+        sched = VirtualScheduler()
+        assert not sched
+        sched.schedule(1.0, "x")
+        assert sched
+        assert len(sched) == 1
+        sched.pop()
+        assert not sched
+
+
+class TestTimers:
+    def test_call_later_relative_to_now(self):
+        sched = VirtualScheduler()
+        sched.schedule(5.0, "advance")
+        sched.pop()
+        fired = []
+        timer = sched.call_later(1.0, lambda: fired.append(True))
+        assert isinstance(timer, Timer)
+        assert timer.when == 6.0
+
+    def test_call_at_clamps_to_now(self):
+        sched = VirtualScheduler()
+        sched.schedule(5.0, "advance")
+        sched.pop()
+        timer = sched.call_at(1.0, lambda: None)
+        assert timer.when == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(TransportError, match="must be >= 0"):
+            VirtualScheduler().call_later(-0.1, lambda: None)
+
+    def test_cancelled_timer_stays_queued_but_marked(self):
+        sched = VirtualScheduler()
+        timer = sched.call_later(1.0, lambda: None)
+        timer.cancel()
+        assert timer.cancelled
+        # cancellation is lazy: the heap entry remains, the run loop is
+        # responsible for skipping it
+        assert len(sched) == 1
+        _when, payload = sched.pop()
+        assert payload is timer
+        assert payload.cancelled
+
+    def test_timers_interleave_with_messages(self):
+        sched = VirtualScheduler()
+        order = []
+        sched.schedule(1.0, "msg@1")
+        sched.call_at(0.5, lambda: order.append("timer@0.5"))
+        sched.schedule(2.0, "msg@2")
+        while sched:
+            _when, payload = sched.pop()
+            if isinstance(payload, Timer):
+                if not payload.cancelled:
+                    payload.callback()
+            else:
+                order.append(payload)
+        assert order == ["timer@0.5", "msg@1", "msg@2"]

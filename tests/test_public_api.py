@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.ecode",
     "repro.morph",
     "repro.echo",
+    "repro.fabric",
     "repro.net",
     "repro.xmlrep",
     "repro.b2b",
