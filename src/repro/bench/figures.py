@@ -9,6 +9,7 @@ paper-style tables.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -27,12 +28,16 @@ from repro.echo.protocol import (
     V1_TO_V0_TRANSFORM,
     V2_TO_V1_TRANSFORM,
 )
+from repro.errors import ReproError
 from repro.morph.receiver import MorphReceiver
+from repro.net.batch import pack_batch
 from repro.net.link import LinkSpec
 from repro.net.reliable import ReliableEndpoint
 from repro.net.transport import Network
 from repro.pbio.context import PBIOContext
 from repro.pbio.encode import native_size
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
 from repro.pbio.record import Record
 from repro.pbio.registry import FormatRegistry
 from repro.xmlrep.decode import record_from_tree
@@ -352,6 +357,120 @@ def fig_reliability(
 
 # ---------------------------------------------------------------------------
 # Table 1 — message sizes
+# ---------------------------------------------------------------------------
+# Wire-level batching: BATCH1 frames vs one datagram per message
+# ---------------------------------------------------------------------------
+
+
+#: The small, fixed-shape event the batching bench streams — batching
+#: pays off exactly when per-message framing/ack/dispatch overhead
+#: rivals the payload decode cost, i.e. for small events.
+_BATCH_EVENT = IOFormat(
+    "BatchBenchEvent",
+    [IOField("seq", "integer"), IOField("value", "integer")],
+)
+
+
+@dataclass(frozen=True)
+class BatchRow:
+    """One arm of the wire-level batching figure: the same pre-encoded
+    message stream pushed through a reliable endpoint pair, either one
+    datagram per message (``batch_size=1``) or packed into BATCH1 frames
+    of *batch_size* messages, decoded on the receiver by
+    :meth:`~repro.morph.receiver.MorphReceiver.process_batch`'s
+    zero-copy hot path."""
+
+    label: str
+    batch_size: int  # 1 = the unbatched arm
+    messages: int
+    frames: int  # reliable sends issued (== messages when unbatched)
+    wall: Measurement  # wall seconds for the whole stream, best/mean
+
+    @property
+    def per_message_seconds(self) -> float:
+        return self.wall.best / self.messages if self.messages else 0.0
+
+
+def _batching_arm(
+    batch_size: int, messages: int, rounds: int
+) -> BatchRow:
+    """Time one arm: fresh network + endpoints + receiver per round (the
+    reliable layer's sequence space and the route cache must not leak
+    across rounds), route warmed before the clock starts, framing cost
+    (``pack_batch``) *inside* the timed region — it is part of the
+    batched pipeline's sender-side work."""
+    registry = FormatRegistry()
+    ctx = PBIOContext(registry)
+    wires = [
+        ctx.encode(_BATCH_EVENT, {"seq": i, "value": i * 3})
+        for i in range(messages)
+    ]
+    expected = list(range(messages))
+    timings: List[float] = []
+    for _ in range(rounds):
+        net = Network(seed=29)
+        sender = ReliableEndpoint(net, "bench-src")
+        sink = ReliableEndpoint(net, "bench-dst")
+        receiver = MorphReceiver(registry=FormatRegistry())
+        got: List[int] = []
+        receiver.register_handler(
+            _BATCH_EVENT, lambda r, got=got: got.append(r["seq"])
+        )
+        if batch_size > 1:
+            sink.set_handler(
+                lambda _src, data, r=receiver: r.process_batch(data)
+            )
+        else:
+            sink.set_handler(lambda _src, data, r=receiver: r.process(data))
+        receiver.process(wires[0])  # plan + warm the route off the clock
+        got.clear()
+        start = time.perf_counter()
+        if batch_size > 1:
+            for i in range(0, messages, batch_size):
+                sender.send(
+                    "bench-dst", pack_batch(wires[i:i + batch_size])
+                )
+        else:
+            for wire in wires:
+                sender.send("bench-dst", wire)
+        net.run()
+        timings.append(time.perf_counter() - start)
+        if got != expected:
+            raise ReproError(
+                f"batching bench arm batch_size={batch_size} delivered "
+                f"{len(got)}/{messages} messages (or out of order)"
+            )
+    return BatchRow(
+        label="single" if batch_size == 1 else f"batch{batch_size}",
+        batch_size=batch_size,
+        messages=messages,
+        frames=math.ceil(messages / batch_size),
+        wall=Measurement(
+            best=min(timings),
+            mean=sum(timings) / len(timings),
+            rounds=rounds,
+            number=1,
+        ),
+    )
+
+
+def fig_batching(
+    messages: int = 4096,
+    batch_sizes: Tuple[int, ...] = (16, 64, 256),
+    rounds: int = 3,
+) -> List[BatchRow]:
+    """The wire-level batching figure: per-message cost of the same
+    event stream, unbatched vs BATCH1 frames of increasing size.  The
+    first row is always the unbatched arm — it anchors the
+    self-normalized ``batch_relative_cost`` the regression gate tracks
+    (both arms share one run's host regime, so machine-speed drift
+    cancels)."""
+    rows = [_batching_arm(1, messages, rounds)]
+    for size in batch_sizes:
+        rows.append(_batching_arm(size, messages, rounds))
+    return rows
+
+
 # ---------------------------------------------------------------------------
 
 

@@ -90,6 +90,40 @@ def zero_fill(data: bytes, rng: random.Random) -> bytes:
     return bytes(buf)
 
 
+def _framed(data: bytes, rng: random.Random) -> bytearray:
+    """Wrap *data* in a valid one-or-more-message BATCH1 frame so batch
+    mutations corrupt realistic frames rather than synthetic headers."""
+    from repro.net.batch import pack_batch
+
+    copies = rng.randint(1, 3)
+    return bytearray(pack_batch([data] * copies))
+
+
+def batch_splice(data: bytes, rng: random.Random) -> bytes:
+    """Corrupt a random byte *inside* a BATCH1 frame — the header, a
+    length prefix, or a contained message."""
+    buf = _framed(data, rng)
+    pos = rng.randrange(len(buf))
+    buf[pos] ^= 1 << rng.randrange(8)
+    return bytes(buf)
+
+
+def batch_count_lie(data: bytes, rng: random.Random) -> bytes:
+    """Rewrite the frame's message count to exceed the payload (the
+    over-allocation probe for the batch header)."""
+    buf = _framed(data, rng)
+    lied = rng.choice([len(buf), 2**16, 2**31 - 1, 2**32 - 1])
+    struct.pack_into(">I", buf, 8, lied & 0xFFFFFFFF)
+    return bytes(buf)
+
+
+def batch_truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut a BATCH1 frame short — mid-message, mid-length-prefix, or
+    mid-header."""
+    buf = _framed(data, rng)
+    return bytes(buf[: rng.randrange(len(buf))])
+
+
 #: Registry of named mutations, applied round-robin-ish by the runner.
 MUTATIONS: Dict[str, Mutation] = {
     "bit_flip": bit_flip,
@@ -100,6 +134,9 @@ MUTATIONS: Dict[str, Mutation] = {
     "endian_flag_lie": endian_flag_lie,
     "payload_length_field_lie": payload_length_field_lie,
     "zero_fill": zero_fill,
+    "batch_splice": batch_splice,
+    "batch_count_lie": batch_count_lie,
+    "batch_truncate": batch_truncate,
 }
 
 

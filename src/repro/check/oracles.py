@@ -184,6 +184,40 @@ def check_wire_hostility(
                 expectation="decoders_agree",
             ),
         ))
+    findings.extend(_check_batch_hostility(fmt, wire, mutation))
+    return findings
+
+
+def _check_batch_hostility(fmt, wire: bytes, mutation: str) -> List[Finding]:
+    """Batch-frame half of the hostility contract: a buffer that leads
+    with the BATCH1 magic must either unpack cleanly or raise a
+    :class:`~repro.errors.ReproError` — and every message an accepted
+    frame contains must itself survive both decode paths."""
+    from repro.net.batch import is_batch, unpack_batch
+
+    if not is_batch(wire):
+        return []
+    findings: List[Finding] = []
+    kind, val = _outcome(lambda: unpack_batch(wire))
+    if kind == "dirty":
+        findings.append(Finding(
+            oracle="mutation",
+            detail=(
+                f"batch unpack of {mutation}-mutated frame leaked "
+                f"{type(val).__name__}: {val!r}"
+            ),
+            entry=entry_for_wire(
+                "mutation", f"batch unpack leaked {type(val).__name__}",
+                wire, fmt_dict=format_to_dict(fmt), mutation=mutation,
+            ),
+        ))
+    elif kind == "ok":
+        view = memoryview(wire)
+        for off, length in val.segments:
+            findings.extend(check_wire_hostility(
+                fmt, bytes(view[off:off + length]),
+                mutation=f"{mutation}/batch-inner",
+            ))
     return findings
 
 
@@ -729,4 +763,155 @@ def check_reliability(
     return check_reliability_failover(
         net_seed, loss_rate, jitter, messages,
         crash_primary=rng.random() < 0.7, transport=transport,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Oracle 7: wire-level batching parity
+# ---------------------------------------------------------------------------
+
+
+def check_batching_parity(
+    net_seed: int, loss_rate: float, jitter: float, messages: int,
+    batch_size: int, transport: str = "sim",
+) -> List[Finding]:
+    """Batched vs one-at-a-time differential: two identical reliable
+    ECho deployments (V2 writer, V1 and V0 sinks) publish the same event
+    stream over an equally faulty fabric — one via :meth:`submit`, one
+    via :meth:`submit_batch` in *batch_size* chunks.  Both arms must
+    deliver every event exactly once **in order**, their receiver stats
+    and push counters must agree, every endpoint must reconcile, and in
+    the batched arm every frame-level trace must flow unbroken into the
+    deliveries it covers."""
+    from repro.echo.process import EChoProcess
+    from repro.obs.tracing import find_spans
+
+    findings: List[Finding] = []
+    base_entry = {
+        "kind": "batching", "scenario": "parity", "net_seed": net_seed,
+        "loss_rate": loss_rate, "jitter": jitter, "messages": messages,
+        "batch_size": batch_size, "transport": transport,
+        "expectation": "batched_matches_single",
+    }
+
+    def flag(detail: str) -> None:
+        entry = dict(base_entry)
+        entry["detail"] = detail
+        findings.append(Finding(oracle="batching", detail=detail,
+                                entry=entry))
+
+    def run_arm(batched: bool):
+        """Stand up one deployment and push the stream; returns
+        ``(source, sinks, got-lists, span-tree, network)``."""
+        prior = (obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer)
+        obs.enable(registry=Registry())
+        net = make_network(transport, net_seed, loss_rate, jitter)
+        try:
+            registry = FormatRegistry()
+            registry.register_transform(_EVT_V2_TO_V1)
+            registry.register_transform(_EVT_V1_TO_V0)
+            creator = EChoProcess(net, "creator", registry, version="2.0",
+                                  reliable=True)
+            source = EChoProcess(net, "source", registry, version="2.0",
+                                 reliable=True)
+            sink1 = EChoProcess(net, "sink1", registry, version="1.0",
+                                reliable=True)
+            sink0 = EChoProcess(net, "sink0", registry, version="0.0",
+                                reliable=True)
+            creator.create_channel("ch")
+            source.open_channel("ch", "creator", as_source=True)
+            sink1.open_channel("ch", "creator", as_sink=True)
+            sink0.open_channel("ch", "creator", as_sink=True)
+            net.run()
+
+            got1: List[int] = []
+            got0: List[int] = []
+            sink1.subscribe("ch", _EVT_V1, lambda r: got1.append(r["n"]))
+            sink0.subscribe("ch", _EVT_V0, lambda r: got0.append(r["n"]))
+            stream = [
+                _EVT_V2.make_record(n=n, extra=2 * n, flag=1)
+                for n in range(messages)
+            ]
+            if batched:
+                for start in range(0, messages, batch_size):
+                    source.submit_batch(
+                        "ch", _EVT_V2, stream[start:start + batch_size]
+                    )
+            else:
+                for rec in stream:
+                    source.submit("ch", _EVT_V2, rec)
+            net.run()
+            tree = obs.get_tracer().tree()
+        finally:
+            obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer = prior
+        return (creator, source, sink1, sink0), (got1, got0), tree, net
+
+    single_procs, single_got, _tree, single_net = run_arm(batched=False)
+    batch_procs, batch_got, batch_tree, batch_net = run_arm(batched=True)
+
+    expected = list(range(messages))
+    for arm, (got1, got0) in (("single", single_got), ("batched", batch_got)):
+        for name, got in ((f"{arm}/sink1", got1), (f"{arm}/sink0", got0)):
+            _assert_exactly_once(flag, name, got, messages)
+            if sorted(got) == expected and got != expected:
+                flag(f"{name} delivered out of order: {got[:8]}...")
+    for (sg, bg), sink in zip(zip(single_got, batch_got), ("sink1", "sink0")):
+        if sg != bg:
+            flag(f"{sink} arms diverge: single={sg[:8]} batched={bg[:8]}")
+
+    for arm, procs in (("single", single_procs), ("batched", batch_procs)):
+        for proc in procs:
+            _reconcile_endpoint(
+                lambda d: flag(f"{arm}: {d}"), proc  # noqa: B023
+            )
+    single_source, batch_source = single_procs[1], batch_procs[1]
+    for sink_name in ("sink1", "sink0"):
+        idx = 2 if sink_name == "sink1" else 3
+        s_stats = single_procs[idx].event_receiver("ch").stats
+        b_stats = batch_procs[idx].event_receiver("ch").stats
+        if s_stats.messages != b_stats.messages:
+            flag(f"{sink_name} receiver stats diverge: "
+                 f"single={s_stats.messages} batched={b_stats.messages}")
+
+    # Trace continuity: each batched delivery must ride its frame's
+    # trace — every batch-receive span carries a trace id minted by some
+    # publish_batch span.
+    publishes = find_spans(batch_tree, "echo.publish_batch")
+    receives = find_spans(batch_tree, "echo.batch.receive")
+    pub_tids = {s.get("trace_id") for s in publishes}
+    if not publishes:
+        flag("batched arm recorded no echo.publish_batch spans")
+    for span in receives:
+        tid = span.get("trace_id")
+        if tid is None:
+            flag("a batch-receive span lost its frame trace context")
+            break
+        if tid not in pub_tids:
+            flag("a batch-receive span carries a trace id no "
+                 "publish_batch span minted")
+            break
+
+    for arm, net in (("single", single_net), ("batched", batch_net)):
+        if net.pending:
+            flag(f"{arm} network did not quiesce: {net.pending} queued")
+        if net.handler_errors:
+            flag(f"{arm}: {net.handler_errors} handler exceptions were "
+                 f"contained during a healthy-path run")
+        closer = getattr(net, "close", None)
+        if closer is not None:
+            closer()
+    return findings
+
+
+def check_batching(
+    rng: random.Random, messages: int = 8, transport: str = "sim"
+) -> List[Finding]:
+    """One randomized batching-parity case over a faulty fabric."""
+    loss_rate = rng.choice([0.0, 0.05, 0.1])
+    jitter = rng.choice([0.0, 0.005, 0.01])
+    batch_size = rng.choice([2, 3, 4, 8])
+    net_seed = rng.randrange(2**31)
+    return check_batching_parity(
+        net_seed, loss_rate, jitter, messages, batch_size,
+        transport=transport,
     )

@@ -2,8 +2,9 @@
 
 A *budget* is a case count, split across the oracles roughly by where
 historical bugs hide: round-trip differentials and hostile-buffer
-mutations get the bulk; ECode differentials, fusion/morph scenarios and
-whole-deployment reliability chaos share the rest.  Every case is
+mutations get the bulk; ECode differentials, fusion/morph scenarios,
+whole-deployment reliability chaos and batched-vs-single parity share
+the rest.  Every case is
 reproducible from ``(seed, oracle, index)`` alone, and ``only`` focuses
 the entire budget on one oracle (the CI chaos smoke runs
 ``only="reliability"``).
@@ -23,12 +24,13 @@ from repro.pbio.serialization import format_from_dict
 
 #: Fraction of the budget each oracle consumes.
 BUDGET_SPLIT = {
-    "roundtrip": 0.30,
-    "mutation": 0.28,
-    "ecode": 0.12,
+    "roundtrip": 0.28,
+    "mutation": 0.26,
+    "ecode": 0.10,
     "fusion": 0.10,
-    "morph": 0.10,
+    "morph": 0.08,
     "reliability": 0.10,
+    "batching": 0.08,
 }
 
 #: Each morph case already simulates several messages over the network;
@@ -43,6 +45,10 @@ _FUSION_CASE_WEIGHT = 5
 #: servers, three or four ECho processes on reliable endpoints) and runs
 #: membership plus an event stream through a faulty fabric.
 _RELIABILITY_CASE_WEIGHT = 25
+
+#: Each batching case runs TWO full reliable deployments (the single-
+#: submit arm and the batched arm) over the same faulty fabric.
+_BATCHING_CASE_WEIGHT = 40
 
 
 class CheckRunner:
@@ -128,6 +134,10 @@ class CheckRunner:
             max(1, plan["reliability"] // _RELIABILITY_CASE_WEIGHT)
             if plan["reliability"] else 0
         )
+        plan["batching"] = (
+            max(1, plan["batching"] // _BATCHING_CASE_WEIGHT)
+            if plan["batching"] else 0
+        )
 
         for index in range(plan["roundtrip"]):
             self.cases["roundtrip"] += 1
@@ -151,6 +161,14 @@ class CheckRunner:
             self._record(
                 oracles.check_reliability(
                     self._rng("reliability", index),
+                    transport=self.transport,
+                )
+            )
+        for index in range(plan["batching"]):
+            self.cases["batching"] += 1
+            self._record(
+                oracles.check_batching(
+                    self._rng("batching", index),
                     transport=self.transport,
                 )
             )
@@ -209,7 +227,19 @@ def replay_entry(entry: Dict[str, Any]) -> List[Finding]:
         return _replay_fusion(entry)
     if kind == "reliability":
         return _replay_reliability(entry)
+    if kind == "batching":
+        return _replay_batching(entry)
     raise ReproError(f"cannot replay corpus entry of kind {kind!r}")
+
+
+def _replay_batching(entry: Dict[str, Any]) -> List[Finding]:
+    """Batching parity cases are fully determined by their scenario
+    parameters, like reliability cases: replay re-runs both arms."""
+    return oracles.check_batching_parity(
+        entry["net_seed"], entry["loss_rate"], entry["jitter"],
+        entry["messages"], entry["batch_size"],
+        transport=entry.get("transport", "sim"),
+    )
 
 
 def _replay_reliability(entry: Dict[str, Any]) -> List[Finding]:

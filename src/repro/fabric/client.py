@@ -21,6 +21,7 @@ from repro.fabric.protocol import (
     register_fabric_protocol,
 )
 from repro.fabric.worker import SeqLedger
+from repro.net.batch import is_batch, pack_batch, unpack_batch
 from repro.net.reliable import ReliableEndpoint
 from repro.obs import OBS
 from repro.obs.tracectx import TraceContext, activate, make_context
@@ -159,6 +160,54 @@ class FabricClient:
             ).inc()
         return seq
 
+    def publish_batch(
+        self, channel_id: str, fmt: IOFormat, records: List[Record]
+    ) -> List[int]:
+        """Publish *records* as one BATCH1 frame to the channel's owner:
+        one transport send and one reliable sequence number for the whole
+        group.  Each event keeps its own ``FABRIC_PUBLISH`` envelope and
+        publish sequence number, so the owner's exactly-once ledger and
+        any reroute/handoff races stay per-message.
+
+        Returns the publish sequence numbers used, in order."""
+        if not records:
+            return []
+        owner, epoch = self._route(channel_id)
+        ctx: Optional[TraceContext] = None
+        if OBS.enabled:
+            ctx = make_context()
+        seqs: List[int] = []
+        datagrams: List[bytes] = []
+        for record in records:
+            seq = self._next_seq.get(channel_id, 0) + 1
+            self._next_seq[channel_id] = seq
+            seqs.append(seq)
+            envelope = FABRIC_PUBLISH.make_record(
+                channel_id=channel_id,
+                publisher=self.address,
+                seq=seq,
+                epoch=epoch,
+            )
+            datagrams.append(
+                self.pbio.encode(FABRIC_PUBLISH, envelope)
+                + self.pbio.encode(fmt, record)
+            )
+        frame = pack_batch(datagrams, ctx)
+        with activate(ctx), OBS.tracer.span(
+            "fabric.publish_batch",
+            channel=channel_id,
+            publisher=self.address,
+            format=fmt.name,
+            count=len(records),
+        ):
+            self._send(owner, frame)
+        self.published += len(records)
+        if OBS.enabled:
+            OBS.metrics.bounded_counter(
+                "fabric.published", channel=channel_id
+            ).inc(len(records))
+        return seqs
+
     def subscribe(
         self, channel_id: str, fmt: IOFormat, handler: EventHandler
     ) -> None:
@@ -185,6 +234,17 @@ class FabricClient:
     # ------------------------------------------------------------------
 
     def _on_message(self, source: str, data: bytes) -> None:
+        if is_batch(data):
+            try:
+                frame = unpack_batch(data)
+            except Exception:  # noqa: BLE001 - malformed frame from a peer
+                self.errors += 1
+                return
+            view = data if isinstance(data, memoryview) else memoryview(data)
+            with activate(frame.trace):
+                for off, length in frame.segments:
+                    self._on_message(source, view[off:off + length])
+            return
         header = unpack_header(data)
         fmt = self.registry.lookup_id(header.format_id)
         if fmt is None:

@@ -45,9 +45,10 @@ from repro.fabric.protocol import (
     register_fabric_protocol,
 )
 from repro.morph.receiver import MorphReceiver
+from repro.net.batch import is_batch, unpack_batch
 from repro.net.reliable import ReliableEndpoint
 from repro.obs import OBS
-from repro.obs.tracectx import activate
+from repro.obs.tracectx import activate, current
 from repro.pbio.buffer import attach_trace, peek_trace, unpack_header
 from repro.pbio.context import PBIOContext
 from repro.pbio.format import IOFormat
@@ -301,6 +302,9 @@ class FabricWorker:
         self.resolver.refresh(format_id, _done)
 
     def _on_message(self, source: str, data: bytes) -> None:
+        if is_batch(data):
+            self._on_batch(source, data)
+            return
         header = unpack_header(data)
         fmt = self.registry.lookup_id(header.format_id)
         if fmt is None:
@@ -324,6 +328,23 @@ class FabricWorker:
             self.handoffs_acked += 1
         else:
             self.errors += 1
+
+    def _on_batch(self, source: str, data: bytes) -> None:
+        """Decompose one BATCH1 frame element-by-element through the
+        normal dispatch: each contained message carries its own envelope
+        and sequence number, so ledger admission, reroute/forwarding and
+        the pending buffer all keep their per-message exactly-once
+        semantics — a frame that races a handoff can have some elements
+        delivered here and the rest forwarded or buffered individually."""
+        try:
+            frame = unpack_batch(data)
+        except Exception:  # noqa: BLE001 - malformed frame from a peer
+            self.errors += 1
+            return
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        with activate(frame.trace):
+            for off, length in frame.segments:
+                self._on_message(source, view[off:off + length])
 
     def _reroute(
         self, shard: int, source: str, data: bytes, reply_to: str, channel_id: str
@@ -415,7 +436,9 @@ class FabricWorker:
         receiver; the group handler re-encodes and pushes."""
         if not channel.groups:
             return
-        ctx = peek_trace(payload)
+        # Batch-inner messages carry no per-message trace block — the
+        # frame-level context activated by _on_batch covers them.
+        ctx = peek_trace(payload) or current()
         self._delivering = (channel.channel_id, publisher, seq, payload)
         try:
             with activate(ctx), OBS.tracer.span(
@@ -452,8 +475,10 @@ class FabricWorker:
         envelope_wire = self.pbio.encode(FABRIC_DELIVER, envelope)
         # Re-attach the original publish's trace block so the delivery
         # hop joins the same trace even though the payload was
-        # re-encoded in the subscriber's format.
-        ctx = peek_trace(original)
+        # re-encoded in the subscriber's format.  Batch-published events
+        # have no per-message block; their frame-level context is the
+        # active one.
+        ctx = peek_trace(original) or current()
         if ctx is not None:
             out_payload = attach_trace(out_payload, ctx)
             envelope_wire = attach_trace(envelope_wire, ctx)

@@ -98,16 +98,22 @@ class FusedRoute:
         self.label = label
         self._steps = steps
         self._walker_coercion = walker_coercion
-        self._fns: Dict[str, Optional[Callable[[bytes, int, int], Record]]] = {}
+        self._fns: Dict[
+            str, Optional[Callable[[bytes, int, int], Tuple[Record, int]]]
+        ] = {}
         self._sources: Dict[str, str] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
-    def fn_for(self, order: str) -> Optional[Callable[[bytes, int, int], Record]]:
+    def fn_for(
+        self, order: str
+    ) -> Optional[Callable[[bytes, int, int], Tuple[Record, int]]]:
         """The fused routine for payloads in *order* (``"<"``/``">"``),
         compiling it on first use; ``None`` when compilation failed and
-        the staged path must run instead."""
+        the staged path must run instead.  The routine returns
+        ``(record, consumed_offset)`` — the offset lets batch receivers
+        walk successive records through one shared buffer."""
         try:
             return self._fns[order]
         except KeyError:
@@ -124,7 +130,9 @@ class FusedRoute:
 
     # ------------------------------------------------------------------
 
-    def _compile(self, order: str) -> Optional[Callable[[bytes, int, int], Record]]:
+    def _compile(
+        self, order: str
+    ) -> Optional[Callable[[bytes, int, int], Tuple[Record, int]]]:
         from repro.obs import OBS
 
         start = time.perf_counter()
@@ -232,7 +240,9 @@ class FusedRoute:
         if self._walker_coercion is not None:
             result = self._emit_walker(em, namespace, result)
 
-        em.emit(f"return {result}")
+        # consumed length rides along so batch receivers decoding
+        # successive records from one shared buffer can advance a cursor
+        em.emit(f"return {result}, off")
         return em.source(), namespace
 
     def _emit_steps(

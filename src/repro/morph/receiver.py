@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
@@ -61,6 +61,7 @@ from repro.pbio.buffer import (
     peek_trace,
     unpack_header,
 )
+from repro.pbio.codegen import make_checked_payload_decoder
 from repro.pbio.context import PBIOContext
 from repro.pbio.format import IOFormat
 from repro.pbio.record import Record
@@ -196,6 +197,13 @@ class _Route:
     #: whole-route fusion plan (decode + chain + reconcile compiled into
     #: one function); None keeps the route on the staged pipeline
     fused: Optional[FusedRoute] = None
+    #: per-byte-order checked payload decoders for the batch hot path —
+    #: identity routes are never fused (there is nothing to fuse), so the
+    #: batch loop decodes them straight from the parsed header instead of
+    #: re-entering the per-message pipeline
+    payload_decoders: Dict[str, Callable[[bytes, int, int], Tuple[Record, int]]] = field(
+        default_factory=dict
+    )
 
     @property
     def is_reject(self) -> bool:
@@ -368,6 +376,136 @@ class MorphReceiver:
         with activate(peek_trace(data)), OBS.tracer.span("morph.process"):
             return self._process(data)
 
+    def process_batch(self, data: bytes) -> List[Any]:
+        """Process one BATCH1 frame (:mod:`repro.net.batch`): validate
+        the frame once, activate its frame-level trace context once, then
+        run every contained message through :meth:`process` as a
+        zero-copy ``memoryview`` slice of the shared receive buffer.
+
+        Containment is per *message*: with ``contain_failures`` set, a
+        poisoned message dead-letters alone (its raw bytes are copied out
+        of the shared buffer) and the rest of the batch still delivers.
+        A malformed *frame* dead-letters whole — there is no trustworthy
+        way to split it.  Without containment the first failure raises,
+        exactly like :meth:`process`.
+
+        Returns the per-message handler results, in wire order."""
+        from repro.net.batch import unpack_batch
+
+        try:
+            frame = unpack_batch(data)
+        except Exception as exc:  # noqa: BLE001 - malformed frame
+            if self.contain_failures:
+                self._dead_letter(data, None, "decode", exc)
+                return []
+            raise
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        # one trace splice per frame: activate(None) is a passthrough, so
+        # the frame context survives each message's own (trace-less)
+        # activate in process()
+        if not self.contain_failures and not OBS.enabled:
+            with activate(frame.trace):
+                return self._process_batch_fast(view, frame.segments)
+        results: List[Any] = []
+        with activate(frame.trace):
+            for off, length in frame.segments:
+                results.append(self.process(view[off:off + length]))
+        return results
+
+    def _process_batch_fast(
+        self, view: memoryview, segments: Tuple[Tuple[int, int], ...]
+    ) -> List[Any]:
+        """The zero-copy decode hot path: successive records are decoded
+        straight out of the shared frame buffer through each format's
+        cached fused routine — or, for routes with nothing to fuse
+        (identity traffic), a cached checked payload decoder driven by
+        the already-parsed header — with the per-message wrapper work
+        (route lookup, stat increments) hoisted out of the loop.  Counter
+        totals stay identical to running :meth:`process` per message —
+        the batching differential oracle depends on that.  Segments whose
+        route is cold or rejecting, or interpretive-decode receivers
+        (``use_codegen=False``), fall back to the normal per-message
+        pipeline."""
+        results: List[Any] = []
+        routes = self._routes
+        handlers = self._handlers
+        stats = self.stats
+        use_codegen = self.use_codegen
+        fast = morphed = reconciled = perfect = 0
+        last_id = -1
+        route: Optional[_Route] = None
+        try:
+            for off, length in segments:
+                seg = view[off:off + length]
+                try:
+                    header = unpack_header(seg)
+                except Exception:
+                    # _process counts a message before parsing its header
+                    stats.inc("messages")
+                    raise
+                if header.format_id != last_id:
+                    last_id = header.format_id
+                    route = routes.get(last_id)
+                if route is None or route.is_reject:
+                    results.append(self._process(seg))
+                    continue
+                order = ">" if header.flags & FLAG_BIG_ENDIAN else "<"
+                fused = route.fused
+                fn = fused.fn_for(order) if fused is not None else None
+                if fn is None and not use_codegen:
+                    results.append(self._process(seg))
+                    continue
+                # committed to the fast path: messages/cache_hits count
+                # even if decode fails, exactly like _process
+                fast += 1
+                body = header.body_offset
+                end = body + header.payload_length
+                if fn is not None:
+                    try:
+                        record, _consumed = fn(seg, body, end)
+                    except TransformError as exc:
+                        # mirror _run_fused: a chain that completed before
+                        # a failing reconcile still counts as morphed
+                        if (
+                            getattr(exc, "fused_stage", None) == "coercion"
+                            and route.chain is not None
+                        ):
+                            morphed += 1
+                        raise
+                    if route.chain is not None:
+                        morphed += 1
+                else:
+                    dec = route.payload_decoders.get(order)
+                    if dec is None:
+                        dec = make_checked_payload_decoder(
+                            route.wire_format, order
+                        )
+                        route.payload_decoders[order] = dec
+                    record, _consumed = dec(seg, body, end)
+                    if route.chain is not None:
+                        record = route.chain.apply(record)
+                        morphed += 1
+                    if route.coercion is not None:
+                        record = self._reconcile(route, record)
+                if route.coercion is not None:
+                    reconciled += 1
+                else:
+                    perfect += 1
+                results.append(
+                    self._invoke(handlers[route.handler_format.format_id], record)
+                )
+        finally:
+            if fast:
+                stats.inc("messages", fast)
+                stats.inc("cache_hits", fast)
+                if morphed:
+                    stats.inc("morphed", morphed)
+                if reconciled:
+                    stats.inc("reconciled", reconciled)
+                if perfect:
+                    stats.inc("perfect_matches", perfect)
+        return results
+
     def _process_contained(self, data: bytes) -> Any:
         """Total-function variant of :meth:`process`: classify failures
         by pipeline stage, dead-letter the message, quarantine repeat
@@ -423,7 +561,10 @@ class MorphReceiver:
                     OBS.metrics.counter("morph.receiver.dlq_evicted").inc()
             self._dead_letters.append(
                 DeadLetter(
-                    data=data,
+                    # copy: batch receivers hand memoryview slices into a
+                    # shared receive buffer; a dead letter must own its
+                    # bytes so retry_dead_letters outlives the buffer
+                    data=bytes(data),
                     format_id=format_id,
                     stage=stage,
                     error=f"{type(exc).__name__}: {exc}",
@@ -727,7 +868,7 @@ class MorphReceiver:
     def _run_fused(
         self,
         route: _Route,
-        fn: Callable[[bytes, int, int], Record],
+        fn: Callable[[bytes, int, int], Tuple[Record, int]],
         data: bytes,
         header: Any,
     ) -> Any:
@@ -748,11 +889,11 @@ class MorphReceiver:
                     version=route.wire_format.version,
                 ):
                     start = time.perf_counter()
-                    record = fn(data, body, end)
+                    record, _consumed = fn(data, body, end)
                     elapsed = time.perf_counter() - start
                 OBS.metrics.histogram("morph.fused.seconds").observe(elapsed)
             else:
-                record = fn(data, body, end)
+                record, _consumed = fn(data, body, end)
         except TransformError as exc:
             if (
                 getattr(exc, "fused_stage", None) == "coercion"

@@ -63,6 +63,18 @@ _SKIPPED = object()
 MessageHandler = Callable[[str, bytes], None]
 
 
+def _peek_any_trace(payload: bytes):
+    """Best-effort trace sniff of a reliable payload: a bare PBIO
+    message or a BATCH1 frame (one block per frame)."""
+    from repro.net.batch import peek_batch_trace  # late: module init order
+    from repro.pbio.buffer import peek_trace  # late: layering
+
+    ctx = peek_batch_trace(payload)
+    if ctx is not None:
+        return ctx
+    return peek_trace(payload)
+
+
 class CircuitBreaker:
     """Per-peer failure detector with the classic three states.
 
@@ -312,6 +324,11 @@ class ReliableEndpoint:
         When the destination's circuit is open the ticket is finished as
         ``rejected`` immediately (fail fast — the caller decides whether
         to queue, fail over, or drop)."""
+        if not isinstance(payload, bytes):
+            # normalize memoryview/bytearray payloads (e.g. a batch-frame
+            # slice forwarded raw by the fabric) so framing can prepend
+            # the RLP1 header and retransmits own their bytes
+            payload = bytes(payload)
         breaker = self.breaker(destination)
         if not breaker.allow(self.network.now):
             # Rejected before a sequence number is consumed: admitted
@@ -344,14 +361,13 @@ class ReliableEndpoint:
         if OBS.enabled:
             # A traced payload makes every (re)transmission a span of its
             # trace, so the flight recorder can show loss recovery and
-            # backoff as part of the message's journey.
-            from repro.pbio.buffer import peek_trace  # late: layering
-
+            # backoff as part of the message's journey.  A BATCH1 payload
+            # carries one frame-level block covering all its messages.
             name = (
                 "net.reliable.send" if ticket.attempts == 1
                 else "net.reliable.retransmit"
             )
-            with activate(peek_trace(ticket.payload)), OBS.tracer.span(
+            with activate(_peek_any_trace(ticket.payload)), OBS.tracer.span(
                 name,
                 peer=ticket.destination,
                 process=self.address,
@@ -399,7 +415,7 @@ class ReliableEndpoint:
     # ------------------------------------------------------------------
 
     def _on_raw(self, source: str, data: bytes) -> None:
-        if len(data) < HEADER_SIZE or not data.startswith(MAGIC):
+        if len(data) < HEADER_SIZE or bytes(data[:4]) != MAGIC:
             # raw traffic sharing the node: hand through untouched
             self.passthrough += 1
             if self._handler is not None:
@@ -460,9 +476,7 @@ class ReliableEndpoint:
                     # _expected each iteration keeps the drain
                     # consistent under that.
                     if OBS.enabled:
-                        from repro.pbio.buffer import peek_trace  # layering
-
-                        with activate(peek_trace(payload)), OBS.tracer.span(
+                        with activate(_peek_any_trace(payload)), OBS.tracer.span(
                             "net.reliable.deliver",
                             peer=source,
                             process=self.address,

@@ -36,12 +36,18 @@ _RELIABLE_HEADER_SIZE = 13
 
 def _sniff_trace(data: bytes):
     """Best-effort trace-context sniff for a raw frame: a bare PBIO
-    message, or one wrapped in a reliable-layer data frame."""
+    message, a BATCH1 frame (whose trace block covers every contained
+    message), or either wrapped in a reliable-layer data frame."""
+    from repro.net.batch import peek_batch_trace  # late: avoid init cycle
     from repro.pbio.buffer import peek_trace  # late: keep net below pbio
 
-    if data[:4] == _RELIABLE_MAGIC:
-        return peek_trace(data, _RELIABLE_HEADER_SIZE)
-    return peek_trace(data)
+    offset = 0
+    if bytes(data[:4]) == _RELIABLE_MAGIC:
+        offset = _RELIABLE_HEADER_SIZE
+    ctx = peek_batch_trace(data, offset)
+    if ctx is not None:
+        return ctx
+    return peek_trace(data, offset)
 
 
 @dataclass(frozen=True)

@@ -123,6 +123,21 @@ class TestFigureFunctions:
         # the interpreted arm pays for everything codegen removes
         assert row.interpreted.best > row.fused.best
 
+    def test_batching_rows_have_shape(self):
+        from repro.bench.figures import fig_batching
+
+        rows = fig_batching(messages=64, batch_sizes=(8, 32), rounds=1)
+        assert [r.label for r in rows] == ["single", "batch8", "batch32"]
+        single, b8, b32 = rows
+        assert single.batch_size == 1 and single.frames == 64
+        assert b8.frames == 8 and b32.frames == 2
+        for row in rows:
+            assert row.messages == 64
+            assert row.per_message_seconds > 0
+        # an arm that loses or reorders messages raises inside the
+        # figure function; reaching here means every arm delivered all
+        # 64 events in order
+
 
 class TestRegressionGate:
     def _payload(self, seconds):

@@ -1,0 +1,84 @@
+"""The batching differential oracle: batched vs one-at-a-time arms of
+the same deployment must agree on records, order, receiver stats and
+trace continuity — over the lossy sim fabric and the real socket
+transport — plus corpus replay and the BATCH1 mutation-table entries.
+"""
+
+import random
+
+from repro.check.mutate import MUTATIONS, batch_count_lie, batch_truncate
+from repro.check.oracles import check_batching, check_batching_parity
+from repro.check.runner import BUDGET_SPLIT, replay_entry, run_check
+from repro.net.batch import BATCH_HEADER_SIZE, is_batch
+
+
+class TestParityScenarios:
+    def test_parity_is_clean_on_known_good_seeds_over_sim(self):
+        for net_seed in (0, 1, 2):
+            findings = check_batching_parity(
+                net_seed, loss_rate=0.05, jitter=0.005,
+                messages=8, batch_size=3, transport="sim",
+            )
+            assert findings == [], [f.detail for f in findings]
+
+    def test_parity_is_clean_over_the_socket_transport(self):
+        findings = check_batching_parity(
+            0, loss_rate=0.0, jitter=0.0, messages=6, batch_size=2,
+            transport="socket",
+        )
+        assert findings == [], [f.detail for f in findings]
+
+    def test_parity_is_clean_on_a_lossless_fabric(self):
+        findings = check_batching_parity(
+            3, loss_rate=0.0, jitter=0.0, messages=8, batch_size=4,
+        )
+        assert findings == [], [f.detail for f in findings]
+
+
+class TestHarnessIntegration:
+    def test_batching_has_a_budget_share(self):
+        assert "batching" in BUDGET_SPLIT
+
+    def test_focus_mode_spends_the_whole_budget_on_batching(self):
+        summary = run_check(seed=0, budget=80, only="batching")
+        assert summary["ok"], summary["findings"]
+        assert summary["cases"]["batching"] > 0
+        for oracle, count in summary["cases"].items():
+            if oracle != "batching":
+                assert count == 0
+
+    def test_oracle_entry_point_is_seed_deterministic(self):
+        findings = check_batching(random.Random("smoke:0"))
+        assert findings == [], [f.detail for f in findings]
+
+    def test_replay_reruns_a_parity_scenario_from_its_params(self):
+        entry = {
+            "kind": "batching", "scenario": "parity", "net_seed": 1,
+            "loss_rate": 0.05, "jitter": 0.0, "messages": 6,
+            "batch_size": 2, "expectation": "parity",
+        }
+        assert replay_entry(entry) == []
+
+
+class TestBatchMutations:
+    def test_batch_mutators_are_registered(self):
+        for name in ("batch_splice", "batch_count_lie", "batch_truncate"):
+            assert name in MUTATIONS
+
+    def test_batch_count_lie_produces_a_batch_frame_with_a_lying_count(self):
+        rng = random.Random(0)
+        out = batch_count_lie(b"some-wire-message-bytes", rng)
+        assert is_batch(out)
+        count = int.from_bytes(out[8:12], "big")
+        assert count * 4 > len(out) - BATCH_HEADER_SIZE
+
+    def test_batch_truncate_produces_short_frames(self):
+        rng = random.Random(1)
+        wire = b"a-valid-message" * 3
+        for _ in range(20):
+            assert len(batch_truncate(wire, rng)) < len(wire) * 2 + 64
+
+    def test_mutation_oracle_survives_the_batch_mutators(self):
+        summary = run_check(seed=7, budget=120, only="mutation")
+        assert summary["ok"], summary["findings"]
+        assert summary["mutations_applied"] > 0
