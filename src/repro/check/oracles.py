@@ -915,3 +915,299 @@ def check_batching(
         net_seed, loss_rate, jitter, messages, batch_size,
         transport=transport,
     )
+
+
+# ---------------------------------------------------------------------------
+# Oracle 8: projection push-down parity
+# ---------------------------------------------------------------------------
+
+
+def _check_projection_wires(rng: random.Random, rounds: int = 3) -> List[Finding]:
+    """Local projection invariants plus hostile projected wires.
+
+    A derived :class:`~repro.pbio.projection.ProjectionFormat` must
+    behave exactly like a root format on every decode surface: its
+    generic and specialized encoders must agree byte-for-byte, decoding
+    a projected wire must equal the explicit project-then-compare
+    reference (:func:`~repro.pbio.projection.project_record`), and
+    corrupted projected wires must fail with clean errors on both decode
+    paths — the same hostility contract the mutation oracle enforces for
+    every other wire surface."""
+    from repro.pbio.projection import project_format, project_record
+
+    fmt = gen.random_format(rng)
+    names = [field.name for field in fmt.fields]
+    keep = rng.sample(names, rng.randrange(1, len(names) + 1))
+    proj = project_format(fmt, keep, epoch=rng.randrange(1, 5))
+    rec = gen.random_record(rng, fmt)
+    order = rng.choice(["little", "big"])
+    findings: List[Finding] = []
+
+    wire = encode_record(proj, rec, byte_order=order)
+    wire_spec = codegen.make_encoder(proj, byte_order=order)(rec)
+    if wire != wire_spec:
+        findings.append(Finding(
+            oracle="projection",
+            detail=(
+                f"generic and specialized encoders disagree for projection "
+                f"of {fmt.name!r} onto {sorted(keep)}"
+            ),
+            entry=entry_for_wire(
+                "roundtrip", "projection encoder byte divergence", wire,
+                fmt_dict=format_to_dict(proj), expectation="encoders_agree",
+                wire_spec_hex=wire_spec.hex(),
+            ),
+        ))
+    decoded = decode_record(proj, wire)
+    reference = project_record(proj, rec)
+    if not records_equal(decoded, reference):
+        findings.append(Finding(
+            oracle="projection",
+            detail=(
+                f"decode(project-encode(rec)) diverges from the explicit "
+                f"project_record reference for {fmt.name!r}"
+            ),
+            entry=entry_for_wire(
+                "roundtrip", "projection reference divergence", wire,
+                fmt_dict=format_to_dict(proj),
+                expectation="projection_reference",
+            ),
+        ))
+    for _ in range(rounds):
+        name, corrupted = mutate(wire, rng)
+        findings.extend(check_wire_hostility(
+            proj, corrupted, mutation=f"projection/{name}"
+        ))
+    return findings
+
+
+def check_projection_pushdown(
+    net_seed: int, loss_rate: float, jitter: float, messages: int,
+    batch_size: int, transport: str = "sim",
+) -> List[Finding]:
+    """Projection-vs-full differential across subscriber churn: two
+    reliable ECho deployments run the same three-phase script over an
+    equally faulty fabric.  The baseline arm shares one registry (no
+    format servers, so every send is full-format); the negotiated arm
+    resolves through a format-server fleet, where the subscriber group's
+    interest union drives selective field transmission.
+
+    The script: a V0 sink (live set ``{n}``) subscribes alone and the
+    group narrows; a V1 sink (needs ``extra``) joins mid-stream and the
+    union widens; it leaves again and the union narrows back, with the
+    final phase published as BATCH1 frames so the vectorized projected
+    batch encoder is on the wire path.  Both arms must deliver identical
+    event streams exactly once in order — morph-on-projection must equal
+    morph-then-project — with one pinned, documented exception: the
+    widening prime (the V1 sink's first event, which triggers its
+    interest announcement) is still narrow on the wire, so its ``extra``
+    arrives default-filled in the negotiated arm.  The negotiated arm
+    must also actually project (every send after the first handshake)
+    and every endpoint must reconcile."""
+    from repro.echo.process import EChoProcess
+    from repro.pbio.server import FormatServer
+
+    findings: List[Finding] = []
+    base_entry = {
+        "kind": "projection", "scenario": "pushdown", "net_seed": net_seed,
+        "loss_rate": loss_rate, "jitter": jitter, "messages": messages,
+        "batch_size": batch_size, "transport": transport,
+        "expectation": "projection_matches_full",
+    }
+
+    def flag(detail: str) -> None:
+        entry = dict(base_entry)
+        entry["detail"] = detail
+        findings.append(Finding(oracle="projection", detail=detail,
+                                entry=entry))
+
+    def run_arm(negotiated: bool):
+        """Stand up one deployment and run the churn script; returns
+        ``(procs, got-lists, projection-counters, network)``."""
+        prior = (obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer)
+        obs.enable(registry=Registry())
+        net = make_network(transport, net_seed, loss_rate, jitter)
+        try:
+            if negotiated:
+                big = 1_000_000  # lossy links must not trip server breakers
+                FormatServer(net, "fs-a", peer="fs-b", seed=1,
+                             breaker_threshold=big)
+                FormatServer(net, "fs-b", seed=2, breaker_threshold=big)
+                kw: Dict[str, Any] = {
+                    "format_servers": ["fs-a", "fs-b"],
+                    "resolver_options": {"request_timeout": 0.5},
+                }
+                creator = EChoProcess(net, "creator", version="2.0",
+                                      reliable=True, **kw)
+                source = EChoProcess(net, "source", version="2.0",
+                                     reliable=True, **kw)
+                sink0 = EChoProcess(net, "sink0", version="0.0",
+                                    reliable=True, **kw)
+                sink1 = EChoProcess(net, "sink1", version="1.0",
+                                    reliable=True, **kw)
+                source.resolver.register(
+                    _EVT_V2, transforms=[_EVT_V2_TO_V1, _EVT_V1_TO_V0]
+                )
+            else:
+                registry = FormatRegistry()
+                registry.register_transform(_EVT_V2_TO_V1)
+                registry.register_transform(_EVT_V1_TO_V0)
+                creator = EChoProcess(net, "creator", registry,
+                                      version="2.0", reliable=True)
+                source = EChoProcess(net, "source", registry,
+                                     version="2.0", reliable=True)
+                sink0 = EChoProcess(net, "sink0", registry,
+                                    version="0.0", reliable=True)
+                sink1 = EChoProcess(net, "sink1", registry,
+                                    version="1.0", reliable=True)
+            net.run()
+            creator.create_channel("ch")
+            source.open_channel("ch", "creator", as_source=True)
+            sink0.open_channel("ch", "creator", as_sink=True)
+            net.run()
+
+            got0: List[int] = []
+            got1: List[Any] = []
+            sink0.subscribe("ch", _EVT_V0, lambda r: got0.append(r["n"]))
+
+            def publish(n: int) -> None:
+                source.submit(
+                    "ch", _EVT_V2,
+                    _EVT_V2.make_record(n=n, extra=2 * n, flag=1),
+                )
+
+            # Phase 1 — narrow group.  The first event primes sink0's
+            # interest announcement; the fence lets the narrowing
+            # negotiate, and the next publish boundary promotes it.
+            publish(0)
+            net.run()
+            for n in range(1, messages):
+                publish(n)
+            net.run()
+
+            # Phase 2 — widening join.  sink1's prime event reaches it
+            # still narrow (its interest is announced on first
+            # delivery); the fence widens the group union.
+            sink1.open_channel("ch", "creator", as_sink=True)
+            net.run()
+            sink1.subscribe(
+                "ch", _EVT_V1,
+                lambda r: got1.append((r["n"], r["extra"])),
+            )
+            publish(messages)
+            net.run()
+            for n in range(messages + 1, 2 * messages):
+                publish(n)
+            net.run()
+
+            # Phase 3 — narrowing leave, published as BATCH1 frames so
+            # the vectorized projected batch encoder is on the path.
+            sink1.leave_channel("ch")
+            net.run()
+            stream = [
+                _EVT_V2.make_record(n=n, extra=2 * n, flag=1)
+                for n in range(2 * messages, 3 * messages)
+            ]
+            for start in range(0, messages, batch_size):
+                source.submit_batch(
+                    "ch", _EVT_V2, stream[start:start + batch_size]
+                )
+            net.run()
+
+            counters = {
+                "projected_sends": obs.OBS.metrics.counter(
+                    "net.projection.messages").value,
+                "bytes_saved": obs.OBS.metrics.counter(
+                    "net.projection.bytes_saved_est").value,
+                "routes": obs.OBS.metrics.counter(
+                    "morph.projection.routes").value,
+            }
+        finally:
+            obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer = prior
+        return (creator, source, sink0, sink1), (got0, got1), counters, net
+
+    full_procs, full_got, full_counters, full_net = run_arm(negotiated=False)
+    proj_procs, proj_got, proj_counters, proj_net = run_arm(negotiated=True)
+
+    total = 3 * messages
+    for arm, (got0, _got1) in (("full", full_got), ("negotiated", proj_got)):
+        _assert_exactly_once(flag, f"{arm}/sink0", got0, total)
+        if sorted(got0) == list(range(total)) and got0 != list(range(total)):
+            flag(f"{arm}/sink0 delivered out of order: {got0[:8]}...")
+    if full_got[0] != proj_got[0]:
+        flag(f"sink0 arms diverge: full={full_got[0][:8]} "
+             f"negotiated={proj_got[0][:8]}")
+
+    expected1 = [(n, 2 * n) for n in range(messages, 2 * messages)]
+    if full_got[1] != expected1:
+        flag(f"full/sink1 stream wrong: {full_got[1][:8]}")
+    # The negotiated arm's prime is the one pinned divergence: it left
+    # the source before the union widened, so `extra` default-fills.
+    expected1_proj = [(messages, 0)] + expected1[1:]
+    if proj_got[1] != expected1_proj:
+        flag(f"negotiated/sink1 stream wrong: got {proj_got[1][:8]}, "
+             f"expected {expected1_proj[:8]}")
+
+    # The negotiated arm must actually project: every event after the
+    # full-format handshake prime rides a derived projection format.
+    if proj_counters["projected_sends"] != total - 1:
+        flag(f"negotiated arm projected {proj_counters['projected_sends']} "
+             f"of {total - 1} expected sends")
+    if proj_counters["projected_sends"] and not proj_counters["bytes_saved"]:
+        flag("projection carried no estimated byte savings")
+    if not proj_counters["routes"]:
+        flag("no receiver ever planned a projection route")
+    if full_counters["projected_sends"]:
+        flag(f"full arm projected {full_counters['projected_sends']} sends "
+             f"without a format-server fleet")
+
+    for arm, procs in (("full", full_procs), ("negotiated", proj_procs)):
+        for proc in procs:
+            _reconcile_endpoint(
+                lambda d: flag(f"{arm}: {d}"), proc  # noqa: B023
+            )
+    # sink1's receiver is discarded when it leaves the channel, so only
+    # sink0's stats survive to compare (sink1's delivery list is already
+    # pinned exactly above).
+    f_stats = full_procs[2].event_receiver("ch").stats
+    p_stats = proj_procs[2].event_receiver("ch").stats
+    if f_stats.messages != p_stats.messages:
+        flag(f"sink0 receiver stats diverge: full={f_stats.messages} "
+             f"negotiated={p_stats.messages}")
+    if p_stats.messages != total:
+        flag(f"sink0 receiver saw {p_stats.messages} messages, "
+             f"expected {total}")
+    for proc in proj_procs:
+        if proc.unresolved:
+            flag(f"{proc.address} dropped {proc.unresolved} messages as "
+                 f"unresolvable during projection churn")
+        if proc.resolver.degraded:
+            flag(f"{proc.address} resolver degraded during projection churn")
+
+    for arm, net in (("full", full_net), ("negotiated", proj_net)):
+        if net.pending:
+            flag(f"{arm} network did not quiesce: {net.pending} queued")
+        if net.handler_errors:
+            flag(f"{arm}: {net.handler_errors} handler exceptions were "
+                 f"contained during a healthy-path run")
+        closer = getattr(net, "close", None)
+        if closer is not None:
+            closer()
+    return findings
+
+
+def check_projection(
+    rng: random.Random, messages: int = 5, transport: str = "sim"
+) -> List[Finding]:
+    """One randomized projection case: hostile projected wires plus a
+    full two-arm push-down parity scenario over a faulty fabric."""
+    findings = _check_projection_wires(rng)
+    loss_rate = rng.choice([0.0, 0.05, 0.1])
+    jitter = rng.choice([0.0, 0.005, 0.01])
+    batch_size = rng.choice([2, 3, 4])
+    net_seed = rng.randrange(2**31)
+    findings.extend(check_projection_pushdown(
+        net_seed, loss_rate, jitter, messages, batch_size,
+        transport=transport,
+    ))
+    return findings

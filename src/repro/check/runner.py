@@ -24,13 +24,14 @@ from repro.pbio.serialization import format_from_dict
 
 #: Fraction of the budget each oracle consumes.
 BUDGET_SPLIT = {
-    "roundtrip": 0.28,
-    "mutation": 0.26,
+    "roundtrip": 0.26,
+    "mutation": 0.24,
     "ecode": 0.10,
     "fusion": 0.10,
     "morph": 0.08,
-    "reliability": 0.10,
+    "reliability": 0.08,
     "batching": 0.08,
+    "projection": 0.06,
 }
 
 #: Each morph case already simulates several messages over the network;
@@ -49,6 +50,11 @@ _RELIABILITY_CASE_WEIGHT = 25
 #: Each batching case runs TWO full reliable deployments (the single-
 #: submit arm and the batched arm) over the same faulty fabric.
 _BATCHING_CASE_WEIGHT = 40
+
+#: Each projection case runs two full deployments (full-format vs
+#: negotiated push-down) through a three-phase subscriber-churn script,
+#: plus a hostile-projected-wire round.
+_PROJECTION_CASE_WEIGHT = 40
 
 
 class CheckRunner:
@@ -138,6 +144,10 @@ class CheckRunner:
             max(1, plan["batching"] // _BATCHING_CASE_WEIGHT)
             if plan["batching"] else 0
         )
+        plan["projection"] = (
+            max(1, plan["projection"] // _PROJECTION_CASE_WEIGHT)
+            if plan["projection"] else 0
+        )
 
         for index in range(plan["roundtrip"]):
             self.cases["roundtrip"] += 1
@@ -169,6 +179,14 @@ class CheckRunner:
             self._record(
                 oracles.check_batching(
                     self._rng("batching", index),
+                    transport=self.transport,
+                )
+            )
+        for index in range(plan["projection"]):
+            self.cases["projection"] += 1
+            self._record(
+                oracles.check_projection(
+                    self._rng("projection", index),
                     transport=self.transport,
                 )
             )
@@ -229,7 +247,19 @@ def replay_entry(entry: Dict[str, Any]) -> List[Finding]:
         return _replay_reliability(entry)
     if kind == "batching":
         return _replay_batching(entry)
+    if kind == "projection":
+        return _replay_projection(entry)
     raise ReproError(f"cannot replay corpus entry of kind {kind!r}")
+
+
+def _replay_projection(entry: Dict[str, Any]) -> List[Finding]:
+    """Projection parity cases are fully determined by their scenario
+    parameters; replay re-runs both arms of the churn script."""
+    return oracles.check_projection_pushdown(
+        entry["net_seed"], entry["loss_rate"], entry["jitter"],
+        entry["messages"], entry["batch_size"],
+        transport=entry.get("transport", "sim"),
+    )
 
 
 def _replay_batching(entry: Dict[str, Any]) -> List[Finding]:

@@ -17,7 +17,7 @@ only brokering membership (the ECho model, not a hub-and-spoke bus).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.echo.channel import ChannelState
 from repro.echo.protocol import (
@@ -47,11 +47,13 @@ from repro.pbio.buffer import (
     peek_trace,
     unpack_header,
 )
+from repro.pbio.codegen import BatchEncoderFn, make_batch_encoder
 from repro.pbio.context import PBIOContext
 from repro.pbio.format import IOFormat
+from repro.pbio.projection import ProjectionFormat, projection_ratio
 from repro.pbio.record import Record
 from repro.pbio.registry import FormatRegistry
-from repro.pbio.server import CachingFormatResolver
+from repro.pbio.server import CachingFormatResolver, ProjectionState
 
 EventHandler = Callable[[Record], Any]
 
@@ -180,6 +182,32 @@ class EChoProcess:
         self._filters: Dict[str, ECodeProcedure] = {}
         self.filter_errors = 0
         self.filtered_out = 0
+        # --- projection push-down state -------------------------------
+        #: sender side: negotiated projection per (channel, parent format
+        #: id) — {"format", "epoch", "pending"}; "pending" holds a
+        #: narrowing until the next publish boundary (the epoch fence)
+        self._projection_send: Dict[Tuple[str, int], Dict[str, Any]] = {}
+        #: sink side: (channel, wire format id) pairs already examined
+        #: for an interest announcement
+        self._announced: Set[Tuple[str, int]] = set()
+        #: parent formats whose interest this process announced, per
+        #: (channel, parent format id) — retracted on leave_channel
+        self._interest_parents: Dict[Tuple[str, int], IOFormat] = {}
+        #: cached vectorized (envelope, payload) batch encoders per
+        #: payload wire-format id
+        self._batch_encoders: Dict[int, BatchEncoderFn] = {}
+        if self.resolver is not None:
+            # Chain (don't steal) the invalidation hook: a server reply
+            # displacing cached format content must drop every morph
+            # route compiled against the stale entry.
+            previous = self.resolver.on_invalidate
+
+            def _on_invalidate(format_id: int) -> None:
+                if previous is not None:
+                    previous(format_id)
+                self._invalidate_routes(format_id)
+
+            self.resolver.on_invalidate = _on_invalidate
 
     @property
     def address(self) -> str:
@@ -313,6 +341,20 @@ class EChoProcess:
         self._event_receivers.pop(channel_id, None)
         if channel.creator_contact == self.address:
             raise ChannelError("the channel creator cannot leave its channel")
+        # Retract every interest this subscriber announced, so the
+        # group's union projection can narrow back down without it.
+        if self.resolver is not None:
+            for key, parent in list(self._interest_parents.items()):
+                chan, _pid = key
+                if chan != channel_id:
+                    continue
+                del self._interest_parents[key]
+                self.resolver.announce_interest(
+                    channel_id, parent, None, retract=True
+                )
+            self._announced = {
+                k for k in self._announced if k[0] != channel_id
+            }
         request = LEAVE_REQUEST.make_record(
             channel_id=channel_id, contact=self.address
         )
@@ -354,6 +396,191 @@ class EChoProcess:
                 f"{self.address} did not open channel {channel_id!r} as a sink"
             )
         self.event_receiver(channel_id).register_handler(fmt, handler)
+        # A new handler can change the receiver's liveness set; refresh
+        # any interest this process already announced for the channel.
+        self._reannounce(channel_id)
+
+    # ------------------------------------------------------------------
+    # Projection push-down (negotiated selective field transmission)
+    # ------------------------------------------------------------------
+
+    def _invalidate_routes(self, format_id: int) -> None:
+        """Resolver invalidation: drop every cached morph route planned
+        against the displaced format content."""
+        self.control.invalidate_route(format_id)
+        for receiver in self._event_receivers.values():
+            receiver.invalidate_route(format_id)
+
+    def _maybe_announce(self, channel_id: str, payload: Any) -> None:
+        """Sink side: on the first event of each wire format per channel,
+        announce this subscriber's interest set — the receiver's fused
+        backward-liveness result for the (parent) format, or ``None``
+        (full format) when no liveness set is provable.  The format
+        server unions announcements across the channel's subscriber
+        group and derives the projection the sender encodes to."""
+        try:
+            format_id = unpack_header(payload).format_id
+        except Exception:  # noqa: BLE001 - hostile payload: nothing to announce
+            return
+        key = (channel_id, format_id)
+        if key in self._announced:
+            return
+        self._announced.add(key)
+        fmt = self.registry.lookup_id(format_id)
+        if fmt is None:
+            return
+        parent = fmt
+        if isinstance(fmt, ProjectionFormat):
+            parent = self.registry.lookup_id(fmt.parent_format_id)
+            if parent is None:
+                return
+        if parent.name == EVENT_ENVELOPE.name:
+            return  # protocol plumbing is never projected
+        parent_key = (channel_id, parent.format_id)
+        if parent_key in self._interest_parents:
+            return
+        self._interest_parents[parent_key] = parent
+        receiver = self._event_receivers.get(channel_id)
+        if receiver is None:
+            return
+        interest = receiver.interest_for(parent)
+        assert self.resolver is not None
+        self.resolver.announce_interest(
+            channel_id, parent,
+            sorted(interest) if interest is not None else None,
+        )
+
+    def _reannounce(self, channel_id: str) -> None:
+        """Re-announce every interest held for *channel_id* (after a new
+        handler registration changed the receiver's liveness set)."""
+        if self.resolver is None:
+            return
+        receiver = self._event_receivers.get(channel_id)
+        if receiver is None:
+            return
+        for (chan, _pid), parent in list(self._interest_parents.items()):
+            if chan != channel_id:
+                continue
+            interest = receiver.interest_for(parent)
+            self.resolver.announce_interest(
+                channel_id, parent,
+                sorted(interest) if interest is not None else None,
+            )
+
+    def _projection_for(
+        self, channel_id: str, fmt: IOFormat
+    ) -> Optional[ProjectionFormat]:
+        """Source side: the projection to encode *fmt* to on
+        *channel_id*, or ``None`` for full-format sends.  The first call
+        per (channel, format) starts watching the server's projection
+        state; pending narrowings are promoted here — the publish
+        boundary is the epoch fence, so a narrower format is never
+        applied retroactively to frames already encoded."""
+        if self.resolver is None or isinstance(fmt, ProjectionFormat):
+            return None
+        key = (channel_id, fmt.format_id)
+        state = self._projection_send.get(key)
+        if state is None:
+            state = {"format": None, "epoch": 0, "pending": None}
+            self._projection_send[key] = state
+            self.resolver.watch_projection(
+                channel_id, fmt,
+                lambda update, _key=key, _fmt=fmt: self._on_projection_update(
+                    _key, _fmt, update
+                ),
+            )
+        pending = state["pending"]
+        if pending is not None:
+            state["format"] = pending["format"]
+            state["epoch"] = pending["epoch"]
+            state["pending"] = None
+            self._note_renegotiation(fmt, state["format"], "narrowed")
+        return state["format"]
+
+    def _on_projection_update(
+        self,
+        key: Tuple[str, int],
+        parent: IOFormat,
+        update: Optional[ProjectionState],
+    ) -> None:
+        """A new projection state arrived (interest_state reply or
+        projection_update push).  Widenings — including a return to the
+        full format — apply immediately: every live field a subscriber
+        could need is still transmitted.  Narrowings are epoch-fenced:
+        parked until the next publish boundary, so in-flight frames and
+        anything already encoded keep their (wider, still registered)
+        format."""
+        state = self._projection_send.get(key)
+        if update is None or state is None:
+            return
+        epoch = update["epoch"]
+        if epoch <= state["epoch"] and not (
+            epoch == state["epoch"] == 0
+        ):
+            return  # stale or duplicate state: epochs are monotonic
+        new_fmt: Optional[ProjectionFormat] = update["format"]
+        current: Optional[ProjectionFormat] = state["format"]
+        current_fields = (
+            None if current is None else set(current.field_names())
+        )
+        new_fields = None if new_fmt is None else set(new_fmt.field_names())
+        widening = new_fields is None or (
+            current_fields is not None and new_fields >= current_fields
+        )
+        if widening:
+            state["format"] = new_fmt
+            state["epoch"] = epoch
+            state["pending"] = None
+            self._note_renegotiation(parent, new_fmt, "widened")
+        else:
+            state["pending"] = {"format": new_fmt, "epoch": epoch}
+
+    def _note_renegotiation(
+        self,
+        parent: IOFormat,
+        projection: Optional[ProjectionFormat],
+        kind: str,
+    ) -> None:
+        if not OBS.enabled:
+            return
+        OBS.metrics.counter(
+            "net.projection.renegotiations", kind=kind
+        ).inc()
+        ratio = (
+            1.0 if projection is None
+            else projection_ratio(projection, parent)
+        )
+        OBS.metrics.histogram("net.projection.field_ratio").observe(ratio)
+
+    def _record_projected_send(
+        self, parent: IOFormat, projection: ProjectionFormat, count: int
+    ) -> None:
+        if not OBS.enabled or not count:
+            return
+        OBS.metrics.counter("net.projection.messages").inc(count)
+        saved = parent.min_wire_size - projection.min_wire_size
+        if saved > 0:
+            OBS.metrics.counter("net.projection.bytes_saved_est").inc(
+                saved * count
+            )
+
+    def _batch_encoder(self, wire_fmt: IOFormat) -> BatchEncoderFn:
+        """The cached vectorized (envelope, payload) batch encoder for
+        *wire_fmt* — one generated routine packs K events straight into
+        a BATCH1 body with a single buffer reservation."""
+        encoder = self._batch_encoders.get(wire_fmt.format_id)
+        if encoder is None:
+            encoder = make_batch_encoder(
+                (EVENT_ENVELOPE, wire_fmt), byte_order=self.pbio.byte_order
+            )
+            self._batch_encoders[wire_fmt.format_id] = encoder
+        return encoder
+
+    def _has_derived(self, channel_id: str) -> bool:
+        return any(
+            channel.parent_id == channel_id
+            for channel in self.channels.values()
+        )
 
     def submit(self, channel_id: str, fmt: IOFormat, record: Record) -> int:
         """Publish an event to the channel; returns the number of remote
@@ -372,7 +599,14 @@ class EChoProcess:
         ctx: Optional[TraceContext] = None
         if OBS.enabled:
             ctx = make_context()
-        payload = self.pbio.encode(fmt, record)
+        # Encode to the channel's negotiated projection when one is
+        # active — the projection's generated encoder reads only its own
+        # (live) fields straight out of the full record.
+        projection = self._projection_for(channel_id, fmt)
+        wire_fmt = projection if projection is not None else fmt
+        payload = self.pbio.encode(wire_fmt, record)
+        if projection is not None:
+            self._record_projected_send(fmt, projection, 1)
         envelope = EVENT_ENVELOPE.make_record(
             channel_id=channel_id, seq=channel.next_seq()
         )
@@ -402,7 +636,18 @@ class EChoProcess:
                 self._deliver_event(
                     channel_id, self._event_receivers[channel_id], payload
                 )
-            pushed += self._submit_derived(channel_id, record, payload, ctx)
+            if self._has_derived(channel_id):
+                # Derived-channel sinks negotiate per *derived* channel,
+                # not in the parent's subscriber group: forward the full
+                # format, never the parent group's projection.
+                derived_payload = payload
+                if projection is not None:
+                    derived_payload = self.pbio.encode(fmt, record)
+                    if ctx is not None:
+                        derived_payload = attach_trace(derived_payload, ctx)
+                pushed += self._submit_derived(
+                    channel_id, record, derived_payload, ctx
+                )
         return pushed
 
     def submit_batch(
@@ -429,16 +674,41 @@ class EChoProcess:
         ctx: Optional[TraceContext] = None
         if OBS.enabled:
             ctx = make_context()
-        payloads: List[bytes] = []
-        datagrams: List[bytes] = []
-        for record in records:
-            payload = self.pbio.encode(fmt, record)
-            envelope = EVENT_ENVELOPE.make_record(
-                channel_id=channel_id, seq=channel.next_seq()
-            )
-            payloads.append(payload)
-            datagrams.append(self.pbio.encode(EVENT_ENVELOPE, envelope) + payload)
-        frame = pack_batch(datagrams, ctx)
+        projection = self._projection_for(channel_id, fmt)
+        wire_fmt = projection if projection is not None else fmt
+        local_sink = channel.is_sink and channel_id in self._event_receivers
+        has_derived = self._has_derived(channel_id)
+        payloads: Optional[List[bytes]] = None
+        if not local_sink and not has_derived and self.pbio.use_codegen:
+            # Vectorized fast path: one generated routine packs every
+            # (envelope, payload) pair straight into the BATCH1 body
+            # with a single buffer reservation — byte-identical to the
+            # compose-then-concat path below.
+            rows = [
+                (
+                    EVENT_ENVELOPE.make_record(
+                        channel_id=channel_id, seq=channel.next_seq()
+                    ),
+                    record,
+                )
+                for record in records
+            ]
+            frame = self._batch_encoder(wire_fmt)(rows, ctx)
+        else:
+            payloads = []
+            datagrams: List[bytes] = []
+            for record in records:
+                payload = self.pbio.encode(wire_fmt, record)
+                envelope = EVENT_ENVELOPE.make_record(
+                    channel_id=channel_id, seq=channel.next_seq()
+                )
+                payloads.append(payload)
+                datagrams.append(
+                    self.pbio.encode(EVENT_ENVELOPE, envelope) + payload
+                )
+            frame = pack_batch(datagrams, ctx)
+        if projection is not None:
+            self._record_projected_send(fmt, projection, len(records))
         with activate(ctx), OBS.tracer.span(
             "echo.publish_batch",
             channel=channel_id,
@@ -459,12 +729,20 @@ class EChoProcess:
                 OBS.metrics.bounded_counter(
                     "echo.channel.events_pushed", channel=channel_id
                 ).inc(pushed * len(records))
-            if channel.is_sink and channel_id in self._event_receivers:
+            if payloads is not None and local_sink:
                 receiver = self._event_receivers[channel_id]
                 for payload in payloads:
                     self._deliver_event(channel_id, receiver, payload)
-            for record, payload in zip(records, payloads):
-                pushed += self._submit_derived(channel_id, record, payload, ctx)
+            if payloads is not None and has_derived:
+                derived_payloads = payloads
+                if projection is not None:
+                    derived_payloads = [
+                        self.pbio.encode(fmt, record) for record in records
+                    ]
+                for record, payload in zip(records, derived_payloads):
+                    pushed += self._submit_derived(
+                        channel_id, record, payload, ctx
+                    )
         return pushed
 
     def _deliver_event(
@@ -472,6 +750,8 @@ class EChoProcess:
     ) -> None:
         """Hand one event payload to the channel's morphing receiver,
         recording per-channel delivery metrics when observability is on."""
+        if self.resolver is not None:
+            self._maybe_announce(channel_id, payload)
         if not OBS.enabled:
             receiver.process(payload)
             return

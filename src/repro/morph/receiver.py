@@ -30,7 +30,17 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import (
     MorphError,
@@ -64,6 +74,7 @@ from repro.pbio.buffer import (
 from repro.pbio.codegen import make_checked_payload_decoder
 from repro.pbio.context import PBIOContext
 from repro.pbio.format import IOFormat
+from repro.pbio.projection import ProjectionFormat, widen_record
 from repro.pbio.record import Record
 from repro.pbio.registry import FormatRegistry, TransformSpec
 
@@ -197,6 +208,12 @@ class _Route:
     #: whole-route fusion plan (decode + chain + reconcile compiled into
     #: one function); None keeps the route on the staged pipeline
     fused: Optional[FusedRoute] = None
+    #: set on projection routes that fall back to the staged pipeline:
+    #: (projection, parent) — the projected record is widened back to the
+    #: full parent shape (defaults for dead fields) before the parent's
+    #: transform chain runs, since the chain's ECode was compiled against
+    #: the parent's field set
+    pre_coercion: Optional[Tuple[IOFormat, IOFormat]] = None
     #: per-byte-order checked payload decoders for the batch hot path —
     #: identity routes are never fused (there is nothing to fuse), so the
     #: batch loop decodes them straight from the parsed header instead of
@@ -482,6 +499,12 @@ class MorphReceiver:
                         )
                         route.payload_decoders[order] = dec
                     record, _consumed = dec(seg, body, end)
+                    if route.pre_coercion is not None:
+                        record = widen_record(*route.pre_coercion, record)
+                        if OBS.enabled:
+                            OBS.metrics.counter(
+                                "morph.projection.widened"
+                            ).inc()
                     if route.chain is not None:
                         record = route.chain.apply(record)
                         morphed += 1
@@ -728,16 +751,78 @@ class MorphReceiver:
 
     def _plan_route(self, incoming: IOFormat) -> _Route:
         if not OBS.enabled:
-            return self._attach_fusion(self._plan_route_inner(incoming))
+            return self._attach_fusion(self._plan_any(incoming))
         with OBS.tracer.span(
             "morph.maxmatch", format=incoming.name, version=incoming.version
         ) as active:
-            route = self._plan_route_inner(incoming)
+            route = self._plan_any(incoming)
             if route.match is not None:
                 active.set_attr("mismatch", route.match.mismatch)
                 active.set_attr("diff", route.match.diff_forward)
             active.set_attr("rejected", route.is_reject)
             return self._attach_fusion(route)
+
+    def _plan_any(self, incoming: IOFormat) -> _Route:
+        """Projection-aware planning entry: a projection format whose
+        parent has a usable route rides that route; everything else (and
+        every fallback) goes through ordinary MaxMatch planning."""
+        if isinstance(incoming, ProjectionFormat):
+            route = self._plan_projection_route(incoming)
+            if route is not None:
+                return route
+        return self._plan_route_inner(incoming)
+
+    def _plan_projection_route(
+        self, incoming: ProjectionFormat
+    ) -> Optional[_Route]:
+        """Route a projected wire format through its *parent's* plan.
+
+        The projection carries only the negotiated live fields, but its
+        field declarations are identical to the parent's, so the parent's
+        transform chain, reconcile step and handler apply unchanged —
+        provided the projection covers every wire field the parent route
+        actually reads (its fused liveness set).  When it does, the
+        projection route reuses the parent's pipeline with the projection
+        as wire format: fusion re-plans against the narrower decode, and
+        the staged fallback widens the record back to the parent shape
+        first (``pre_coercion``).  When coverage fails — an incoherent
+        negotiation window, or a parent route without a provable liveness
+        set — ``None`` sends the projection through ordinary MaxMatch
+        planning as just another evolved revision."""
+        parent = self.registry.lookup_id(incoming.parent_format_id)
+        if parent is None or parent.format_id == incoming.format_id:
+            return None
+        with self._lock:
+            parent_route = self._routes.get(parent.format_id)
+            if parent_route is None:
+                parent_route = self._plan_route(parent)
+                self._cache_route(parent.format_id, parent_route)
+        if parent_route.is_reject:
+            return None
+        fused = parent_route.fused
+        needed: Set[str] = (
+            set(fused.wire_live)
+            if fused is not None and fused.wire_live is not None
+            else {f.name for f in parent.fields}
+        )
+        transmitted = {f.name for f in incoming.fields}
+        if not needed <= transmitted:
+            if OBS.enabled:
+                OBS.metrics.counter("morph.projection.fallbacks").inc()
+            return None
+        if OBS.enabled:
+            OBS.metrics.counter("morph.projection.routes").inc()
+        return _Route(
+            wire_format=incoming,
+            chain=parent_route.chain,
+            coercion=parent_route.coercion,
+            handler_format=parent_route.handler_format,
+            match=parent_route.match,
+            coercion_transform=parent_route.coercion_transform,
+            fields_dropped=parent_route.fields_dropped,
+            fields_defaulted=parent_route.fields_defaulted,
+            pre_coercion=(incoming, parent),
+        )
 
     def _attach_fusion(self, route: _Route) -> _Route:
         """Plan whole-route fusion for a freshly planned route (liveness
@@ -949,6 +1034,10 @@ class MorphReceiver:
                 f"mismatch_threshold={self.mismatch_threshold})"
             )
         observing = OBS.enabled
+        if route.pre_coercion is not None:
+            record = widen_record(*route.pre_coercion, record)
+            if observing:
+                OBS.metrics.counter("morph.projection.widened").inc()
         if route.chain is not None:
             if observing:
                 with OBS.tracer.span(
@@ -1016,6 +1105,40 @@ class MorphReceiver:
         """The cached route for *fmt*, if one was planned (tests use this
         to assert which pipeline a message took)."""
         return self._routes.get(fmt.format_id)
+
+    def interest_for(self, fmt: IOFormat) -> Optional[FrozenSet[str]]:
+        """The top-level wire fields of *fmt* this receiver's pipeline
+        can ever observe — the interest set it announces for projection
+        push-down — or ``None`` when it needs the full format.
+
+        The set is the route's fused backward-liveness result; a route
+        without a provable liveness set (rejects, identity dispatch,
+        interpreter chains, fusion disabled) conservatively reports
+        ``None``, which negotiates full-format traffic."""
+        with self._lock:
+            route = self._routes.get(fmt.format_id)
+            if route is None:
+                self.registry.register(fmt)
+                route = self._plan_route(fmt)
+                self._cache_route(fmt.format_id, route)
+        if route.is_reject:
+            return None
+        fused = route.fused
+        if fused is None or fused.wire_live is None:
+            return None
+        return frozenset(fused.wire_live)
+
+    def invalidate_route(self, format_id: int) -> bool:
+        """Drop the cached route (and compiled pipeline) for
+        *format_id* — the hook a resolver invalidation calls when the
+        format server ships different content under a cached id.  The
+        next message of that id replans against the fresh meta-data.
+        Returns whether a route was dropped."""
+        with self._lock:
+            removed = self._routes.pop(format_id, None) is not None
+            if removed:
+                self.stats.set_route_cache_size(len(self._routes))
+            return removed
 
     def compatibility_space(self) -> List[IOFormat]:
         """Every registered format this receiver would accept — its

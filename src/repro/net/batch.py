@@ -68,6 +68,9 @@ BATCH_FLAG_TRACE = 0x01
 _KNOWN_FLAGS = BATCH_FLAG_TRACE
 
 _HEADER = struct.Struct(">6sBBI")
+#: Public alias of the frame-header Struct, referenced by the generated
+#: vectorized batch encoders so their frames share this exact layout.
+BATCH_HEADER = _HEADER
 BATCH_HEADER_SIZE = _HEADER.size  # 12 bytes
 _LEN = struct.Struct(">I")
 
@@ -115,13 +118,22 @@ def pack_batch(
         parts.append(_LEN.pack(len(message)))
         parts.append(bytes(message))
     frame = b"".join(parts)
+    record_batch_packed(len(messages))
+    return frame
+
+
+def record_batch_packed(count: int) -> None:
+    """Record one packed frame of *count* messages in the obs counters.
+
+    Shared by :func:`pack_batch` and the generated vectorized batch
+    encoders (:func:`repro.pbio.codegen.make_batch_encoder`), so counter
+    totals stay identical whichever path built the frame."""
     if OBS.enabled:
         OBS.metrics.counter("net.batch.packed_frames").inc()
-        OBS.metrics.counter("net.batch.packed_messages").inc(len(messages))
+        OBS.metrics.counter("net.batch.packed_messages").inc(count)
         OBS.metrics.histogram(
             "net.batch.size", bounds=COUNT_BUCKETS
-        ).observe(len(messages))
-    return frame
+        ).observe(count)
 
 
 def unpack_batch(data: Buffer, offset: int = 0) -> BatchFrame:

@@ -41,6 +41,28 @@ class TransformSpec:
             raise FormatError("a transform must change the format")
 
 
+def _content_key(fmt: IOFormat) -> tuple:
+    """Everything :meth:`FormatRegistry.replace` treats as *content*.
+
+    The 64-bit fingerprint (and ``IOFormat.__eq__``) deliberately hash
+    only the structural signature, so two declarations can share a wire
+    id while disagreeing on the attributes morphing actually consumes:
+    per-field defaults and importance weights, and a projection's
+    provenance (parent id + epoch).  An authoritative refresh that
+    changes only those must still displace the stale cached entry."""
+    from repro.pbio.projection import ProjectionFormat
+
+    extras = tuple(
+        (field._default, field.importance) for field in fmt.fields
+    )
+    provenance = (
+        (fmt.parent_format_id, fmt.projection_epoch)
+        if isinstance(fmt, ProjectionFormat)
+        else None
+    )
+    return (type(fmt).__qualname__, fmt.signature(), extras, provenance)
+
+
 class FormatRegistry:
     """Thread-safe store of formats and their associated transformations."""
 
@@ -69,6 +91,28 @@ class FormatRegistry:
             self._by_id[fmt.format_id] = fmt
             self._by_name.setdefault(fmt.name, []).append(fmt)
             return fmt.format_id
+
+    def replace(self, fmt: IOFormat) -> bool:
+        """Force-register *fmt*, displacing whatever different content is
+        cached under its id and dropping every transform that referenced
+        the displaced entry (they were compiled against the old field
+        set).  Returns ``True`` when an existing, different entry was
+        displaced; plain registration and idempotent re-registration
+        return ``False``.
+
+        This is the authoritative-refresh path: when the format server
+        ships a description that disagrees with a cached entry — e.g. a
+        re-registered derived projection — the fresh meta-data wins."""
+        with self._lock:
+            existing = self._by_id.get(fmt.format_id)
+            if existing is not None and _content_key(existing) == _content_key(fmt):
+                return False
+            displaced = existing is not None
+            if displaced:
+                self.unregister(existing)
+            self._by_id[fmt.format_id] = fmt
+            self._by_name.setdefault(fmt.name, []).append(fmt)
+            return displaced
 
     def unregister(self, fmt: IOFormat) -> bool:
         """Remove *fmt* and every transform touching it (as source or

@@ -19,6 +19,7 @@ from typing import Any, Dict, List
 from repro.errors import FormatError
 from repro.pbio.field import ArraySpec, IOField
 from repro.pbio.format import IOFormat
+from repro.pbio.projection import ProjectionFormat
 from repro.pbio.registry import FormatRegistry, TransformSpec
 from repro.pbio.types import TypeKind
 
@@ -32,12 +33,20 @@ SCHEMA_VERSION = 1
 
 def format_to_dict(fmt: IOFormat) -> Dict[str, Any]:
     """A JSON-compatible description of *fmt* (recursing into nested
-    complex subformats)."""
-    return {
+    complex subformats).  Projection formats carry their provenance in an
+    optional ``projection`` key, so a derived format survives the trip
+    through the format server without losing its parent link."""
+    out: Dict[str, Any] = {
         "name": fmt.name,
         "version": fmt.version,
         "fields": [_field_to_dict(field) for field in fmt.fields],
     }
+    if isinstance(fmt, ProjectionFormat):
+        out["projection"] = {
+            "parent_format_id": fmt.parent_format_id,
+            "epoch": fmt.projection_epoch,
+        }
+    return out
 
 
 def _field_to_dict(field: IOField) -> Dict[str, Any]:
@@ -68,6 +77,22 @@ def format_from_dict(data: Dict[str, Any]) -> IOFormat:
     except (KeyError, TypeError) as exc:
         raise FormatError(f"malformed format description: {exc!r}") from None
     fields = [_field_from_dict(fd) for fd in field_dicts]
+    provenance = data.get("projection")
+    if provenance is not None:
+        try:
+            parent_id = int(provenance["parent_format_id"])
+            epoch = int(provenance.get("epoch", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(
+                f"malformed projection provenance: {exc!r}"
+            ) from None
+        return ProjectionFormat(
+            name,
+            fields,
+            version=data.get("version"),
+            parent_format_id=parent_id,
+            projection_epoch=epoch,
+        )
     return IOFormat(name, fields, version=data.get("version"))
 
 

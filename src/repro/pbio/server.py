@@ -25,13 +25,14 @@ from __future__ import annotations
 
 import itertools
 import json
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import TransportError
+from repro.errors import FormatError, TransportError
 from repro.net.reliable import ReliableEndpoint, SendTicket
 from repro.net.transport import Network
 from repro.obs import OBS
 from repro.pbio.format import IOFormat
+from repro.pbio.projection import ProjectionFormat, project_format
 from repro.pbio.registry import FormatRegistry, TransformSpec
 from repro.pbio.serialization import (
     format_from_dict,
@@ -41,6 +42,11 @@ from repro.pbio.serialization import (
 )
 
 ResolveCallback = Callable[[Optional[IOFormat]], None]
+
+#: One negotiated projection state, as shipped to clients:
+#: ``{"epoch": int, "format": Optional[ProjectionFormat], "full": bool}``.
+ProjectionState = Dict[str, Any]
+ProjectionCallback = Callable[[Optional[ProjectionState]], None]
 
 
 def _encode(message: Dict[str, Any]) -> bytes:
@@ -68,7 +74,16 @@ class FormatServer:
       transform closure so the client can morph without extra round
       trips,
     * ``sync`` — replica mirror traffic (never re-forwarded, so two
-      servers may peer with each other without loops).
+      servers may peer with each other without loops),
+    * ``interest`` — a subscriber announces (or retracts) the field set
+      it can observe for a *parent* format within a *group*; the server
+      recomputes the group's union projection, derives + registers a
+      :class:`~repro.pbio.projection.ProjectionFormat` at a fresh epoch
+      when the union changed, and replies ``interest_state``,
+    * ``interest_lookup`` — a sender asks for the current projection
+      state of (parent format, group) and is remembered as a *watcher*:
+      every later renegotiation is pushed to it as an unsolicited
+      ``projection_update``.
     """
 
     def __init__(
@@ -86,7 +101,23 @@ class FormatServer:
         self.endpoint.set_handler(self._on_message)
         self.registry = registry if registry is not None else FormatRegistry()
         self.peer = peer
-        self.stats = {"registers": 0, "lookups": 0, "misses": 0, "syncs": 0}
+        self.stats = {
+            "registers": 0,
+            "lookups": 0,
+            "misses": 0,
+            "syncs": 0,
+            "interests": 0,
+            "interest_lookups": 0,
+            "renegotiations": 0,
+        }
+        #: per (parent format id, group): subscriber address -> announced
+        #: field names (``None`` = needs the full format)
+        self._interests: Dict[Tuple[int, str], Dict[str, Optional[List[str]]]] = {}
+        #: per (parent format id, group): the current negotiated state
+        self._projections: Dict[Tuple[int, str], ProjectionState] = {}
+        #: per (parent format id, group): sender addresses to push
+        #: ``projection_update`` messages to on renegotiation
+        self._watchers: Dict[Tuple[int, str], Set[str]] = {}
 
     @property
     def address(self) -> str:
@@ -127,11 +158,18 @@ class FormatServer:
             self.stats["syncs"] += 1
         elif op == "lookup":
             self._handle_lookup(source, message)
+        elif op == "interest":
+            self._handle_interest(source, message)
+        elif op == "interest_lookup":
+            self._handle_interest_lookup(source, message)
         # unknown ops are dropped: the server must tolerate newer clients
 
     def _ingest(self, message: Dict[str, Any]) -> None:
+        # ``replace`` rather than ``register``: a client re-uploading
+        # different content under a cached id (a re-derived projection, a
+        # hostile writer) must refresh the entry, not crash the server.
         for fmt_dict in message.get("formats", ()):
-            self.registry.register(format_from_dict(fmt_dict))
+            self.registry.replace(format_from_dict(fmt_dict))
         for spec_dict in message.get("transforms", ()):
             self.registry.register_transform(transform_from_dict(spec_dict))
 
@@ -156,7 +194,156 @@ class FormatServer:
             reply["transforms"] = [
                 transform_to_dict(s) for s in specs.values()
             ]
+            if isinstance(fmt, ProjectionFormat):
+                # Ship the parent alongside, so a subscriber that joins
+                # mid-stream (first message already projected) can plan
+                # the projection route through the parent immediately.
+                parent = self.registry.lookup_id(fmt.parent_format_id)
+                if parent is not None:
+                    reply["parent"] = format_to_dict(parent)
         self.endpoint.send(source, _encode(reply))
+
+    # ------------------------------------------------------------------
+    # Interest negotiation (projection push-down)
+    # ------------------------------------------------------------------
+
+    def _handle_interest(self, source: str, message: Dict[str, Any]) -> None:
+        self.stats["interests"] += 1
+        self._count("interests")
+        group = str(message.get("group", ""))
+        try:
+            parent = format_from_dict(message.get("parent") or {})
+        except FormatError:
+            self.endpoint.send(source, _encode({
+                "op": "interest_state", "id": message.get("id"),
+                "malformed": True,
+            }))
+            return
+        self.registry.replace(parent)
+        key = (parent.format_id, group)
+        interests = self._interests.setdefault(key, {})
+        if message.get("retract"):
+            interests.pop(source, None)
+        else:
+            fields = message.get("fields")
+            interests[source] = (
+                [str(name) for name in fields] if fields is not None else None
+            )
+        self._renegotiate(key, parent)
+        self.endpoint.send(
+            source,
+            _encode(self._state_reply(key, parent, message.get("id"))),
+        )
+
+    def _handle_interest_lookup(
+        self, source: str, message: Dict[str, Any]
+    ) -> None:
+        self.stats["interest_lookups"] += 1
+        self._count("interest_lookups")
+        group = str(message.get("group", ""))
+        try:
+            parent = format_from_dict(message.get("parent") or {})
+        except FormatError:
+            self.endpoint.send(source, _encode({
+                "op": "interest_state", "id": message.get("id"),
+                "malformed": True,
+            }))
+            return
+        self.registry.replace(parent)
+        key = (parent.format_id, group)
+        self._watchers.setdefault(key, set()).add(source)
+        self.endpoint.send(
+            source,
+            _encode(self._state_reply(key, parent, message.get("id"))),
+        )
+
+    def _renegotiate(self, key: Tuple[int, str], parent: IOFormat) -> None:
+        """Recompute the union projection for *key*; on change, derive
+        the next epoch's format, register it (old epochs stay registered
+        so in-flight frames remain decodable) and push the new state to
+        every watching sender."""
+        interests = self._interests.get(key) or {}
+        declared = {field.name for field in parent.fields}
+        union: Optional[Set[str]] = set()
+        if not interests:
+            union = None
+        else:
+            for fields in interests.values():
+                if fields is None:
+                    union = None
+                    break
+                union.update(fields)
+        if union is not None:
+            # Unknown names (a subscriber announcing against a stale
+            # revision) are ignored rather than rejected.
+            union &= declared
+            if union >= declared:
+                union = None
+            elif not union:
+                # An all-dead subscriber group still needs decodable
+                # frames; keep the parent's first field.
+                union = {parent.fields[0].name}
+        state = self._projections.get(key)
+        previous = None if state is None else state["fields"]
+        if state is not None and (
+            (previous is None) == (union is None)
+            and (previous is None or set(previous) == union)
+        ):
+            return  # no effective change
+        if state is None and union is None:
+            # First announcement already wants the full format: record
+            # the state at epoch 0 without counting a renegotiation.
+            self._projections[key] = {"epoch": 0, "fields": None, "format": None}
+            return
+        epoch = (state["epoch"] if state is not None else 0) + 1
+        fmt: Optional[ProjectionFormat] = None
+        fields_list: Optional[List[str]] = None
+        if union is not None:
+            fmt = project_format(parent, union, epoch)
+            fields_list = fmt.field_names()
+            self.registry.replace(fmt)
+            if self.peer is not None:
+                self.endpoint.send(self.peer, _encode({
+                    "op": "sync",
+                    "formats": [format_to_dict(fmt)],
+                    "transforms": [],
+                }))
+        self._projections[key] = {
+            "epoch": epoch, "fields": fields_list, "format": fmt,
+        }
+        self.stats["renegotiations"] += 1
+        self._count("renegotiations")
+        self._push_update(key, parent)
+
+    def _state_reply(
+        self, key: Tuple[int, str], parent: IOFormat, request_id: Any
+    ) -> Dict[str, Any]:
+        state = self._projections.get(key)
+        fmt = None if state is None else state["format"]
+        reply: Dict[str, Any] = {
+            "op": "interest_state",
+            "id": request_id,
+            "group": key[1],
+            "parent_format_id": str(parent.format_id),
+            "epoch": 0 if state is None else state["epoch"],
+            "full": fmt is None,
+        }
+        if fmt is not None:
+            reply["projection"] = format_to_dict(fmt)
+        return reply
+
+    def _push_update(self, key: Tuple[int, str], parent: IOFormat) -> None:
+        watchers = self._watchers.get(key)
+        if not watchers:
+            return
+        update = self._state_reply(key, parent, None)
+        update["op"] = "projection_update"
+        del update["id"]
+        wire = _encode(update)
+        # sorted: push order must be reproducible under the seeded
+        # fault-injection harness
+        for watcher in sorted(watchers):
+            self.endpoint.send(watcher, wire)
 
     def _count(self, name: str) -> None:
         if OBS.enabled:
@@ -236,6 +423,16 @@ class CachingFormatResolver:
         self._pending_registrations: List[Dict[str, Any]] = []
         #: non-meta traffic handler (a receiver, an application...)
         self.data_handler: Optional[Callable[[str, bytes], None]] = None
+        #: fired with a format id whenever a server reply displaced
+        #: different cached content under that id — receivers hook this
+        #: to drop their cached morph routes for the stale entry
+        self.on_invalidate: Optional[Callable[[int], None]] = None
+        #: last known projection state per (parent format id, group)
+        self._projection_states: Dict[Tuple[int, str], ProjectionState] = {}
+        #: projection-update callbacks per (parent format id, group)
+        self._projection_watches: Dict[
+            Tuple[int, str], List[ProjectionCallback]
+        ] = {}
         self.stats = {
             "cache_hits": 0,
             "cache_misses": 0,
@@ -244,6 +441,10 @@ class CachingFormatResolver:
             "degraded_misses": 0,
             "queued_registrations": 0,
             "replayed_registrations": 0,
+            "invalidations": 0,
+            "interests_sent": 0,
+            "interest_lookups_sent": 0,
+            "projection_updates": 0,
         }
 
     @property
@@ -413,11 +614,149 @@ class CachingFormatResolver:
         fmt: Optional[IOFormat] = None
         if reply is not None and reply.get("found"):
             fmt = format_from_dict(reply["format"])
-            self.registry.register(fmt)
+            self._ingest_format(fmt)
+            parent_dict = reply.get("parent")
+            if parent_dict is not None:
+                # A projection lookup ships its parent alongside; cache
+                # it so the receiver can plan the projection route.
+                try:
+                    self._ingest_format(format_from_dict(parent_dict))
+                except FormatError:
+                    pass  # hostile or stale provenance: keep the format
             for spec_dict in reply.get("transforms", ()):
                 self.registry.register_transform(transform_from_dict(spec_dict))
         for callback in self._inflight.pop(format_id, ()):
             callback(fmt)
+
+    def _ingest_format(self, fmt: IOFormat) -> None:
+        """Merge a server-shipped format into the local cache.  The
+        server is authoritative: different cached content under the same
+        id is displaced (``FormatRegistry.replace``), counted as an
+        invalidation, and reported through :attr:`on_invalidate` so
+        receivers drop lookup/route state compiled against the stale
+        entry."""
+        if self.registry.replace(fmt):
+            self.stats["invalidations"] += 1
+            self._count("invalidations")
+            if self.on_invalidate is not None:
+                self.on_invalidate(fmt.format_id)
+
+    # ------------------------------------------------------------------
+    # Projection negotiation (interest push-down)
+    # ------------------------------------------------------------------
+
+    def announce_interest(
+        self,
+        group: str,
+        parent: IOFormat,
+        fields: Optional[Sequence[str]],
+        retract: bool = False,
+        on_state: Optional[ProjectionCallback] = None,
+    ) -> None:
+        """Announce (or retract) this subscriber's interest in *parent*
+        within *group*: the top-level field names its handler can ever
+        observe, or ``None`` when it needs every field.  The server
+        unions interests across the group, derives the projection format,
+        and replies with the new state (*on_state*; ``None`` when the
+        fleet is unreachable — projection is an optimization, degraded
+        mode simply keeps full-format traffic)."""
+        self.registry.register(parent)
+        self.stats["interests_sent"] += 1
+        self._count("interests_sent")
+        if self.degraded:
+            if on_state is not None:
+                on_state(None)
+            return
+        payload: Dict[str, Any] = {
+            "op": "interest",
+            "group": group,
+            "parent": format_to_dict(parent),
+            "fields": sorted(fields) if fields is not None else None,
+        }
+        if retract:
+            payload["retract"] = True
+        self._request(
+            payload,
+            on_reply=lambda reply: self._ingest_projection_state(
+                reply, on_state
+            ),
+            on_fail=lambda: on_state(None) if on_state is not None else None,
+        )
+
+    def watch_projection(
+        self,
+        group: str,
+        parent: IOFormat,
+        on_update: Optional[ProjectionCallback] = None,
+    ) -> None:
+        """Sender side: fetch the current projection state of
+        (*parent*, *group*) and register as a watcher — *on_update* fires
+        for the initial state and for every later renegotiation pushed
+        by the server."""
+        key = (parent.format_id, group)
+        if on_update is not None:
+            self._projection_watches.setdefault(key, []).append(on_update)
+        self.registry.register(parent)
+        self.stats["interest_lookups_sent"] += 1
+        self._count("interest_lookups_sent")
+        if self.degraded:
+            return
+        self._request(
+            {
+                "op": "interest_lookup",
+                "group": group,
+                "parent": format_to_dict(parent),
+            },
+            on_reply=self._ingest_projection_state,
+            on_fail=lambda: None,
+        )
+
+    def projection_state(
+        self, parent_format_id: int, group: str
+    ) -> Optional[ProjectionState]:
+        """The last projection state seen for (*parent_format_id*,
+        *group*) — ``None`` before any reply arrived."""
+        return self._projection_states.get((parent_format_id, group))
+
+    def _ingest_projection_state(
+        self,
+        message: Dict[str, Any],
+        on_state: Optional[ProjectionCallback] = None,
+    ) -> None:
+        """Parse an ``interest_state`` reply or ``projection_update``
+        push, merge the projection format into the cache, remember the
+        state and fire the watchers.  Malformed messages yield ``None``
+        without touching cached state."""
+        state: Optional[ProjectionState] = None
+        key: Optional[Tuple[int, str]] = None
+        try:
+            parent_id = int(message["parent_format_id"])
+            epoch = int(message.get("epoch", 0))
+        except (KeyError, TypeError, ValueError):
+            parent_id = None
+        if parent_id is not None:
+            key = (parent_id, str(message.get("group", "")))
+            fmt: Optional[IOFormat] = None
+            proj_dict = message.get("projection")
+            try:
+                if proj_dict is not None:
+                    fmt = format_from_dict(proj_dict)
+                    self._ingest_format(fmt)
+                state = {
+                    "epoch": epoch,
+                    "format": fmt,
+                    "full": fmt is None,
+                }
+            except FormatError:
+                state = None  # hostile projection description: drop
+        if state is not None and key is not None:
+            self._projection_states[key] = state
+            self.stats["projection_updates"] += 1
+            self._count("projection_updates")
+            for callback in list(self._projection_watches.get(key, ())):
+                callback(state)
+        if on_state is not None:
+            on_state(state)
 
     # ------------------------------------------------------------------
     # Request plumbing: correlation, timeout, failover, degradation
@@ -473,8 +812,13 @@ class CachingFormatResolver:
             except TransportError:
                 return  # hostile or truncated meta traffic: drop
             op = message.get("op")
-            if op in ("lookup_reply", "register_ok"):
+            if op in ("lookup_reply", "register_ok", "interest_state"):
                 self._handle_reply(message)
+                return
+            if op == "projection_update":
+                # Unsolicited renegotiation push from the fleet — no
+                # request to correlate with.
+                self._ingest_projection_state(message)
                 return
         if self.data_handler is not None:
             self.data_handler(source, data)

@@ -1,0 +1,59 @@
+"""The projection differential oracle: the negotiated push-down arm and
+the plain full-format arm of the same deployment must deliver identical
+records (modulo the pinned widening prime), and the push-down must
+actually engage — projected sends, bytes saved, receiver projection
+routes — over the lossy sim fabric and the real socket transport.
+"""
+
+import random
+
+from repro.check.oracles import check_projection, check_projection_pushdown
+from repro.check.runner import BUDGET_SPLIT, replay_entry, run_check
+
+
+class TestPushdownScenarios:
+    def test_pushdown_is_clean_on_known_good_seeds_over_sim(self):
+        for net_seed in (0, 1, 2):
+            findings = check_projection_pushdown(
+                net_seed, loss_rate=0.05, jitter=0.005,
+                messages=5, batch_size=3, transport="sim",
+            )
+            assert findings == [], [f.detail for f in findings]
+
+    def test_pushdown_is_clean_over_the_socket_transport(self):
+        findings = check_projection_pushdown(
+            0, loss_rate=0.0, jitter=0.0, messages=4, batch_size=2,
+            transport="socket",
+        )
+        assert findings == [], [f.detail for f in findings]
+
+    def test_pushdown_is_clean_on_a_lossless_fabric(self):
+        findings = check_projection_pushdown(
+            3, loss_rate=0.0, jitter=0.0, messages=6, batch_size=4,
+        )
+        assert findings == [], [f.detail for f in findings]
+
+
+class TestHarnessIntegration:
+    def test_projection_has_a_budget_share(self):
+        assert "projection" in BUDGET_SPLIT
+
+    def test_focus_mode_spends_the_whole_budget_on_projection(self):
+        summary = run_check(seed=0, budget=80, only="projection")
+        assert summary["ok"], summary["findings"]
+        assert summary["cases"]["projection"] > 0
+        for oracle, count in summary["cases"].items():
+            if oracle != "projection":
+                assert count == 0
+
+    def test_oracle_entry_point_is_seed_deterministic(self):
+        findings = check_projection(random.Random("smoke:0"))
+        assert findings == [], [f.detail for f in findings]
+
+    def test_replay_reruns_a_pushdown_scenario_from_its_params(self):
+        entry = {
+            "kind": "projection", "scenario": "pushdown", "net_seed": 1,
+            "loss_rate": 0.05, "jitter": 0.0, "messages": 5,
+            "batch_size": 2, "expectation": "parity",
+        }
+        assert replay_entry(entry) == []

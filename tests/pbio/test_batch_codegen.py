@@ -1,0 +1,149 @@
+"""Vectorized BATCH1 encode: one generated routine packs K rows.
+
+The contract that lets the echo fast path swap freely between the two
+packing strategies: ``make_batch_encoder((env, payload))(rows, ctx)``
+is byte-for-byte the frame ``pack_batch`` builds from the per-message
+composed wires, and advances the same obs counters.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import DecodeError, EncodeError
+from repro.pbio import codegen
+from repro.pbio.encode import encode_record
+from repro.pbio.field import ArraySpec, IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.projection import project_format
+from repro.net.batch import iter_batch, pack_batch, peek_batch_trace
+from repro.obs.tracectx import make_context
+
+
+ENVELOPE = IOFormat(
+    "Env",
+    [IOField("channel", "integer"), IOField("seq", "integer")],
+    version="1.0",
+)
+PAYLOAD = IOFormat(
+    "Pay",
+    [
+        IOField("n", "integer"),
+        IOField("label", "string"),
+        IOField("xs", "float", array=ArraySpec(fixed_length=3)),
+    ],
+    version="1.0",
+)
+
+
+def rows(count=4):
+    return [
+        (
+            ENVELOPE.make_record(channel=3, seq=i),
+            PAYLOAD.make_record(n=i * 10, label=f"r{i}", xs=[0.5, i, -i]),
+        )
+        for i in range(count)
+    ]
+
+
+def reference_frame(batch, ctx=None, byte_order="little"):
+    datagrams = [
+        b"".join(
+            encode_record(fmt, rec, byte_order=byte_order)
+            for fmt, rec in zip((ENVELOPE, PAYLOAD), row)
+        )
+        for row in batch
+    ]
+    return pack_batch(datagrams, ctx)
+
+
+class TestByteParity:
+    @pytest.mark.parametrize("order", ["little", "big"])
+    def test_frame_matches_compose_then_pack(self, order):
+        encode = codegen.make_batch_encoder((ENVELOPE, PAYLOAD), byte_order=order)
+        batch = rows()
+        assert encode(batch) == reference_frame(batch, byte_order=order)
+
+    def test_traced_frame_matches(self):
+        encode = codegen.make_batch_encoder((ENVELOPE, PAYLOAD))
+        ctx = make_context()
+        batch = rows(2)
+        frame = encode(batch, ctx)
+        assert frame == reference_frame(batch, ctx)
+        peeked = peek_batch_trace(frame)
+        assert peeked is not None and peeked.trace_id == ctx.trace_id
+
+    def test_single_format_rows(self):
+        encode = codegen.make_batch_encoder((PAYLOAD,))
+        batch = [row[1:] for row in rows(3)]
+        frame = encode(batch)
+        wires = [bytes(v) for v in iter_batch(frame)]
+        assert wires == [
+            encode_record(PAYLOAD, rec) for (rec,) in batch
+        ]
+
+    def test_projection_rows(self):
+        proj = project_format(PAYLOAD, ["n"], epoch=1)
+        encode = codegen.make_batch_encoder((ENVELOPE, proj))
+        env, full = rows(1)[0]
+        frame = encode([(env, {"n": full["n"]})])
+        (wire,) = [bytes(v) for v in iter_batch(frame)]
+        assert wire.endswith(encode_record(proj, {"n": full["n"]}))
+
+
+class TestContract:
+    def test_empty_rows_rejected_like_pack_batch(self):
+        encode = codegen.make_batch_encoder((ENVELOPE, PAYLOAD))
+        with pytest.raises(DecodeError):
+            encode([])
+
+    def test_row_arity_mismatch_is_encode_error(self):
+        encode = codegen.make_batch_encoder((ENVELOPE, PAYLOAD))
+        with pytest.raises(EncodeError):
+            encode([(ENVELOPE.make_record(channel=1, seq=0),)])
+
+    def test_missing_field_is_encode_error(self):
+        encode = codegen.make_batch_encoder((ENVELOPE, PAYLOAD))
+        with pytest.raises(EncodeError):
+            encode([(ENVELOPE.make_record(channel=1, seq=0), {"n": 1})])
+
+    def test_needs_at_least_one_format(self):
+        with pytest.raises(EncodeError):
+            codegen.make_batch_encoder(())
+
+    def test_unknown_byte_order_rejected(self):
+        with pytest.raises(EncodeError):
+            codegen.make_batch_encoder((PAYLOAD,), byte_order="middle")
+
+
+class TestObsParity:
+    def test_packed_counters_match_pack_batch(self):
+        encode = codegen.make_batch_encoder((ENVELOPE, PAYLOAD))
+        batch = rows(5)
+        registry = obs.Registry()
+        obs.enable(registry=registry)
+        try:
+            encode(batch)
+            vectorized = {
+                name: registry.counter(name).value
+                for name in (
+                    "net.batch.packed_frames", "net.batch.packed_messages",
+                )
+            }
+        finally:
+            obs.disable(reset=True)
+        registry = obs.Registry()
+        obs.enable(registry=registry)
+        try:
+            reference_frame(batch)
+            composed = {
+                name: registry.counter(name).value
+                for name in (
+                    "net.batch.packed_frames", "net.batch.packed_messages",
+                )
+            }
+        finally:
+            obs.disable(reset=True)
+        assert vectorized == composed == {
+            "net.batch.packed_frames": 1,
+            "net.batch.packed_messages": 5,
+        }

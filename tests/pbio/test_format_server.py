@@ -221,3 +221,207 @@ class TestLossyMetaPlane:
         net.run()
         assert results and results[0].format_id == EVT_V1.format_id
         assert not reader.degraded
+
+# ----------------------------------------------------------------------
+# Interest negotiation (projection push-down)
+# ----------------------------------------------------------------------
+
+from repro.pbio.field import ArraySpec  # noqa: E402
+from repro.pbio.projection import ProjectionFormat, project_format  # noqa: E402
+
+WIDE = IOFormat(
+    "Wide",
+    [
+        IOField("n", "integer"),
+        IOField("x", "integer"),
+        IOField("y", "integer"),
+        IOField("z", "integer"),
+    ],
+    version="2.0",
+)
+
+
+def announce(resolver, fields, group="grp", parent=WIDE, retract=False):
+    states = []
+    resolver.announce_interest(
+        group, parent, fields, retract=retract, on_state=states.append
+    )
+    return states
+
+
+class TestInterestNegotiation:
+    def test_narrow_interest_derives_an_epoch1_projection(self):
+        net, primary, _backup, _writer, reader = build_fleet()
+        states = announce(reader, ["n"])
+        net.run()
+        assert states and states[0] is not None
+        state = states[0]
+        assert state["epoch"] == 1 and not state["full"]
+        assert state["format"].field_names() == ["n"]
+        assert state["format"].parent_format_id == WIDE.format_id
+        assert primary.stats["renegotiations"] == 1
+
+    def test_union_across_subscribers(self):
+        net, _primary, _backup, writer, reader = build_fleet()
+        announce(reader, ["n"])
+        net.run()
+        announce(writer, ["y"])
+        net.run()
+        state = writer.projection_state(WIDE.format_id, "grp")
+        assert state["epoch"] == 2
+        assert state["format"].field_names() == ["n", "y"]
+
+    def test_full_interest_stays_full_at_epoch_zero(self):
+        net, primary, _backup, _writer, reader = build_fleet()
+        states = announce(reader, None)
+        net.run()
+        assert states[0]["full"] and states[0]["epoch"] == 0
+        # wanting everything is not a renegotiation
+        assert primary.stats["renegotiations"] == 0
+
+    def test_superset_of_declared_fields_means_full(self):
+        net, _primary, _backup, _writer, reader = build_fleet()
+        states = announce(reader, ["n", "x", "y", "z", "not_declared"])
+        net.run()
+        assert states[0]["full"]
+
+    def test_all_unknown_names_keep_the_first_field(self):
+        # A subscriber announcing against a stale revision must still
+        # get decodable frames: the server pins the parent's first field.
+        net, _primary, _backup, _writer, reader = build_fleet()
+        states = announce(reader, ["ghost", "phantom"])
+        net.run()
+        assert states[0]["format"].field_names() == ["n"]
+
+    def test_retract_widens_back_to_full(self):
+        net, primary, _backup, _writer, reader = build_fleet()
+        announce(reader, ["n"])
+        net.run()
+        states = announce(reader, None, retract=True)
+        net.run()
+        assert states[0]["full"] and states[0]["epoch"] == 2
+        assert primary.stats["renegotiations"] == 2
+
+    def test_sender_watcher_sees_pushed_renegotiations(self):
+        net, _primary, _backup, writer, reader = build_fleet()
+        updates = []
+        writer.watch_projection("grp", WIDE, on_update=updates.append)
+        net.run()
+        assert updates and updates[0]["full"]  # initial state: no interests
+        announce(reader, ["x"])
+        net.run()
+        assert updates[-1]["format"].field_names() == ["x"]
+        assert updates[-1]["epoch"] == 1
+
+    def test_projection_format_mirrors_to_standby(self):
+        net, _primary, backup, _writer, reader = build_fleet()
+        announce(reader, ["n"])
+        net.run()
+        proj = project_format(WIDE, ["n"], epoch=1)
+        mirrored = backup.registry.lookup_id(proj.format_id)
+        assert isinstance(mirrored, ProjectionFormat)
+
+    def test_old_epochs_stay_registered_for_inflight_frames(self):
+        net, primary, _backup, writer, reader = build_fleet()
+        announce(reader, ["n"])
+        net.run()
+        announce(writer, ["y"], group="grp")
+        net.run()
+        for epoch, fields in ((1, ["n"]), (2, ["n", "y"])):
+            fmt = project_format(WIDE, fields, epoch=epoch)
+            assert primary.registry.lookup_id(fmt.format_id) is not None
+
+    def test_malformed_parent_yields_none_state(self):
+        net, _primary, _backup, _writer, reader = build_fleet()
+        states = []
+        reader.announce_interest(
+            "grp", WIDE, ["n"], on_state=states.append
+        )
+        # corrupt the parent payload server-side by sending a raw
+        # malformed interest directly
+        from repro.pbio.server import _encode
+        reader.endpoint.send("fs-a", _encode({
+            "op": "interest", "group": "grp", "parent": {"bogus": True},
+            "fields": ["n"], "id": 999,
+        }))
+        net.run()
+        assert states and states[0] is not None  # the good announce worked
+
+    def test_degraded_resolver_reports_none_and_keeps_full_traffic(self):
+        net, primary, backup, _writer, reader = build_fleet()
+        primary.close()
+        backup.close()
+        reader.resolve(0xF00D)  # discover the outage, degrade
+        net.run()
+        assert reader.degraded
+        states = announce(reader, ["n"])
+        assert states == [None]
+
+    def test_projected_lookup_ships_the_parent_alongside(self):
+        # A sender that never saw the parent resolves a projected id and
+        # must be able to plan the widening route immediately.
+        net, _primary, _backup, writer, reader = build_fleet()
+        writer.register(WIDE)
+        announce(writer, ["n"])
+        net.run()
+        proj = project_format(WIDE, ["n"], epoch=1)
+        results = []
+        reader.resolve(proj.format_id, results.append)
+        net.run()
+        assert results and results[0].format_id == proj.format_id
+        assert reader.registry.lookup_id(WIDE.format_id) is not None
+
+
+class TestStaleEntryInvalidation:
+    """Regression: a re-registered format id with different content must
+    displace the cached entry, bump ``invalidations`` and fire
+    ``on_invalidate`` (receivers drop compiled routes keyed by that id)."""
+
+    def test_server_reply_displaces_plain_clone_of_projection(self):
+        net, _primary, _backup, writer, reader = build_fleet()
+        writer.register(WIDE)
+        announce(writer, ["n"])
+        net.run()
+        proj = project_format(WIDE, ["n"], epoch=1)
+        # poison the reader's cache with a structurally identical plain
+        # format under the projection's id (no provenance)
+        plain = IOFormat(proj.name, list(proj.fields), version=proj.version)
+        assert plain.format_id == proj.format_id
+        reader.registry.register(plain)
+        invalidated = []
+        reader.on_invalidate = invalidated.append
+        reader.refresh(proj.format_id)
+        net.run()
+        assert invalidated == [proj.format_id]
+        assert reader.stats["invalidations"] == 1
+        cached = reader.registry.lookup_id(proj.format_id)
+        assert isinstance(cached, ProjectionFormat)
+
+    def test_server_reply_displaces_default_drift(self):
+        net, _primary, _backup, writer, reader = build_fleet()
+        revised = IOFormat(
+            "Evt",
+            [IOField("n", "integer", default=7), IOField("x", "integer")],
+            version="1.0",
+        )
+        assert revised.format_id == EVT_V1.format_id
+        reader.registry.register(EVT_V1)
+        writer.register(revised)
+        net.run()
+        invalidated = []
+        reader.on_invalidate = invalidated.append
+        reader.refresh(EVT_V1.format_id)
+        net.run()
+        assert invalidated == [EVT_V1.format_id]
+        cached = reader.registry.lookup_id(EVT_V1.format_id)
+        assert cached.fields[0].default_instance() == 7
+
+    def test_equal_content_is_not_an_invalidation(self):
+        net, _primary, _backup, writer, reader = build_fleet()
+        writer.register(EVT_V1)
+        net.run()
+        reader.resolve(EVT_V1.format_id)
+        net.run()
+        reader.refresh(EVT_V1.format_id)
+        net.run()
+        assert reader.stats["invalidations"] == 0

@@ -1,0 +1,194 @@
+"""ProjectionFormat: derived field-subset formats with provenance.
+
+Covers derivation (field order, auto-included array counters, error
+cases), the project/widen record helpers the differential oracle and
+the receiver's staged path rely on, wire round-trips through both codec
+paths, serialization with the provenance block, and the content-aware
+``FormatRegistry.replace`` that authoritative refreshes go through.
+"""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.pbio.codegen import make_decoder, make_encoder
+from repro.pbio.decode import decode_record
+from repro.pbio.encode import encode_record
+from repro.pbio.field import ArraySpec, IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.projection import (
+    ProjectionFormat,
+    project_format,
+    project_record,
+    projection_ratio,
+    projection_version,
+    widen_record,
+)
+from repro.pbio.registry import FormatRegistry
+from repro.pbio.serialization import format_from_dict, format_to_dict
+
+
+PARENT = IOFormat(
+    "Telemetry",
+    [
+        IOField("seq", "integer"),
+        IOField("count", "integer"),
+        IOField("samples", "integer", array=ArraySpec(length_field="count")),
+        IOField("tag", "integer"),
+        IOField("pad", "integer", array=ArraySpec(fixed_length=4)),
+    ],
+    version="1.0",
+)
+
+
+def record(seq=1, samples=(5, 6), tag=9):
+    return PARENT.make_record(
+        seq=seq, count=len(samples), samples=list(samples), tag=tag,
+        pad=[0, 0, 0, 0],
+    )
+
+
+class TestProjectFormat:
+    def test_keeps_parent_field_order(self):
+        proj = project_format(PARENT, ["tag", "seq"], epoch=1)
+        assert proj.field_names() == ["seq", "tag"]
+
+    def test_auto_includes_variable_array_counters(self):
+        proj = project_format(PARENT, ["samples"], epoch=1)
+        assert proj.field_names() == ["count", "samples"]
+
+    def test_carries_provenance_to_the_parent(self):
+        proj = project_format(PARENT, ["seq"], epoch=3)
+        assert isinstance(proj, ProjectionFormat)
+        assert proj.parent_format_id == PARENT.format_id
+        assert proj.projection_epoch == 3
+        assert proj.version == projection_version(PARENT, 3) == "1.0+p3"
+
+    def test_epochs_get_distinct_wire_ids(self):
+        one = project_format(PARENT, ["seq"], epoch=1)
+        two = project_format(PARENT, ["seq"], epoch=2)
+        assert one.format_id != two.format_id
+        assert one.format_id != PARENT.format_id
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FormatError):
+            project_format(PARENT, ["nope"], epoch=1)
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(FormatError):
+            project_format(PARENT, [], epoch=1)
+
+    def test_ratio(self):
+        proj = project_format(PARENT, ["seq"], epoch=1)
+        assert projection_ratio(proj, PARENT) == pytest.approx(1 / 5)
+
+
+class TestRecordHelpers:
+    def test_project_record_restricts_to_projection_fields(self):
+        proj = project_format(PARENT, ["seq", "samples"], epoch=1)
+        projected = project_record(proj, record(seq=7, samples=(1, 2, 3)))
+        assert dict(projected) == {"seq": 7, "count": 3, "samples": [1, 2, 3]}
+
+    def test_widen_record_fills_parent_defaults(self):
+        proj = project_format(PARENT, ["seq"], epoch=1)
+        widened = widen_record(proj, PARENT, {"seq": 4})
+        assert widened["seq"] == 4
+        assert widened["count"] == 0
+        assert widened["samples"] == []
+        assert widened["pad"] == [0, 0, 0, 0]
+
+    def test_widen_record_never_resyncs_counters(self):
+        # A projected record can legitimately carry a counter whose
+        # array was dropped; widening must keep the transmitted value
+        # verbatim instead of re-deriving it from the defaulted array.
+        proj = project_format(PARENT, ["count"], epoch=1)
+        widened = widen_record(proj, PARENT, {"count": 17})
+        assert widened["count"] == 17
+        assert widened["samples"] == []
+
+
+class TestWire:
+    def test_roundtrip_generic_and_specialized_agree(self):
+        proj = project_format(PARENT, ["seq", "samples"], epoch=2)
+        rec = record(seq=11, samples=(3, 1, 4, 1))
+        for order in ("little", "big"):
+            wire = encode_record(proj, rec, byte_order=order)
+            assert make_encoder(proj, byte_order=order)(rec) == wire
+            decoded = decode_record(proj, wire)
+            assert dict(decoded) == dict(project_record(proj, rec))
+            assert dict(make_decoder(proj)(wire)) == dict(decoded)
+
+    def test_projected_wire_is_smaller(self):
+        proj = project_format(PARENT, ["seq"], epoch=1)
+        rec = record()
+        assert len(encode_record(proj, rec)) < len(encode_record(PARENT, rec))
+
+
+class TestSerialization:
+    def test_provenance_survives_the_wire_dict(self):
+        proj = project_format(PARENT, ["seq", "tag"], epoch=5)
+        clone = format_from_dict(format_to_dict(proj))
+        assert isinstance(clone, ProjectionFormat)
+        assert clone.parent_format_id == PARENT.format_id
+        assert clone.projection_epoch == 5
+        assert clone.format_id == proj.format_id
+
+    def test_plain_formats_carry_no_projection_block(self):
+        assert "projection" not in format_to_dict(PARENT)
+
+    def test_malformed_projection_block_rejected(self):
+        payload = format_to_dict(project_format(PARENT, ["seq"], epoch=1))
+        payload["projection"] = {"parent_format_id": "not-a-number"}
+        with pytest.raises(FormatError):
+            format_from_dict(payload)
+
+
+class TestRegistryReplace:
+    def test_replace_registers_fresh_content(self):
+        registry = FormatRegistry()
+        assert registry.replace(PARENT) is False
+        assert registry.lookup_id(PARENT.format_id) is PARENT
+
+    def test_replace_is_idempotent_for_equal_content(self):
+        registry = FormatRegistry()
+        registry.register(PARENT)
+        assert registry.replace(PARENT) is False
+
+    def test_replace_displaces_on_default_change(self):
+        # Field defaults are invisible to the fingerprint id, so both
+        # revisions share a wire id — the refresh must still win.
+        a = IOFormat("Evt", [IOField("n", "integer")], version="1.0")
+        b = IOFormat(
+            "Evt", [IOField("n", "integer", default=7)], version="1.0"
+        )
+        assert a.format_id == b.format_id
+        registry = FormatRegistry()
+        registry.register(a)
+        assert registry.replace(b) is True
+        assert registry.lookup_id(a.format_id) is b
+
+    def test_replace_displaces_plain_clone_of_a_projection(self):
+        # Same structural signature, but only one carries provenance:
+        # the projection-aware entry must displace the plain clone.
+        proj = project_format(PARENT, ["seq"], epoch=1)
+        plain = IOFormat(proj.name, list(proj.fields), version=proj.version)
+        assert plain.format_id == proj.format_id
+        registry = FormatRegistry()
+        registry.register(plain)
+        assert registry.replace(proj) is True
+        assert isinstance(registry.lookup_id(proj.format_id), ProjectionFormat)
+
+    def test_replace_drops_transforms_of_the_displaced_entry(self):
+        from repro.pbio.registry import TransformSpec
+
+        a = IOFormat("Evt", [IOField("n", "integer")], version="1.0")
+        b = IOFormat(
+            "Evt", [IOField("n", "integer", default=7)], version="1.0"
+        )
+        target = IOFormat("Evt", [IOField("n", "integer")], version="0.0")
+        registry = FormatRegistry()
+        registry.register_transform(TransformSpec(
+            source=a, target=target, code="old.n = new.n;"
+        ))
+        assert registry.transforms_from(a)
+        registry.replace(b)
+        assert registry.transforms_from(b) == []
