@@ -1211,3 +1211,215 @@ def check_projection(
         transport=transport,
     ))
     return findings
+
+
+# ---------------------------------------------------------------------------
+# Oracle 9: crash-resilience chaos (process kill, partition, ablation)
+# ---------------------------------------------------------------------------
+
+
+def _noop() -> None:
+    """Timer body used to force virtual-clock advancement in pump()."""
+
+
+def check_crash_chaos(
+    net_seed: int,
+    loss_rate: float,
+    jitter: float,
+    messages: int,
+    scenario: str = "kill",
+    transport: str = "sim",
+) -> List[Finding]:
+    """Worker crashes mid-stream on a journaled, lease-guarded fabric.
+
+    Three scenarios share one deployment (3 workers, V2 publisher, V1
+    and V0 subscriber clients on 4 channels, everything reliable):
+
+    * ``kill`` — SIGKILL the owner of a hot channel mid-stream, let the
+      lease checker declare it dead, keep publishing through the outage
+      (client-side buffering + redrive), then restart and rejoin it.
+    * ``partition`` — the victim keeps serving but stops renewing its
+      lease (a directory partition); after expiry it is a *resurrected
+      stale owner* and must be epoch-fenced out of admitting publishes.
+    * ``ablation`` — the ``kill`` schedule with journaling disabled:
+      the control arm.  Only weak invariants are asserted (no invented
+      or double-delivered events, quiescence); event *loss* is expected
+      and is the measured difference — see ``BENCH_recovery``.
+
+    Journaled scenarios assert the tentpole contract: exactly-once
+    delivery at every sink across the crash (journal-tail re-deliveries
+    are suppressed and counted by subscriber ledgers), zero client-side
+    drops, full shard coverage after recovery, and quiescence."""
+    from repro.fabric import EventFabric, JournalStore
+
+    if scenario not in ("kill", "partition", "ablation"):
+        raise ReproError(f"unknown crash scenario {scenario!r}")
+    findings: List[Finding] = []
+    base_entry = {
+        "kind": "crash", "scenario": scenario, "net_seed": net_seed,
+        "loss_rate": loss_rate, "jitter": jitter, "messages": messages,
+        "transport": transport, "expectation": "crash_exactly_once",
+    }
+
+    def flag(detail: str) -> None:
+        entry = dict(base_entry)
+        entry["detail"] = detail
+        findings.append(Finding(oracle="crash", detail=detail, entry=entry))
+
+    prior = (obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer)
+    obs.enable(registry=Registry())
+    net = make_network(transport, net_seed, loss_rate, jitter)
+    try:
+        registry = FormatRegistry()
+        registry.register_transform(_EVT_V2_TO_V1)
+        registry.register_transform(_EVT_V1_TO_V0)
+        journal = None if scenario == "ablation" else JournalStore()
+        # Short timeouts keep the crash-detection span (send-failure
+        # discovery, stall skip) inside the scenario's virtual/real
+        # time budget on both transports.
+        reliable_options = {"base_timeout": 0.02, "max_retries": 5}
+        fabric = EventFabric(
+            net, registry=registry, reliable=True, journal=journal,
+            lease_timeout=0.6,
+        )
+        workers = {
+            address: fabric.add_worker(
+                address, reliable_options=dict(reliable_options)
+            )
+            for address in ("w1", "w2", "w3")
+        }
+        pub = fabric.client("pub", reliable_options=dict(reliable_options))
+        sub1 = fabric.client("sub-v1", reliable_options=dict(reliable_options))
+        sub0 = fabric.client("sub-v0", reliable_options=dict(reliable_options))
+        channels = [f"crash/{i}" for i in range(4)]
+        got1: List[int] = []
+        got0: List[int] = []
+        for channel_id in channels:
+            sub1.subscribe(channel_id, _EVT_V1,
+                           lambda c, p, s, r: got1.append(r["n"]))
+            sub0.subscribe(channel_id, _EVT_V0,
+                           lambda c, p, s, r: got0.append(r["n"]))
+
+        def pump(steps: int, step: float = 0.05) -> None:
+            """Advance the deployment *steps* beats: every live worker
+            heartbeats, the directory sweeps leases, and the network
+            runs one *step* of (virtual or real) time.  Heartbeats are
+            driven here rather than by recurring timers so the
+            simulated network can still fully quiesce at the end."""
+            for _ in range(steps):
+                for worker in workers.values():
+                    worker.heartbeat()
+                fabric.directory.check_leases()
+                if transport == "sim":
+                    net.call_later(step, _noop)
+                    net.run(max_time=net.now + step)
+                else:
+                    net.run_for(step)
+
+        sent = 0
+
+        def publish_round(count: int, only: "Optional[str]" = None) -> None:
+            nonlocal sent
+            for _ in range(count):
+                channel_id = (
+                    only if only is not None
+                    else channels[sent % len(channels)]
+                )
+                pub.publish(channel_id, _EVT_V2, _EVT_V2.make_record(
+                    n=sent, extra=2 * sent, flag=1
+                ))
+                sent += 1
+
+        pump(4)  # let subscriptions install fleet-wide
+        victim_channel = channels[0]
+        victim_address = fabric.directory.owner(victim_channel)
+        victim = workers[victim_address]
+
+        publish_round(messages)          # healthy traffic
+        pump(2)                          # partial drain: leave in-flight work
+        if scenario == "partition":
+            victim.heartbeats_suspended = True
+        else:
+            fabric.crash_worker(victim_address)
+        publish_round(messages, only=victim_channel)  # outage traffic
+        pump(18)                         # past the lease deadline + recovery
+        if victim_address in fabric.directory.workers:
+            flag("lease checker never declared the victim dead")
+        publish_round(messages)          # post-recovery traffic
+        pump(6)
+        if scenario == "partition":
+            victim.heartbeats_suspended = False
+        else:
+            victim.restart()
+        if victim_address not in fabric.directory.workers:
+            fabric.directory.join(victim)  # resurrection rejoins explicitly
+        pump(10)
+        publish_round(messages)          # post-rejoin traffic
+        pump(10)
+        net.run()                        # full drain (redrives, stalls)
+    finally:
+        obs.OBS.enabled, obs.OBS.metrics, obs.OBS.tracer = prior
+
+    expected = set(range(sent))
+    if scenario == "ablation":
+        # Control arm: loss is expected (that is the measured point),
+        # but the fabric must never invent or double-deliver events.
+        for name, got in (("sub-v1", got1), ("sub-v0", got0)):
+            if len(got) != len(set(got)):
+                dups = sorted({n for n in got if got.count(n) > 1})
+                flag(f"{name} saw duplicate events {dups[:5]} "
+                     f"without journaling")
+            extra = set(got) - expected
+            if extra:
+                flag(f"{name} delivered unpublished events "
+                     f"{sorted(extra)[:5]}")
+    else:
+        _assert_exactly_once(flag, "sub-v1", got1, sent)
+        _assert_exactly_once(flag, "sub-v0", got0, sent)
+        if pub.dropped:
+            flag(f"publisher dropped {pub.dropped} buffered events "
+                 f"despite a recovered fleet")
+        for shard, owner_address in sorted(
+            fabric.directory.assignment.items()
+        ):
+            owner = workers.get(owner_address)
+            if owner is None:
+                flag(f"shard {shard} assigned to unknown worker "
+                     f"{owner_address!r}")
+            elif shard not in owner.owned_shards():
+                flag(f"shard {shard} assigned to {owner_address} but not "
+                     f"owned after recovery settled")
+        if scenario == "partition" and victim.fenced == 0:
+            flag("partitioned stale owner was never epoch-fenced "
+                 "despite post-expiry traffic on its channel")
+    if net.pending:
+        flag(f"network did not quiesce: {net.pending} events still queued")
+    if net.handler_errors:
+        flag(f"{net.handler_errors} handler exceptions were contained by "
+             f"the transport during the crash scenario")
+    closer = getattr(net, "close", None)
+    if closer is not None:
+        closer()
+    return findings
+
+
+def check_crash(
+    rng: random.Random, messages: int = 6, transport: str = "sim"
+) -> List[Finding]:
+    """One randomized crash-chaos case.  Loss stays ≤ 0.1 so reliable
+    sends to *live* peers never exhaust their retry budget — every
+    failure in the scenario must come from the crash itself."""
+    loss_rate = rng.choice([0.0, 0.05, 0.1])
+    jitter = rng.choice([0.0, 0.005])
+    net_seed = rng.randrange(2**31)
+    roll = rng.random()
+    if roll < 0.5:
+        scenario = "kill"
+    elif roll < 0.75:
+        scenario = "partition"
+    else:
+        scenario = "ablation"
+    return check_crash_chaos(
+        net_seed, loss_rate, jitter, messages,
+        scenario=scenario, transport=transport,
+    )

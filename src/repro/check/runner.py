@@ -24,14 +24,15 @@ from repro.pbio.serialization import format_from_dict
 
 #: Fraction of the budget each oracle consumes.
 BUDGET_SPLIT = {
-    "roundtrip": 0.26,
-    "mutation": 0.24,
+    "roundtrip": 0.24,
+    "mutation": 0.22,
     "ecode": 0.10,
     "fusion": 0.10,
     "morph": 0.08,
     "reliability": 0.08,
-    "batching": 0.08,
-    "projection": 0.06,
+    "batching": 0.07,
+    "projection": 0.05,
+    "crash": 0.06,
 }
 
 #: Each morph case already simulates several messages over the network;
@@ -55,6 +56,11 @@ _BATCHING_CASE_WEIGHT = 40
 #: negotiated push-down) through a three-phase subscriber-churn script,
 #: plus a hostile-projected-wire round.
 _PROJECTION_CASE_WEIGHT = 40
+
+#: Each crash case stands up a three-worker journaled fabric, kills (or
+#: partitions) the shard owner mid-stream, and drives lease expiry,
+#: fenced recovery and client redrive to quiescence.
+_CRASH_CASE_WEIGHT = 50
 
 
 class CheckRunner:
@@ -148,6 +154,10 @@ class CheckRunner:
             max(1, plan["projection"] // _PROJECTION_CASE_WEIGHT)
             if plan["projection"] else 0
         )
+        plan["crash"] = (
+            max(1, plan["crash"] // _CRASH_CASE_WEIGHT)
+            if plan["crash"] else 0
+        )
 
         for index in range(plan["roundtrip"]):
             self.cases["roundtrip"] += 1
@@ -187,6 +197,14 @@ class CheckRunner:
             self._record(
                 oracles.check_projection(
                     self._rng("projection", index),
+                    transport=self.transport,
+                )
+            )
+        for index in range(plan["crash"]):
+            self.cases["crash"] += 1
+            self._record(
+                oracles.check_crash(
+                    self._rng("crash", index),
                     transport=self.transport,
                 )
             )
@@ -249,7 +267,19 @@ def replay_entry(entry: Dict[str, Any]) -> List[Finding]:
         return _replay_batching(entry)
     if kind == "projection":
         return _replay_projection(entry)
+    if kind == "crash":
+        return _replay_crash(entry)
     raise ReproError(f"cannot replay corpus entry of kind {kind!r}")
+
+
+def _replay_crash(entry: Dict[str, Any]) -> List[Finding]:
+    """Crash chaos cases are fully determined by their scenario
+    parameters; replay re-runs the kill/partition/ablation script."""
+    return oracles.check_crash_chaos(
+        entry["net_seed"], entry["loss_rate"], entry["jitter"],
+        entry["messages"], scenario=entry.get("scenario", "kill"),
+        transport=entry.get("transport", "sim"),
+    )
 
 
 def _replay_projection(entry: Dict[str, Any]) -> List[Finding]:

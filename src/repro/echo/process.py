@@ -467,6 +467,17 @@ class EChoProcess:
                 sorted(interest) if interest is not None else None,
             )
 
+    def heartbeat(self) -> int:
+        """Liveness tick: replay every interest announcement so the
+        format-server fleet's TTL leases (``interest_ttl``) stay fresh.
+        A process that stops heartbeating — crashed, partitioned — stops
+        renewing, and its narrow interests age out of the union, widening
+        the projection back for the group.  Returns the number of
+        announcements replayed."""
+        if self.resolver is None:
+            return 0
+        return self.resolver.reannounce_interests()
+
     def _projection_for(
         self, channel_id: str, fmt: IOFormat
     ) -> Optional[ProjectionFormat]:

@@ -107,6 +107,11 @@ class FabricError(ReproError):
     channel route, ownership violation, malformed handoff state...)."""
 
 
+class JournalError(FabricError):
+    """The ledger journal was misused or holds corrupt state (malformed
+    entry, unreadable journal file, recovery against a bad snapshot)."""
+
+
 # ---------------------------------------------------------------------------
 # XML baseline errors
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.fabric.hashing import (
     shard_of,
     stable_hash,
 )
+from repro.fabric.journal import JournalRecovery, JournalStore
 from repro.fabric.membership import (
     EventFabric,
     FabricDirectory,
@@ -57,6 +58,8 @@ __all__ = [
     "FabricDirectory",
     "FabricWorker",
     "HashRing",
+    "JournalRecovery",
+    "JournalStore",
     "RemoteWorker",
     "SeqLedger",
     "register_fabric_protocol",

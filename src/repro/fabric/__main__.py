@@ -10,8 +10,11 @@ replica), publishes M ChannelOpenResponse v2.0 events round-robin over
 ownership-balanced channels, and asserts every one was morphed and
 delivered exactly once.  Then replays the seeded churn scenario on the
 simulated transport and asserts the exactly-once invariant held across
-join/leave handoffs.  Exit 0 on success, 1 on any violation — the CI
-stage that guards the subsystem end to end.
+join/leave handoffs, and runs the crash-recovery A/B: the journaled
+arm must survive a mid-stream owner kill with zero loss while the
+no-journal ablation arm demonstrably loses or re-delivers events.
+Exit 0 on success, 1 on any violation — the CI stage that guards the
+subsystem end to end.
 """
 
 from __future__ import annotations
@@ -19,7 +22,11 @@ from __future__ import annotations
 import sys
 from typing import List, Optional
 
-from repro.bench.fabric import bench_fabric_churn, bench_fabric_scaling
+from repro.bench.fabric import (
+    bench_fabric_churn,
+    bench_fabric_recovery,
+    bench_fabric_scaling,
+)
 
 
 def _flag_value(args: List[str], flag: str, default: int) -> int:
@@ -78,6 +85,27 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         )
     if churn.handoffs == 0:
         failures.append("churn scenario produced no handoffs")
+
+    recovery = bench_fabric_recovery(messages=24, crash_fractions=(0.5,))
+    for row in recovery:
+        print(
+            f"sim recovery [{row.label}]: {row.delivered}/{row.published} "
+            f"delivered, {row.lost} lost, {row.tail_duplicates} tail "
+            f"duplicates suppressed, {row.replayed} replayed, "
+            f"unavailable {row.unavailability_seconds * 1000:.0f} ms"
+        )
+    journal_rows = [r for r in recovery if r.journaled]
+    ablation_rows = [r for r in recovery if not r.journaled]
+    if any(not r.exactly_once for r in journal_rows):
+        failures.append(
+            "journaled recovery lost events: "
+            + ", ".join(f"{r.label}: {r.lost}" for r in journal_rows)
+        )
+    if all(r.lost == 0 and r.tail_duplicates == 0 for r in ablation_rows):
+        failures.append(
+            "ablation arm showed no loss or duplicates — the crash "
+            "scenario is not exercising the journal"
+        )
 
     if failures:
         for failure in failures:

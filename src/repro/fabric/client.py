@@ -57,6 +57,9 @@ class FabricClient:
         resolver: Optional[CachingFormatResolver] = None,
         format_servers: Optional[List[str]] = None,
         resolver_options: Optional[Dict[str, Any]] = None,
+        publish_buffer_limit: int = 256,
+        redrive_base_delay: float = 0.05,
+        redrive_max_attempts: int = 8,
     ) -> None:
         self.directory = directory
         self.network = network
@@ -97,10 +100,21 @@ class FabricClient:
         self._subscriptions: Dict[str, Tuple[IOFormat, EventHandler]] = {}
         #: (channel, publisher) -> receive-side exactly-once ledger
         self.received: Dict[Tuple[str, str], SeqLedger] = {}
+        #: publishes whose reliable send failed (dead owner, open
+        #: breaker) awaiting redrive once the successor is live
+        self._publish_buffer: List[Tuple[str, bytes]] = []
+        self.publish_buffer_limit = publish_buffer_limit
+        self.redrive_base_delay = redrive_base_delay
+        self.redrive_max_attempts = redrive_max_attempts
+        self._redrive_timer: Optional[Any] = None
+        self._redrive_attempts = 0
         self.published = 0
         self.delivered = 0
         self.duplicates = 0
         self.redirects = 0
+        self.buffered = 0
+        self.redrives = 0
+        self.dropped = 0
         self.errors = 0
 
     @property
@@ -112,6 +126,90 @@ class FabricClient:
             self.reliable.send(destination, data)
         else:
             self.node.send(destination, data)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation across an ownership gap
+    # ------------------------------------------------------------------
+
+    def _send_publish(self, channel_id: str, destination: str,
+                      data: bytes) -> None:
+        """Send publish traffic with crash awareness.  In reliable mode
+        a failed or breaker-rejected send parks the datagram in a
+        bounded buffer and schedules a backoff redrive that re-routes
+        through a *fresh* directory lookup — by the time the retry
+        fires, lease expiry has usually moved the shard to a live
+        successor.  Raw mode has no failure signal, so it keeps the
+        original fire-and-forget behavior."""
+        if self.reliable is None:
+            self.node.send(destination, data)
+            return
+
+        def _on_result(ticket: Any) -> None:
+            if ticket.state == "acked":
+                self._redrive_attempts = 0
+            elif ticket.state in ("failed", "rejected"):
+                self._buffer_publish(channel_id, data)
+
+        self.reliable.send(destination, data, on_result=_on_result)
+
+    def _buffer_publish(self, channel_id: str, data: bytes) -> None:
+        # Drop the cached route: the owner we just failed against is
+        # gone (or unreachable); the redrive must ask the directory.
+        self._routes.pop(channel_id, None)
+        if len(self._publish_buffer) >= self.publish_buffer_limit:
+            self.dropped += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "fabric.recovery.dropped", client=self.address
+                ).inc()
+            return
+        self._publish_buffer.append((channel_id, data))
+        self.buffered += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "fabric.recovery.buffered", client=self.address
+            ).inc()
+        self._schedule_redrive()
+
+    def _schedule_redrive(self) -> None:
+        if self._redrive_timer is not None:
+            return
+        delay = self.redrive_base_delay * (2 ** self._redrive_attempts)
+        self._redrive_timer = self.network.call_later(delay, self._redrive)
+
+    def _redrive(self) -> None:
+        self._redrive_timer = None
+        if not self._publish_buffer:
+            return
+        self._redrive_attempts += 1
+        if self._redrive_attempts > self.redrive_max_attempts:
+            # The fleet never came back within the backoff budget:
+            # surface the loss explicitly rather than buffering forever.
+            self.dropped += len(self._publish_buffer)
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "fabric.recovery.dropped", client=self.address
+                ).inc(len(self._publish_buffer))
+            self._publish_buffer.clear()
+            self._redrive_attempts = 0
+            return
+        batch, self._publish_buffer = self._publish_buffer, []
+        self.redrives += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "fabric.recovery.redrives", client=self.address
+            ).inc()
+        for channel_id, data in batch:
+            try:
+                owner, _epoch = self._route(channel_id)
+            except FabricError:
+                self._publish_buffer.append((channel_id, data))
+                continue
+            # Failures re-buffer through _on_result and reschedule with
+            # the next (longer) backoff step.
+            self._send_publish(channel_id, owner, data)
+        if self._publish_buffer:
+            self._schedule_redrive()
 
     def _route(self, channel_id: str) -> Tuple[str, int]:
         route = self._routes.get(channel_id)
@@ -152,7 +250,7 @@ class FabricClient:
             publisher=self.address,
             format=fmt.name,
         ):
-            self._send(owner, envelope_wire + payload)
+            self._send_publish(channel_id, owner, envelope_wire + payload)
         self.published += 1
         if OBS.enabled:
             OBS.metrics.bounded_counter(
@@ -200,7 +298,7 @@ class FabricClient:
             format=fmt.name,
             count=len(records),
         ):
-            self._send(owner, frame)
+            self._send_publish(channel_id, owner, frame)
         self.published += len(records)
         if OBS.enabled:
             OBS.metrics.bounded_counter(

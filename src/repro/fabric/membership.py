@@ -19,13 +19,19 @@ with the shard), never a routing property.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import FabricError
 from repro.fabric.hashing import DEFAULT_NUM_SHARDS, HashRing, shard_of
+from repro.obs import OBS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fabric.journal import JournalStore
     from repro.fabric.worker import FabricWorker
+
+#: Default heartbeat-lease timeout (virtual seconds) when lease checking
+#: is enabled without an explicit value.
+DEFAULT_LEASE_TIMEOUT = 1.0
 
 
 class RemoteWorker:
@@ -60,16 +66,41 @@ class FabricDirectory:
     num_shards:
         Partitioning granularity; every worker and client built from
         this directory inherits it.
+    clock:
+        Anything with a ``now`` property (the transport).  Required for
+        lease-based failure detection; without it heartbeats are
+        recorded but never expire.
+    lease_timeout:
+        Seconds (of *clock* time) a worker may go without renewing its
+        heartbeat lease before :meth:`check_leases` declares it dead and
+        crash-leaves it.
     """
 
-    def __init__(self, num_shards: int = DEFAULT_NUM_SHARDS) -> None:
+    def __init__(
+        self,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        clock: Optional[Any] = None,
+        lease_timeout: Optional[float] = None,
+    ) -> None:
         self.num_shards = num_shards
+        self.clock = clock
+        self.lease_timeout = lease_timeout
         self._ring = HashRing()
         self._workers: "Dict[str, FabricWorker]" = {}
         self.epoch = 0
         self.assignment: Dict[int, str] = {}
+        #: shard -> epoch at which its *current* owner took it over —
+        #: the fencing floor stale owners are checked against
+        self.shard_epochs: Dict[int, int] = {}
         #: (shard, old, new) tuples per epoch — the rebalance audit log
         self.moves: List[Tuple[int, int, str, Optional[str]]] = []
+        #: (epoch, address) per lease-expiry / crash-leave declaration
+        self.deaths: List[Tuple[int, str]] = []
+        #: worker address -> last heartbeat time
+        self._leases: Dict[str, float] = {}
+        self.lease_renewals = 0
+        self.lease_rejections = 0
+        self.lease_expirations = 0
         #: echo-hosted channels: channel id -> hosting contact string
         self._echo_channels: Dict[str, str] = {}
 
@@ -96,6 +127,7 @@ class FabricDirectory:
             raise FabricError(f"worker {address!r} already joined")
         self._ring.add(address)
         self._workers[address] = worker
+        self._leases[address] = self._now()
         return self._rebalance()
 
     def bootstrap(self, members: "List[object]") -> List[int]:
@@ -114,6 +146,7 @@ class FabricDirectory:
                 raise FabricError(f"worker {address!r} already joined")
             self._ring.add(address)
             self._workers[address] = worker  # type: ignore[assignment]
+            self._leases[address] = self._now()
         return self._rebalance()
 
     def leave(self, address: str) -> List[int]:
@@ -133,8 +166,76 @@ class FabricDirectory:
         # long as the process lives).
         moved = self._rebalance()
         leaver = self._workers.pop(address)
+        self._leases.pop(address, None)
         assert not leaver.owned_shards()
         return moved
+
+    def crash_leave(self, address: str) -> List[int]:
+        """Remove a worker whose process is gone (or presumed gone —
+        lease expiry lands here too): no handoff can run, so its shards
+        are granted to the survivors directly and each grantee recovers
+        what it can from the shared ledger journal.  Returns the shards
+        that moved."""
+        if address not in self._ring:
+            raise FabricError(f"worker {address!r} never joined")
+        if len(self._ring) == 1:
+            raise FabricError("cannot declare the last worker dead")
+        self._ring.remove(address)
+        # Unlike a graceful leave, the corpse is dropped from _workers
+        # *before* the rebalance: begin_handoff must never run on it,
+        # so every moved shard takes the grant-without-state path (and
+        # recovers from the journal there).
+        self._workers.pop(address, None)
+        self._leases.pop(address, None)
+        self.deaths.append((self.epoch + 1, address))
+        return self._rebalance()
+
+    # ------------------------------------------------------------------
+    # Leases (failure detection)
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return 0.0 if self.clock is None else self.clock.now
+
+    def heartbeat(self, address: str) -> bool:
+        """Renew *address*'s lease.  A worker the directory no longer
+        lists (declared dead, never joined) gets ``False`` — renewal
+        must never resurrect a fenced-out corpse; it has to re-join."""
+        if address not in self._ring:
+            self.lease_rejections += 1
+            if OBS.enabled:
+                OBS.metrics.counter("fabric.lease.rejected").inc()
+            return False
+        self._leases[address] = self._now()
+        self.lease_renewals += 1
+        if OBS.enabled:
+            OBS.metrics.counter("fabric.lease.renewals").inc()
+        return True
+
+    def check_leases(self) -> List[str]:
+        """Declare every worker whose lease missed its deadline dead and
+        crash-leave it (shards reassigned under a bumped epoch).  The
+        last worker is never expired — a fleet with nowhere to move
+        shards keeps limping rather than losing the assignment.  Returns
+        the addresses declared dead."""
+        if self.lease_timeout is None or self.clock is None:
+            return []
+        now = self._now()
+        expired = [
+            address
+            for address in list(self._ring.members)
+            if now - self._leases.get(address, now) > self.lease_timeout
+        ]
+        dead: List[str] = []
+        for address in expired:
+            if len(self._ring) == 1:
+                break
+            self.crash_leave(address)
+            dead.append(address)
+            self.lease_expirations += 1
+            if OBS.enabled:
+                OBS.metrics.counter("fabric.lease.expired").inc()
+        return dead
 
     def _rebalance(self) -> List[int]:
         new_assignment = self._ring.assign(self.num_shards)
@@ -147,6 +248,7 @@ class FabricDirectory:
                 continue
             moved.append(shard)
             self.moves.append((self.epoch, shard, new, old))
+            self.shard_epochs[shard] = self.epoch
             new_worker = self._workers[new]
             if old is None:
                 # Fresh shard: granted directly, nothing to drain.
@@ -155,9 +257,10 @@ class FabricDirectory:
                 old_worker = self._workers.get(old)
                 if old_worker is None:
                     # The old owner's process is gone (crash-leave):
-                    # grant without state — the reliability layer's
-                    # publishers will re-route via redirect on next
-                    # contact; ledgers restart empty.
+                    # grant without a handoff — the grantee recovers the
+                    # shard's exactly-once state from the shared ledger
+                    # journal (when one is wired) and fences the old
+                    # epoch out; publishers re-route via redirects.
                     new_worker.grant_shard(shard, self.epoch)
                 else:
                     old_worker.begin_handoff(shard, new, self.epoch)
@@ -167,6 +270,12 @@ class FabricDirectory:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+
+    def shard_epoch(self, shard: int) -> int:
+        """The epoch the shard's current owner took it over at — the
+        fencing floor: a worker whose owned epoch is older is a stale
+        resurrected owner and must not admit publishes."""
+        return self.shard_epochs.get(shard, 0)
 
     def owner_of_shard(self, shard: int) -> str:
         try:
@@ -223,12 +332,17 @@ class EventFabric:
         num_shards: int = DEFAULT_NUM_SHARDS,
         format_servers: "Optional[List[str]]" = None,
         reliable: bool = False,
+        journal: "Optional[JournalStore]" = None,
+        lease_timeout: Optional[float] = None,
     ) -> None:
         self.network = network
         self.registry = registry
         self.format_servers = format_servers
         self.reliable = reliable
-        self.directory = FabricDirectory(num_shards=num_shards)
+        self.journal = journal
+        self.directory = FabricDirectory(
+            num_shards=num_shards, clock=network, lease_timeout=lease_timeout,
+        )
 
     def add_worker(self, address: str, **options: object) -> "FabricWorker":
         from repro.fabric.worker import FabricWorker
@@ -236,12 +350,23 @@ class EventFabric:
         options.setdefault("registry", self.registry)
         options.setdefault("format_servers", self.format_servers)
         options.setdefault("reliable", self.reliable)
+        options.setdefault("journal", self.journal)
         worker = FabricWorker(self.directory, self.network, address, **options)
         self.directory.join(worker)
         return worker
 
     def remove_worker(self, address: str) -> List[int]:
         return self.directory.leave(address)
+
+    def crash_worker(self, address: str) -> "FabricWorker":
+        """SIGKILL-style: stop the worker's process (volatile state and
+        in-flight sends die with it) *without* telling the directory —
+        failure detection is the lease checker's job.  Returns the
+        crashed worker so the scenario can later :meth:`restart
+        <repro.fabric.worker.FabricWorker.restart>` it."""
+        worker = self.directory.worker(address)
+        worker.crash()
+        return worker
 
     def client(self, address: str, **options: object) -> "FabricClient":
         from repro.fabric.client import FabricClient

@@ -75,15 +75,19 @@ FABRIC_REDIRECT = IOFormat(
 
 #: Shard handoff: the old owner ships the shard's channel state
 #: (subscriber table + exactly-once ledgers, as JSON) to the successor
-#: and switches itself to drain-and-forward mode.
+#: and switches itself to drain-and-forward mode.  Large shards travel
+#: in multiple bounded-size parts (``part`` of ``parts``); the
+#: successor stages parts and installs atomically once all arrive.
 FABRIC_HANDOFF = IOFormat(
     "FabricHandoff",
     [
         IOField("shard", "unsigned", 4),
         IOField("epoch", "unsigned", 4),
+        IOField("part", "unsigned", 4),
+        IOField("parts", "unsigned", 4),
         IOField("state", "string"),
     ],
-    version="1.0",
+    version="1.1",
 )
 
 FABRIC_HANDOFF_ACK = IOFormat(

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tupl
 
 from repro.errors import FabricError
 from repro.fabric.hashing import shard_of
+from repro.fabric.journal import JournalStore
 from repro.fabric.protocol import (
     FABRIC_DELIVER,
     FABRIC_HANDOFF,
@@ -60,6 +61,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Per-shard cap on messages buffered while handoff state is in flight.
 PENDING_LIMIT = 1024
+
+#: Target size (JSON characters) of one FABRIC_HANDOFF part.  Channel
+#: state is split at channel granularity, so one oversized channel still
+#: travels whole — the bound is a soft target, not a hard frame limit.
+HANDOFF_CHUNK_BYTES = 8192
 
 
 class SeqLedger:
@@ -96,7 +102,39 @@ class SeqLedger:
 
     @classmethod
     def from_state(cls, state: Dict[str, Any]) -> "SeqLedger":
-        return cls(int(state.get("high", 0)), set(state.get("sparse", ())))
+        """Rebuild a ledger from :meth:`to_state` output.
+
+        Handoff snapshots and journal recoveries both funnel through
+        here, so the input is network- or disk-derived: validate it and
+        raise a clean :class:`FabricError` instead of letting a
+        ``KeyError``/``TypeError`` escape or silently admitting bogus
+        sequence numbers."""
+        if not isinstance(state, dict):
+            raise FabricError(
+                f"ledger state must be a mapping, got {type(state).__name__}"
+            )
+        high = state.get("high", 0)
+        if isinstance(high, bool) or not isinstance(high, int) or high < 0:
+            raise FabricError(f"ledger state has invalid high mark {high!r}")
+        sparse = state.get("sparse", ())
+        if not isinstance(sparse, (list, tuple, set, frozenset)):
+            raise FabricError(
+                "ledger state sparse set must be a sequence, got "
+                f"{type(sparse).__name__}"
+            )
+        cleaned: Set[int] = set()
+        for seq in sparse:
+            if isinstance(seq, bool) or not isinstance(seq, int) or seq <= 0:
+                raise FabricError(
+                    f"ledger state has invalid sparse entry {seq!r}"
+                )
+            if seq <= high:
+                raise FabricError(
+                    f"ledger state sparse entry {seq} is below high mark "
+                    f"{high}"
+                )
+            cleaned.add(seq)
+        return cls(high, cleaned)
 
 
 class _SubscriberGroup:
@@ -156,6 +194,8 @@ class FabricWorker:
         resolver: Optional[CachingFormatResolver] = None,
         format_servers: Optional[List[str]] = None,
         resolver_options: Optional[Dict[str, Any]] = None,
+        journal: Optional[JournalStore] = None,
+        handoff_chunk_bytes: int = HANDOFF_CHUNK_BYTES,
     ) -> None:
         self.directory = directory
         self.network = network
@@ -199,6 +239,21 @@ class FabricWorker:
         self._refreshed: Set[int] = set()
         #: set while fanning out one publish, read by group handlers
         self._delivering: Optional[Tuple[str, str, int, bytes]] = None
+        #: write-ahead ledger journal shared with whoever inherits our
+        #: shards (None disables journaling — the crash-ablation arm)
+        self.journal = journal
+        self.handoff_chunk_bytes = handoff_chunk_bytes
+        #: (shard, epoch) -> {part index -> channels dict} for multi-part
+        #: handoff snapshots still being assembled
+        self._handoff_staging: Dict[Tuple[int, int], Dict[int, Dict[str, Any]]] = {}
+        #: (shard, epoch) -> part indices already relayed onward
+        self._relay_seen: Dict[Tuple[int, int], Set[int]] = {}
+        self._crashed = False
+        #: set True to model a directory partition: the worker keeps
+        #: serving traffic but stops renewing its lease
+        self.heartbeats_suspended = False
+        self._heartbeat_interval: Optional[float] = None
+        self._heartbeat_timer: Optional[Any] = None
         self.processed = 0
         self.duplicates = 0
         self.forwarded = 0
@@ -206,7 +261,12 @@ class FabricWorker:
         self.handoffs_sent = 0
         self.handoffs_received = 0
         self.handoffs_acked = 0
+        self.handoffs_rejected = 0
+        self.handoff_parts_sent = 0
         self.redirects_sent = 0
+        self.fenced = 0
+        self.recovered_shards = 0
+        self.tail_replayed = 0
         self.errors = 0
 
     @property
@@ -237,28 +297,148 @@ class FabricWorker:
 
     def grant_shard(self, shard: int, epoch: int) -> None:
         """Own *shard* with no predecessor state (fresh shard, or the
-        predecessor's process crashed before it could hand off)."""
+        predecessor's process crashed before it could hand off).  With a
+        journal attached, crash-granted shards are rebuilt from the
+        predecessor's journaled admissions before we serve traffic."""
         self._owned[shard] = epoch
         self._forwarding.pop(shard, None)
+        if self.journal is not None:
+            self._recover_shard(shard, epoch)
         self._update_owned_gauge()
         self._replay_pending(shard)
 
-    def begin_handoff(self, shard: int, successor: str, epoch: int) -> None:
-        """Drain-and-forward handoff of *shard* to *successor*: snapshot
-        the shard's channels (subscribers + ledgers), ship the snapshot,
-        stop owning, and forward stale traffic from here on."""
-        if shard not in self._owned:
-            # Stacked membership changes: the shard's snapshot is still
-            # in flight to us from the previous owner.  Mark the relay —
-            # when the snapshot lands, _on_handoff passes it straight on
-            # to the newer successor instead of installing it here.
-            self._forwarding[shard] = (successor, epoch)
+    def _recover_shard(self, shard: int, epoch: int) -> None:
+        """Rebuild *shard* from the journal and fence out its past.
+
+        Fencing first: any stale owner that resurrects and tries to
+        journal under its old epoch is rejected at the store.  Then the
+        journaled snapshot + admissions are installed through the same
+        validated path as a handoff, and the *tail* — admissions after
+        the last snapshot, whose deliveries may have died with the old
+        owner — is fanned out again.  Subscriber-side ledgers suppress
+        and count the re-deliveries that did land the first time, which
+        is the "explicitly-counted duplicates at the journal tail"
+        contract."""
+        recovery = self.journal.recover(shard)
+        self.journal.fence(shard, epoch)
+        if recovery is None:
             return
+        self.recovered_shards += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "fabric.recovery.shards", worker=self.address
+            ).inc()
+        try:
+            self._install_channel_state(recovery.state.get("channels", {}))
+        except FabricError:
+            self.errors += 1
+            raise
+        for channel_id, publisher, seq, payload in recovery.tail:
+            channel = self._channels.get(channel_id)
+            if channel is None:
+                continue
+            self.tail_replayed += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "fabric.recovery.replayed", worker=self.address
+                ).inc()
+            self._fan_out(channel, publisher, seq, payload)
+        # The recovered state is the new baseline: compact so the next
+        # crash replays from here, not from the predecessor's history.
+        self.journal.snapshot(shard, epoch, self._shard_state(shard))
+
+    # ------------------------------------------------------------------
+    # Crash / restart / lease lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """SIGKILL the process model.
+
+        Incoming traffic stops (the node closes), unacked outgoing sends
+        die without a GAP farewell (:meth:`ReliableEndpoint.
+        abort_in_flight` — a dead process sends nothing), and all
+        volatile shard state is wiped.  Two things survive, matching
+        what a real deployment keeps off-heap: the journal (the durable
+        medium) and the endpoint's sequence-number session state — a
+        modeling simplification standing in for the session
+        re-establishment handshake a production transport would run."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.stop_heartbeats()
+        self.node.close()
+        if self.reliable is not None:
+            self.reliable.abort_in_flight()
+        self._owned.clear()
+        self._forwarding.clear()
+        self._pending.clear()
+        self._channels.clear()
+        self._handoff_staging.clear()
+        self._relay_seen.clear()
+        self._delivering = None
+        self._update_owned_gauge()
+
+    def restart(self) -> None:
+        """Reopen the transport after a crash.  Shard state stays empty
+        until the caller rejoins the directory (``directory.join``),
+        which re-grants shards through the journal-recovery path."""
+        if not self._crashed:
+            raise FabricError(f"worker {self.address} is not crashed")
+        self._crashed = False
+        self.node.reopen()
+
+    def heartbeat(self) -> bool:
+        """Renew our directory lease; piggy-back projection-interest
+        re-announcement so TTL-aged interests of a live worker stay
+        fresh.  Returns False without touching the directory when the
+        worker is crashed or partitioned (``heartbeats_suspended``)."""
+        if self._crashed or self.heartbeats_suspended:
+            return False
+        renewed = self.directory.heartbeat(self.address)
+        if renewed and self.resolver is not None:
+            self.resolver.reannounce_interests()
+        return renewed
+
+    def start_heartbeats(self, interval: float) -> None:
+        """Self-rescheduling lease renewal every *interval* seconds.
+        Note for simulated networks: an armed heartbeat timer keeps the
+        event queue non-empty, so drive ``net.run(max_time=...)`` in
+        steps (or call :meth:`heartbeat` manually) instead of expecting
+        quiescence."""
+        self.stop_heartbeats()
+        self._heartbeat_interval = interval
+        self._heartbeat_timer = self.network.call_later(
+            interval, self._heartbeat_tick
+        )
+
+    def _heartbeat_tick(self) -> None:
+        self._heartbeat_timer = None
+        if self._heartbeat_interval is None or self._crashed:
+            return
+        self.heartbeat()
+        self._heartbeat_timer = self.network.call_later(
+            self._heartbeat_interval, self._heartbeat_tick
+        )
+
+    def stop_heartbeats(self) -> None:
+        self._heartbeat_interval = None
+        timer = self._heartbeat_timer
+        self._heartbeat_timer = None
+        if timer is not None:
+            timer.cancel()
+
+    def _shard_state(self, shard: int) -> Dict[str, Any]:
+        """Non-destructive snapshot of *shard*'s channel state, in the
+        shape shared by handoffs and journal snapshots."""
         state: Dict[str, Any] = {"channels": {}}
         for channel_id in sorted(self._channels):
             if shard_of(channel_id, self.directory.num_shards) != shard:
                 continue
-            channel = self._channels.pop(channel_id)
+            channel = self._channels[channel_id]
             state["channels"][channel_id] = {
                 "subscribers": channel.subscribers(),
                 "ledgers": {
@@ -266,6 +446,46 @@ class FabricWorker:
                     for publisher, ledger in sorted(channel.ledgers.items())
                 },
             }
+        return state
+
+    def _chunk_state(self, state: Dict[str, Any]) -> List[str]:
+        """Split a shard snapshot into bounded-size JSON parts at
+        channel granularity.  A single channel larger than the target
+        still travels whole; an empty shard yields one empty part so
+        the successor always sees a complete handoff."""
+        channels = state.get("channels", {})
+        if not channels:
+            return [json.dumps(state, sort_keys=True)]
+        parts: List[str] = []
+        current: Dict[str, Any] = {}
+        size = 0
+        for channel_id in sorted(channels):
+            piece = len(json.dumps(
+                {channel_id: channels[channel_id]}, sort_keys=True
+            ))
+            if current and size + piece > self.handoff_chunk_bytes:
+                parts.append(json.dumps({"channels": current}, sort_keys=True))
+                current, size = {}, 0
+            current[channel_id] = channels[channel_id]
+            size += piece
+        parts.append(json.dumps({"channels": current}, sort_keys=True))
+        return parts
+
+    def begin_handoff(self, shard: int, successor: str, epoch: int) -> None:
+        """Drain-and-forward handoff of *shard* to *successor*: snapshot
+        the shard's channels (subscribers + ledgers), ship the snapshot
+        in bounded-size parts, stop owning, and forward stale traffic
+        from here on."""
+        if shard not in self._owned:
+            # Stacked membership changes: the shard's snapshot is still
+            # in flight to us from the previous owner.  Mark the relay —
+            # when the snapshot lands, _on_handoff passes it straight on
+            # to the newer successor instead of installing it here.
+            self._forwarding[shard] = (successor, epoch)
+            return
+        state = self._shard_state(shard)
+        for channel_id in list(state["channels"]):
+            self._channels.pop(channel_id, None)
         del self._owned[shard]
         self._forwarding[shard] = (successor, epoch)
         self._update_owned_gauge()
@@ -274,10 +494,15 @@ class FabricWorker:
             OBS.metrics.counter(
                 "fabric.handoff", worker=self.address, role="source"
             ).inc()
-        record = FABRIC_HANDOFF.make_record(
-            shard=shard, epoch=epoch, state=json.dumps(state, sort_keys=True)
-        )
-        self._send(successor, self.pbio.encode(FABRIC_HANDOFF, record))
+        chunks = self._chunk_state(state)
+        total = len(chunks)
+        for index, chunk in enumerate(chunks):
+            self.handoff_parts_sent += 1
+            record = FABRIC_HANDOFF.make_record(
+                shard=shard, epoch=epoch, part=index, parts=total,
+                state=chunk,
+            )
+            self._send(successor, self.pbio.encode(FABRIC_HANDOFF, record))
 
     def _replay_pending(self, shard: int) -> None:
         for source, data in self._pending.pop(shard, ()):
@@ -399,11 +624,37 @@ class FabricWorker:
             self._channels[channel_id] = channel
         return channel
 
+    def _fence_check(self, shard: int) -> bool:
+        """True if we believed we owned *shard* but the directory has
+        moved it under a newer epoch — the resurrected-stale-owner case.
+        Drops the zombie ownership (and its channel state, which the
+        new owner rebuilt from the journal) so the caller falls through
+        to the reroute path instead of admitting under a dead epoch."""
+        owned_epoch = self._owned.get(shard)
+        if owned_epoch is None:
+            return False
+        if self.directory.shard_epoch(shard) <= owned_epoch:
+            return False
+        del self._owned[shard]
+        for channel_id in [
+            cid for cid in self._channels
+            if shard_of(cid, self.directory.num_shards) == shard
+        ]:
+            del self._channels[channel_id]
+        self.fenced += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "fabric.fence.rejected", worker=self.address
+            ).inc()
+        self._update_owned_gauge()
+        return True
+
     def _on_publish(
         self, source: str, data: bytes, record: Any, payload: bytes
     ) -> None:
         channel_id = record["channel_id"]
         shard = shard_of(channel_id, self.directory.num_shards)
+        self._fence_check(shard)
         if shard not in self._owned:
             self._reroute(shard, source, data, record["publisher"], channel_id)
             return
@@ -422,12 +673,27 @@ class FabricWorker:
                     "fabric.duplicates", worker=self.address
                 ).inc()
             return
+        if self.journal is not None:
+            # Write-ahead: the admission is durable before any delivery
+            # leaves, so a crash between here and the fan-out loses no
+            # admitted event — the successor replays it from the tail.
+            self.journal.append_admit(
+                shard, self._owned[shard], channel_id,
+                record["publisher"], record["seq"], payload,
+            )
+            if self.journal.should_compact(shard):
+                self._compact_shard(shard)
         self.processed += 1
         if OBS.enabled:
             OBS.metrics.bounded_counter(
                 "fabric.shard.processed", shard=str(shard)
             ).inc()
         self._fan_out(channel, record["publisher"], record["seq"], payload)
+
+    def _compact_shard(self, shard: int) -> None:
+        self.journal.snapshot(
+            shard, self._owned[shard], self._shard_state(shard)
+        )
 
     def _fan_out(
         self, channel: FabricChannel, publisher: str, seq: int, payload: bytes
@@ -494,12 +760,20 @@ class FabricWorker:
     def _on_subscribe(self, source: str, data: bytes, record: Any) -> None:
         channel_id = record["channel_id"]
         shard = shard_of(channel_id, self.directory.num_shards)
+        self._fence_check(shard)
         if shard not in self._owned:
             self._reroute(shard, source, data, record["contact"], channel_id)
             return
         self._install_subscriber(
             channel_id, record["contact"], record["format_id"]
         )
+        if self.journal is not None:
+            self.journal.append_subscribe(
+                shard, self._owned[shard], channel_id,
+                record["contact"], record["format_id"],
+            )
+            if self.journal.should_compact(shard):
+                self._compact_shard(shard)
 
     def _install_subscriber(
         self, channel_id: str, contact: str, format_id: int
@@ -527,56 +801,144 @@ class FabricWorker:
     # Handoff receive side
     # ------------------------------------------------------------------
 
+    def _install_channel_state(
+        self, channels_state: Dict[str, Any]
+    ) -> None:
+        """Install handoff/recovery channel state, validating shape as
+        we go.  Network- and disk-derived input both land here, so
+        every structural surprise becomes a :class:`FabricError`."""
+        if not isinstance(channels_state, dict):
+            raise FabricError(
+                "channel state must be a mapping, got "
+                f"{type(channels_state).__name__}"
+            )
+        for channel_id, channel_state in channels_state.items():
+            if not isinstance(channel_id, str) or not isinstance(
+                channel_state, dict
+            ):
+                raise FabricError(
+                    f"malformed channel entry {channel_id!r}"
+                )
+            ledgers = channel_state.get("ledgers", {})
+            if not isinstance(ledgers, dict):
+                raise FabricError(
+                    f"channel {channel_id!r} ledgers must be a mapping"
+                )
+            for publisher, ledger_state in ledgers.items():
+                channel = self._channel(channel_id)
+                merged = channel.ledgers.get(publisher)
+                restored = SeqLedger.from_state(ledger_state)
+                if merged is None:
+                    channel.ledgers[publisher] = restored
+                else:
+                    # Shouldn't happen (a shard lives in one place), but
+                    # merging is strictly safer than replacing.
+                    for seq in range(1, restored.high + 1):
+                        merged.admit(seq)
+                    for seq in restored.sparse:
+                        merged.admit(seq)
+            subscribers = channel_state.get("subscribers", ())
+            if not isinstance(subscribers, (list, tuple)):
+                raise FabricError(
+                    f"channel {channel_id!r} subscribers must be a list"
+                )
+            for entry in subscribers:
+                if (
+                    not isinstance(entry, (list, tuple))
+                    or len(entry) != 2
+                    or not isinstance(entry[0], str)
+                    or isinstance(entry[1], bool)
+                    or not isinstance(entry[1], int)
+                ):
+                    raise FabricError(
+                        f"channel {channel_id!r} has malformed subscriber "
+                        f"entry {entry!r}"
+                    )
+                self._install_subscriber(channel_id, entry[0], entry[1])
+
     def _on_handoff(self, source: str, record: Any) -> None:
         shard = record["shard"]
         epoch = record["epoch"]
+        part = record["part"]
+        parts = max(1, record["parts"])
+        if part >= parts:
+            self.errors += 1
+            raise FabricError(
+                f"handoff part {part}/{parts} out of range for shard {shard}"
+            )
         relay = self._forwarding.get(shard)
         if relay is not None and relay[1] >= epoch:
             # Ownership moved on (to ``relay``) while this snapshot was
-            # in flight: relay it under the newer epoch, stay in
-            # forwarding mode, and flush anything we buffered while the
-            # directory briefly pointed at us.
+            # in flight: relay each part under the newer epoch, stay in
+            # forwarding mode, and — once the whole snapshot has passed
+            # through — ack the sender and flush anything we buffered
+            # while the directory briefly pointed at us.
             target, relay_epoch = relay
-            self.handoffs_sent += 1
-            if OBS.enabled:
-                OBS.metrics.counter(
-                    "fabric.handoff", worker=self.address, role="relay"
-                ).inc()
+            seen = self._relay_seen.setdefault((shard, epoch), set())
+            if not seen:
+                self.handoffs_sent += 1
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "fabric.handoff", worker=self.address, role="relay"
+                    ).inc()
+            seen.add(part)
             relayed = FABRIC_HANDOFF.make_record(
-                shard=shard, epoch=relay_epoch, state=record["state"]
+                shard=shard, epoch=relay_epoch, part=part, parts=parts,
+                state=record["state"],
             )
             self._send(target, self.pbio.encode(FABRIC_HANDOFF, relayed))
+            if len(seen) < parts:
+                return
+            del self._relay_seen[(shard, epoch)]
             ack = FABRIC_HANDOFF_ACK.make_record(shard=shard, epoch=epoch)
             self._send(source, self.pbio.encode(FABRIC_HANDOFF_ACK, ack))
             self._replay_pending(shard)
             return
+        if epoch < self.directory.shard_epoch(shard) or (
+            self._owned.get(shard, -1) >= epoch
+        ):
+            # Stale snapshot: the directory moved the shard again under
+            # a newer epoch (we recovered it from the journal, or a
+            # fresher handoff already landed).  Installing it would
+            # resurrect dead ownership — refuse.
+            self.handoffs_rejected += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "fabric.fence.snapshots", worker=self.address
+                ).inc()
+            return
         try:
-            state = json.loads(record["state"])
+            chunk = json.loads(record["state"])
         except ValueError:
             self.errors += 1
             raise FabricError(
                 f"malformed handoff state for shard {shard}"
             ) from None
-        for channel_id, channel_state in state.get("channels", {}).items():
-            for publisher, ledger_state in channel_state.get(
-                "ledgers", {}
-            ).items():
-                channel = self._channel(channel_id)
-                merged = channel.ledgers.get(publisher)
-                if merged is None:
-                    channel.ledgers[publisher] = SeqLedger.from_state(
-                        ledger_state
-                    )
-                else:
-                    # Shouldn't happen (a shard lives in one place), but
-                    # merging is strictly safer than replacing.
-                    restored = SeqLedger.from_state(ledger_state)
-                    for seq in range(1, restored.high + 1):
-                        merged.admit(seq)
-                    for seq in restored.sparse:
-                        merged.admit(seq)
-            for contact, format_id in channel_state.get("subscribers", ()):
-                self._install_subscriber(channel_id, contact, format_id)
+        if not isinstance(chunk, dict) or not isinstance(
+            chunk.get("channels", {}), dict
+        ):
+            self.errors += 1
+            raise FabricError(
+                f"malformed handoff state for shard {shard}"
+            )
+        staging = self._handoff_staging.setdefault((shard, epoch), {})
+        staging[part] = chunk.get("channels", {})
+        if len(staging) < parts:
+            return
+        del self._handoff_staging[(shard, epoch)]
+        for key in [
+            k for k in self._handoff_staging
+            if k[0] == shard and k[1] < epoch
+        ]:
+            del self._handoff_staging[key]
+        merged: Dict[str, Any] = {}
+        for index in sorted(staging):
+            merged.update(staging[index])
+        try:
+            self._install_channel_state(merged)
+        except FabricError:
+            self.errors += 1
+            raise
         self._owned[shard] = epoch
         self._forwarding.pop(shard, None)
         self._update_owned_gauge()
@@ -585,6 +947,11 @@ class FabricWorker:
             OBS.metrics.counter(
                 "fabric.handoff", worker=self.address, role="target"
             ).inc()
+        if self.journal is not None:
+            # Graceful moves fence + snapshot too: the journal always
+            # reflects the newest owner's view of the shard.
+            self.journal.fence(shard, epoch)
+            self.journal.snapshot(shard, epoch, self._shard_state(shard))
         ack = FABRIC_HANDOFF_ACK.make_record(shard=shard, epoch=epoch)
         self._send(source, self.pbio.encode(FABRIC_HANDOFF_ACK, ack))
         self._replay_pending(shard)

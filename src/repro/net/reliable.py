@@ -385,6 +385,25 @@ class ReliableEndpoint:
             timeout += self._rng.uniform(0.0, self.retry_jitter)
         self.network.call_later(timeout, lambda: self._on_timeout(ticket))
 
+    def abort_in_flight(self) -> int:
+        """Finish every pending ticket as ``failed`` without any wire
+        traffic — the process-kill model.  A crashed process sends no
+        GAP farewell and schedules no retransmits; its already-armed
+        retry timers become no-ops because the tickets are final when
+        they fire.  Peers discover the holes through their own stall
+        watchdogs, exactly as with a real dead process.  Returns the
+        number of sends aborted."""
+        aborted = 0
+        for ticket in list(self._pending.values()):
+            if ticket.final:
+                continue
+            aborted += 1
+            self.failed += 1
+            self._count("aborted", peer=ticket.destination)
+            ticket._finish("failed")
+        self._pending.clear()
+        return aborted
+
     def _on_timeout(self, ticket: SendTicket) -> None:
         if ticket.final:
             return  # acked (or failed) before this timer fired

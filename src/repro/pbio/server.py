@@ -93,6 +93,7 @@ class FormatServer:
         registry: Optional[FormatRegistry] = None,
         peer: Optional[str] = None,
         seed: int = 0,
+        interest_ttl: Optional[float] = None,
         **endpoint_options: Any,
     ) -> None:
         self.endpoint = ReliableEndpoint(
@@ -101,6 +102,11 @@ class FormatServer:
         self.endpoint.set_handler(self._on_message)
         self.registry = registry if registry is not None else FormatRegistry()
         self.peer = peer
+        #: interests not renewed (re-announced) within this many virtual
+        #: seconds are aged out at the next interest touch or
+        #: :meth:`sweep_interests` call, widening the projection back —
+        #: the crashed-sink-never-retracts case.  ``None`` disables aging.
+        self.interest_ttl = interest_ttl
         self.stats = {
             "registers": 0,
             "lookups": 0,
@@ -109,10 +115,17 @@ class FormatServer:
             "interests": 0,
             "interest_lookups": 0,
             "renegotiations": 0,
+            "interest_expirations": 0,
         }
         #: per (parent format id, group): subscriber address -> announced
         #: field names (``None`` = needs the full format)
         self._interests: Dict[Tuple[int, str], Dict[str, Optional[List[str]]]] = {}
+        #: per (parent format id, group): virtual time each subscriber
+        #: last announced (lease stamps for interest aging)
+        self._interest_renewed: Dict[Tuple[int, str], Dict[str, float]] = {}
+        #: per (parent format id, group): the parent format, kept so a
+        #: TTL sweep can renegotiate without a fresh announcement
+        self._interest_parents: Dict[Tuple[int, str], IOFormat] = {}
         #: per (parent format id, group): the current negotiated state
         self._projections: Dict[Tuple[int, str], ProjectionState] = {}
         #: per (parent format id, group): sender addresses to push
@@ -221,14 +234,19 @@ class FormatServer:
             return
         self.registry.replace(parent)
         key = (parent.format_id, group)
+        self._interest_parents[key] = parent
         interests = self._interests.setdefault(key, {})
+        renewed = self._interest_renewed.setdefault(key, {})
         if message.get("retract"):
             interests.pop(source, None)
+            renewed.pop(source, None)
         else:
             fields = message.get("fields")
             interests[source] = (
                 [str(name) for name in fields] if fields is not None else None
             )
+            renewed[source] = self.endpoint.network.now
+        self._expire_interests(key, parent)
         self._renegotiate(key, parent)
         self.endpoint.send(
             source,
@@ -251,11 +269,54 @@ class FormatServer:
             return
         self.registry.replace(parent)
         key = (parent.format_id, group)
+        self._interest_parents[key] = parent
         self._watchers.setdefault(key, set()).add(source)
+        if self._expire_interests(key, parent):
+            self._renegotiate(key, parent)
         self.endpoint.send(
             source,
             _encode(self._state_reply(key, parent, message.get("id"))),
         )
+
+    def _expire_interests(
+        self, key: Tuple[int, str], parent: IOFormat
+    ) -> bool:
+        """Age out interests whose holder stopped re-announcing within
+        :attr:`interest_ttl`.  Returns True when any expired (the caller
+        renegotiates, widening the projection back toward the parent)."""
+        if self.interest_ttl is None:
+            return False
+        renewed = self._interest_renewed.get(key)
+        if not renewed:
+            return False
+        now = self.endpoint.network.now
+        interests = self._interests.get(key, {})
+        expired = [
+            source for source, stamp in renewed.items()
+            if now - stamp > self.interest_ttl
+        ]
+        for source in expired:
+            renewed.pop(source, None)
+            interests.pop(source, None)
+            self.stats["interest_expirations"] += 1
+            self._count("interest_expirations")
+        return bool(expired)
+
+    def sweep_interests(self) -> int:
+        """Proactive TTL pass over every interest group (the lazy path
+        only ages a group when it is next touched).  Returns the number
+        of groups whose projection renegotiated."""
+        changed = 0
+        for key in list(self._interest_renewed):
+            parent = self._interest_parents.get(key)
+            if parent is None:
+                continue
+            if self._expire_interests(key, parent):
+                before = self.stats["renegotiations"]
+                self._renegotiate(key, parent)
+                if self.stats["renegotiations"] != before:
+                    changed += 1
+        return changed
 
     def _renegotiate(self, key: Tuple[int, str], parent: IOFormat) -> None:
         """Recompute the union projection for *key*; on change, derive
@@ -429,6 +490,12 @@ class CachingFormatResolver:
         self.on_invalidate: Optional[Callable[[int], None]] = None
         #: last known projection state per (parent format id, group)
         self._projection_states: Dict[Tuple[int, str], ProjectionState] = {}
+        #: interests this endpoint has announced (and not retracted),
+        #: per (group, parent format id) — replayed by
+        #: :meth:`reannounce_interests` to renew server-side TTL leases
+        self._announced_interests: Dict[
+            Tuple[str, int], Tuple[IOFormat, Optional[List[str]]]
+        ] = {}
         #: projection-update callbacks per (parent format id, group)
         self._projection_watches: Dict[
             Tuple[int, str], List[ProjectionCallback]
@@ -444,6 +511,7 @@ class CachingFormatResolver:
             "invalidations": 0,
             "interests_sent": 0,
             "interest_lookups_sent": 0,
+            "interest_reannounces": 0,
             "projection_updates": 0,
         }
 
@@ -663,6 +731,12 @@ class CachingFormatResolver:
         self.registry.register(parent)
         self.stats["interests_sent"] += 1
         self._count("interests_sent")
+        if retract:
+            self._announced_interests.pop((group, parent.format_id), None)
+        else:
+            self._announced_interests[(group, parent.format_id)] = (
+                parent, list(fields) if fields is not None else None,
+            )
         if self.degraded:
             if on_state is not None:
                 on_state(None)
@@ -682,6 +756,35 @@ class CachingFormatResolver:
             ),
             on_fail=lambda: on_state(None) if on_state is not None else None,
         )
+
+    def reannounce_interests(self) -> int:
+        """Replay every live interest announcement — the heartbeat-side
+        half of interest aging: a subscriber that is alive keeps its
+        server-side TTL lease fresh by re-announcing on its heartbeat
+        cadence; a crashed one stops, and the server widens the
+        projection back once the TTL lapses.  No-op while degraded
+        (projection is an optimization; full-format traffic flows
+        anyway).  Returns the number of announcements sent."""
+        if self.degraded:
+            return 0
+        sent = 0
+        for (group, _parent_id), (parent, fields) in sorted(
+            self._announced_interests.items()
+        ):
+            sent += 1
+            self.stats["interest_reannounces"] += 1
+            self._count("interest_reannounces")
+            self._request(
+                {
+                    "op": "interest",
+                    "group": group,
+                    "parent": format_to_dict(parent),
+                    "fields": sorted(fields) if fields is not None else None,
+                },
+                on_reply=lambda reply: self._ingest_projection_state(reply),
+                on_fail=lambda: None,
+            )
+        return sent
 
     def watch_projection(
         self,

@@ -28,7 +28,7 @@ class TestSmokeRun:
         assert summary["mutations_applied"] > 0
         assert set(summary["cases"]) == {
             "roundtrip", "mutation", "ecode", "fusion", "morph",
-            "reliability", "batching", "projection",
+            "reliability", "batching", "projection", "crash",
         }
 
     def test_runs_are_seed_deterministic(self):

@@ -1,0 +1,158 @@
+"""JournalStore unit tests: append/recover round trips, epoch fencing,
+compaction, on-disk persistence and corruption handling.
+
+The journal is the crash-durability half of the fabric tentpole: a
+worker appends every ledger admission and channel-state change *before*
+fanning out, so a successor (or the restarted worker itself) can
+recover exactly-once state for a crash-leave.  These tests exercise the
+store in isolation; ``test_recovery.py`` drives it through a live
+deployment.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.fabric.journal import JournalRecovery, JournalStore
+
+
+def _admit(store, shard=3, epoch=2, seq=1, channel="chan/a", pub="pub"):
+    store.append_admit(shard, epoch, channel, pub, seq, b"payload-%d" % seq)
+
+
+class TestAppendRecover:
+    def test_empty_shard_recovers_to_none(self):
+        store = JournalStore()
+        assert store.recover(7) is None
+
+    def test_admissions_come_back_as_state_plus_tail(self):
+        store = JournalStore()
+        for seq in (1, 2, 3):
+            _admit(store, seq=seq)
+        recovery = store.recover(3)
+        assert isinstance(recovery, JournalRecovery)
+        ledgers = recovery.state["channels"]["chan/a"]["ledgers"]
+        assert ledgers["pub"] == {"high": 3, "sparse": []}
+        # every admission rides in the tail for re-fan-out, in order:
+        # (channel_id, publisher, seq, payload)
+        assert [seq for _, _, seq, _ in recovery.tail] == [1, 2, 3]
+        assert [payload for _, _, _, payload in recovery.tail] == [
+            b"payload-1", b"payload-2", b"payload-3",
+        ]
+
+    def test_subscribe_entries_rebuild_subscriber_lists(self):
+        store = JournalStore()
+        store.append_subscribe(3, 2, "chan/a", "sub-1", 1)
+        _admit(store, seq=1)
+        recovery = store.recover(3)
+        channel = recovery.state["channels"]["chan/a"]
+        assert ["sub-1", 1] in [
+            list(entry) for entry in channel["subscribers"]
+        ]
+
+    def test_shards_are_independent(self):
+        store = JournalStore()
+        _admit(store, shard=1, seq=1)
+        _admit(store, shard=2, seq=5)
+        assert [e[2] for e in store.recover(1).tail] == [1]
+        assert [e[2] for e in store.recover(2).tail] == [5]
+
+
+class TestFencing:
+    def test_fence_rejects_stale_epoch_appends(self):
+        store = JournalStore()
+        store.fence(3, epoch=5)
+        _admit(store, epoch=4, seq=1)  # stale: silently fenced out
+        _admit(store, epoch=5, seq=2)
+        recovery = store.recover(3)
+        assert [e[2] for e in recovery.tail] == [2]
+        assert store.fenced_appends == 1
+
+    def test_fence_is_monotonic(self):
+        store = JournalStore()
+        store.fence(3, epoch=5)
+        store.fence(3, epoch=2)  # regression attempt: ignored
+        assert store.fence_epoch(3) == 5
+
+    def test_recover_skips_epoch_regressed_entries(self):
+        store = JournalStore()
+        _admit(store, epoch=4, seq=1)
+        _admit(store, epoch=6, seq=2)
+        _admit(store, epoch=5, seq=3)  # older epoch after a newer one
+        recovery = store.recover(3)
+        assert [e[2] for e in recovery.tail] == [1, 2]
+
+
+class TestCompaction:
+    def test_snapshot_replaces_entries_and_bounds_tail(self):
+        store = JournalStore()
+        for seq in (1, 2):
+            _admit(store, seq=seq)
+        state = store.recover(3).state
+        store.snapshot(3, 2, state)
+        _admit(store, seq=3)
+        recovery = store.recover(3)
+        # snapshot state survives; only post-snapshot admits in the tail
+        assert recovery.state["channels"]["chan/a"]["ledgers"]["pub"] == {
+            "high": 3, "sparse": [],
+        }
+        assert [e[2] for e in recovery.tail] == [3]
+
+    def test_should_compact_trips_at_threshold(self):
+        store = JournalStore(compact_every=4)
+        for seq in range(1, 4):
+            _admit(store, seq=seq)
+            assert not store.should_compact(3)
+        _admit(store, seq=4)
+        assert store.should_compact(3)
+        store.snapshot(3, 2, store.recover(3).state)
+        assert not store.should_compact(3)
+
+
+class TestPersistence:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / "fabric.journal"
+        store = JournalStore(path=str(path))
+        for seq in (1, 2):
+            _admit(store, seq=seq)
+        store.fence(3, epoch=2)
+        reloaded = JournalStore(path=str(path))
+        recovery = reloaded.recover(3)
+        assert [e[2] for e in recovery.tail] == [1, 2]
+        assert reloaded.fence_epoch(3) == 2
+
+    def test_corrupt_journal_raises_journal_error(self, tmp_path):
+        path = tmp_path / "fabric.journal"
+        path.write_text("this is not jsonl {{{\n", encoding="utf-8")
+        with pytest.raises(JournalError):
+            JournalStore(path=str(path))
+
+    def test_truncated_record_raises_journal_error(self, tmp_path):
+        path = tmp_path / "fabric.journal"
+        store = JournalStore(path=str(path))
+        _admit(store, seq=1)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        entry = json.loads(lines[-1])
+        del entry["seq"]
+        path.write_text(json.dumps(entry) + "\n", encoding="utf-8")
+        reloaded = JournalStore(path=str(path))
+        with pytest.raises(JournalError):
+            reloaded.recover(3)
+
+
+class TestCounters:
+    def test_store_counts_its_lifecycle(self):
+        store = JournalStore(compact_every=2)
+        for seq in (1, 2):
+            _admit(store, seq=seq)
+        store.fence(3, epoch=5)
+        _admit(store, epoch=4, seq=3)
+        store.snapshot(3, 5, {"channels": {}})
+        store.recover(3)
+        assert store.appends == 2
+        assert store.fenced_appends == 1
+        assert store.compactions == 1
+        assert store.recoveries == 1

@@ -1,0 +1,140 @@
+"""``retry_pending()`` under a *flapping* format server.
+
+Degraded mode was built for a fleet that dies once and comes back once.
+A flapping server — up, down, up, down — stresses the retry path
+differently: probes sent into a down window must re-queue their
+registrations (not lose them), repeated flaps must not duplicate or
+reorder the queue, and when the server finally stays up one retry must
+replay everything in the order it was queued (transform registrations
+depend on their formats having arrived first)."""
+
+from __future__ import annotations
+
+from repro.net.link import LinkSpec
+from repro.net.transport import Network
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import TransformSpec
+from repro.pbio.server import CachingFormatResolver, FormatServer
+
+EVT_V1 = IOFormat(
+    "FlapEvt", [IOField("n", "integer"), IOField("x", "integer")],
+    version="1.0",
+)
+EVT_V0 = IOFormat("FlapEvt", [IOField("n", "integer")], version="0.0")
+V1_TO_V0 = TransformSpec(
+    source=EVT_V1, target=EVT_V0, code="old.n = new.n;",
+    description="FlapEvt 1.0 -> 0.0",
+)
+OTHER = IOFormat("FlapOther", [IOField("k", "integer")], version="1.0")
+
+
+def build():
+    net = Network(default_link=LinkSpec(latency=0.001))
+    big = 1_000_000
+    server = FormatServer(net, "fs-a", breaker_threshold=big)
+    writer = CachingFormatResolver(
+        net, "writer", ["fs-a"],
+        request_timeout=0.05, breaker_threshold=big,
+    )
+    return net, server, writer
+
+
+def degrade(net, server, writer):
+    """Take the server down and let the writer discover it."""
+    server.close()
+    writer.resolve(0xF00D)
+    net.run()
+    assert writer.degraded
+
+
+class TestFlappingServer:
+    def test_probe_into_a_down_window_requeues(self):
+        net, server, writer = build()
+        degrade(net, server, writer)
+        writer.register(EVT_V0)
+        assert writer.pending_registrations == 1
+
+        # the server is still down: the probe goes out, fails, and the
+        # registration lands back in the queue with the writer degraded
+        assert writer.retry_pending() == 1
+        net.run()
+        assert writer.degraded
+        assert writer.pending_registrations == 1
+
+        # second flap window: same story, nothing lost or duplicated
+        assert writer.retry_pending() == 1
+        net.run()
+        assert writer.pending_registrations == 1
+
+        # the server finally stays up: one retry drains the queue
+        server.reopen()
+        assert writer.retry_pending() == 1
+        net.run()
+        assert not writer.degraded
+        assert writer.pending_registrations == 0
+        assert server.registry.lookup_id(EVT_V0.format_id) is not None
+
+    def test_replay_preserves_queue_order(self):
+        """The base format must reach the server before the transform
+        that references it — replay is FIFO over the queued payloads."""
+        net, server, writer = build()
+        degrade(net, server, writer)
+        writer.register(EVT_V0)
+        writer.register(OTHER)
+        writer.register(EVT_V1, transforms=[V1_TO_V0])
+        assert writer.pending_registrations == 3
+
+        arrivals = []
+        original_ingest = server._ingest
+
+        def spying_ingest(message):
+            if message.get("op") == "register":
+                arrivals.append([
+                    fmt["name"] + "/" + fmt["version"]
+                    for fmt in message.get("formats", [])
+                ])
+            return original_ingest(message)
+
+        server._ingest = spying_ingest
+        server.reopen()
+        assert writer.retry_pending() == 3
+        net.run()
+        assert writer.pending_registrations == 0
+        assert arrivals == [
+            ["FlapEvt/0.0"], ["FlapOther/1.0"], ["FlapEvt/1.0"],
+        ]
+        # the transform arrived after its source/target formats: the
+        # server can serve the closure
+        assert server.registry.lookup_id(EVT_V1.format_id) is not None
+        assert server.registry.transforms_from(EVT_V1)
+
+    def test_registrations_during_each_down_window_accumulate_once(self):
+        net, server, writer = build()
+        degrade(net, server, writer)
+        writer.register(EVT_V0)
+
+        # flap: up long enough to discover, but register while down again
+        server.reopen()
+        writer.retry_pending()
+        net.run()
+        assert not writer.degraded
+        server.close()
+        writer.register(OTHER)  # send fails -> queued, degraded again
+        net.run()
+        assert writer.degraded
+        assert writer.pending_registrations == 1
+
+        server.reopen()
+        assert writer.retry_pending() == 1
+        net.run()
+        assert writer.pending_registrations == 0
+        assert server.registry.lookup_id(EVT_V0.format_id) is not None
+        assert server.registry.lookup_id(OTHER.format_id) is not None
+
+    def test_retry_with_an_empty_queue_is_free(self):
+        net, server, writer = build()
+        assert writer.retry_pending() == 0
+        degrade(net, server, writer)
+        assert writer.retry_pending() == 0
+        assert writer.degraded  # an empty retry is not an exit

@@ -1,0 +1,180 @@
+"""Interest aging: TTL leases on projection interests, heartbeat-driven
+re-announcement, and the proactive sweep.
+
+A projection interest is a claim about a *live* subscriber.  When the
+subscriber crashes, nobody retracts the claim, and without aging the
+group's union projection stays narrowed forever — the format server
+would keep dropping fields a future (or recovered) subscriber needs.
+With ``interest_ttl`` set, every interest is a lease the holder renews
+by re-announcing (``reannounce_interests`` rides the owner's heartbeat
+cadence); stale leases age out lazily on the next touch or proactively
+via ``sweep_interests``, widening the projection back.
+"""
+
+from __future__ import annotations
+
+from repro.net.link import LinkSpec
+from repro.net.transport import Network
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.server import CachingFormatResolver, FormatServer
+
+EVT = IOFormat(
+    "AgedEvt",
+    [IOField("n", "integer"), IOField("x", "integer"),
+     IOField("y", "integer")],
+    version="1.0",
+)
+
+
+def _noop():
+    pass
+
+
+def build(interest_ttl=1.0):
+    net = Network(default_link=LinkSpec(latency=0.001))
+    big = 1_000_000
+    server = FormatServer(
+        net, "fs-a", breaker_threshold=big, interest_ttl=interest_ttl
+    )
+    # A small request timeout matters here: the resolver's timeout
+    # timer drains on every net.run(), advancing the virtual clock by
+    # that much — it must stay well under the TTLs being tested.
+    options = {"request_timeout": 0.05, "breaker_threshold": big}
+    sub_a = CachingFormatResolver(net, "sub-a", ["fs-a"], **options)
+    sub_b = CachingFormatResolver(net, "sub-b", ["fs-a"], **options)
+    return net, server, sub_a, sub_b
+
+
+def advance(net, seconds):
+    net.call_later(seconds, _noop)
+    net.run()
+
+
+class TestInterestTTL:
+    def test_stale_interest_ages_out_on_next_touch(self):
+        net, server, sub_a, sub_b = build(interest_ttl=1.0)
+        sub_a.announce_interest("grp", EVT, ["n"])
+        net.run()
+        key = (EVT.format_id, "grp")
+        assert "sub-a" in server._interests[key]
+
+        advance(net, 2.0)  # past the TTL with no renewal
+        sub_b.announce_interest("grp", EVT, ["x"])
+        net.run()
+        # the lazy path expired sub-a when the group was next touched
+        assert "sub-a" not in server._interests[key]
+        assert server._interests[key]["sub-b"] == ["x"]
+        assert server.stats["interest_expirations"] == 1
+
+    def test_reannounce_renews_the_lease(self):
+        net, server, sub_a, sub_b = build(interest_ttl=1.0)
+        sub_a.announce_interest("grp", EVT, ["n"])
+        net.run()
+        advance(net, 0.8)
+        assert sub_a.reannounce_interests() == 1
+        net.run()
+        advance(net, 0.8)  # 1.6s since the first announce, 0.8 since renewal
+        sub_b.announce_interest("grp", EVT, ["x"])
+        net.run()
+        key = (EVT.format_id, "grp")
+        # the renewed lease survived: both interests stand
+        assert set(server._interests[key]) == {"sub-a", "sub-b"}
+        assert server.stats["interest_expirations"] == 0
+        assert sub_a.stats["interest_reannounces"] == 1
+
+    def test_sweep_expires_untouched_groups(self):
+        net, server, sub_a, _sub_b = build(interest_ttl=1.0)
+        sub_a.announce_interest("grp", EVT, ["n"])
+        net.run()
+        advance(net, 2.0)
+        # nothing touched the group — only the proactive pass can age it
+        assert server.sweep_interests() == 1
+        net.run()
+        key = (EVT.format_id, "grp")
+        assert server._interests.get(key) == {}
+        assert server.stats["interest_expirations"] == 1
+        # sweeping again is a no-op
+        assert server.sweep_interests() == 0
+
+    def test_no_ttl_means_no_expiry(self):
+        net, server, sub_a, sub_b = build(interest_ttl=None)
+        sub_a.announce_interest("grp", EVT, ["n"])
+        net.run()
+        advance(net, 100.0)
+        sub_b.announce_interest("grp", EVT, ["x"])
+        net.run()
+        key = (EVT.format_id, "grp")
+        assert set(server._interests[key]) == {"sub-a", "sub-b"}
+        assert server.sweep_interests() == 0
+
+
+class TestReannounce:
+    def test_retract_removes_the_announcement_from_replay(self):
+        net, _server, sub_a, _sub_b = build()
+        sub_a.announce_interest("grp", EVT, ["n"])
+        net.run()
+        sub_a.announce_interest("grp", EVT, None, retract=True)
+        net.run()
+        assert sub_a.reannounce_interests() == 0
+
+    def test_reannounce_is_a_noop_while_degraded(self):
+        net, _server, sub_a, _sub_b = build()
+        sub_a.announce_interest("grp", EVT, ["n"])
+        net.run()
+        sub_a.degraded = True
+        assert sub_a.reannounce_interests() == 0
+
+    def test_full_format_interest_replays_as_full(self):
+        net, server, sub_a, _sub_b = build()
+        sub_a.announce_interest("grp", EVT, None)  # needs every field
+        net.run()
+        assert sub_a.reannounce_interests() == 1
+        net.run()
+        key = (EVT.format_id, "grp")
+        assert server._interests[key]["sub-a"] is None
+
+
+class TestHeartbeatWiring:
+    def test_fabric_worker_heartbeat_reannounces(self):
+        """The worker's lease renewal doubles as the interest lease
+        renewal: an accepted heartbeat replays the resolver's live
+        announcements."""
+        from repro.fabric import EventFabric
+        from repro.pbio.registry import FormatRegistry
+
+        net = Network(default_link=LinkSpec(latency=0.001))
+        fabric = EventFabric(
+            net, registry=FormatRegistry(), lease_timeout=10.0
+        )
+        worker = fabric.add_worker("w1")
+
+        calls = []
+
+        class StubResolver:
+            def reannounce_interests(self):
+                calls.append("reannounce")
+                return 1
+
+        worker.resolver = StubResolver()
+        assert worker.heartbeat() is True
+        assert calls == ["reannounce"]
+
+    def test_echo_process_heartbeat_reannounces(self):
+        from repro.echo.process import EChoProcess
+        from repro.pbio.registry import FormatRegistry
+
+        net = Network(default_link=LinkSpec(latency=0.001))
+        process = EChoProcess(net, "echo-1", FormatRegistry())
+        assert process.heartbeat() == 0  # no resolver: nothing to renew
+
+        calls = []
+
+        class StubResolver:
+            def reannounce_interests(self):
+                calls.append("reannounce")
+                return 2
+
+        process.resolver = StubResolver()
+        assert process.heartbeat() == 2
+        assert calls == ["reannounce"]
