@@ -13,7 +13,8 @@ Usage::
 
 The ``--json`` document carries one ``BENCH_fig8`` / ``BENCH_fig9`` /
 ``BENCH_fig10`` / ``BENCH_fusion`` / ``BENCH_batch`` /
-``BENCH_projection`` / ``BENCH_recovery`` record per figure — ``{figure,
+``BENCH_projection`` / ``BENCH_recovery`` / ``BENCH_telemetry``
+record per figure — ``{figure,
 workloads: [{label, unencoded_bytes, timings}], stages?}`` — so later
 perf PRs can diff per-stage numbers instead of end-to-end wall time.
 
@@ -51,6 +52,7 @@ from repro.bench.figures import (
     table1_sizes,
 )
 from repro.bench.reporting import format_kb, format_ms, format_table
+from repro.bench.telemetry import bench_telemetry
 from repro.bench.workloads import FIGURE_SIZES
 from repro.obs.metrics import Histogram
 
@@ -553,6 +555,50 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                 },
             }
             for r in recovery_rows
+        ],
+    }
+
+    telemetry_rows = bench_telemetry(
+        steps=240 if "--quick" in args else 600,
+        rounds=3 if "--quick" in args else 5,
+    )
+    print("\n== Telemetry plane: e2e fabric cost with the agent off / "
+          "scraping at 1s / at 100ms (self-normalized) ==")
+    print(
+        format_table(
+            ["arm", "scrape", "wall(ms)", "events", "deltas", "overhead"],
+            [
+                (
+                    r.label,
+                    "-" if r.scrape_interval is None
+                    else f"{r.scrape_interval:g}s",
+                    format_ms(r.wall_seconds),
+                    r.events,
+                    r.deltas,
+                    f"{r.overhead_percent:+.1f}%",
+                )
+                for r in telemetry_rows
+            ],
+        )
+    )
+    # Metrics only, no gated timings: the overhead ratio divides two
+    # in-process wall-clocked drains, too scheduler-noisy for the gate.
+    # The acceptance target lives in the table — the 1s arm should sit
+    # within a few percent of the off arm.
+    payload["BENCH_telemetry"] = {
+        "figure": "telemetry_overhead",
+        "workloads": [
+            {
+                "label": r.label,
+                "metrics": {
+                    "scrape_interval": r.scrape_interval,
+                    "wall_seconds": r.wall_seconds,
+                    "events": r.events,
+                    "deltas": r.deltas,
+                    "overhead_ratio": r.overhead_ratio,
+                },
+            }
+            for r in telemetry_rows
         ],
     }
 

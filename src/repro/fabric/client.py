@@ -169,7 +169,14 @@ class FabricClient:
             OBS.metrics.counter(
                 "fabric.recovery.buffered", client=self.address
             ).inc()
+        self._gauge_buffer_depth()
         self._schedule_redrive()
+
+    def _gauge_buffer_depth(self) -> None:
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "fabric.recovery.buffer_depth", client=self.address
+            ).set(len(self._publish_buffer))
 
     def _schedule_redrive(self) -> None:
         if self._redrive_timer is not None:
@@ -192,6 +199,7 @@ class FabricClient:
                 ).inc(len(self._publish_buffer))
             self._publish_buffer.clear()
             self._redrive_attempts = 0
+            self._gauge_buffer_depth()
             return
         batch, self._publish_buffer = self._publish_buffer, []
         self.redrives += 1
@@ -208,6 +216,7 @@ class FabricClient:
             # Failures re-buffer through _on_result and reschedule with
             # the next (longer) backoff step.
             self._send_publish(channel_id, owner, data)
+        self._gauge_buffer_depth()
         if self._publish_buffer:
             self._schedule_redrive()
 

@@ -210,7 +210,25 @@ class FabricDirectory:
         self.lease_renewals += 1
         if OBS.enabled:
             OBS.metrics.counter("fabric.lease.renewals").inc()
+            remaining = self.lease_remaining(address)
+            if remaining is not None:
+                OBS.metrics.gauge(
+                    "fabric.lease.ttl", worker=address
+                ).set(remaining)
         return True
+
+    def lease_remaining(self, address: str) -> Optional[float]:
+        """Seconds until *address*'s lease expires: ``lease_timeout``
+        minus the time since its last heartbeat.  ``None`` when lease
+        checking is off (no timeout / no clock) or the worker holds no
+        lease (never joined, or already declared dead).  May be
+        negative — an expired-but-not-yet-collected lease."""
+        if self.lease_timeout is None or self.clock is None:
+            return None
+        granted = self._leases.get(address)
+        if granted is None:
+            return None
+        return self.lease_timeout - (self._now() - granted)
 
     def check_leases(self) -> List[str]:
         """Declare every worker whose lease missed its deadline dead and
@@ -235,6 +253,13 @@ class FabricDirectory:
             self.lease_expirations += 1
             if OBS.enabled:
                 OBS.metrics.counter("fabric.lease.expired").inc()
+        if OBS.enabled:
+            for address in self._ring.members:
+                remaining = self.lease_remaining(address)
+                if remaining is not None:
+                    OBS.metrics.gauge(
+                        "fabric.lease.ttl", worker=address
+                    ).set(remaining)
         return dead
 
     def _rebalance(self) -> List[int]:

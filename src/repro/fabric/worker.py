@@ -254,6 +254,8 @@ class FabricWorker:
         self.heartbeats_suspended = False
         self._heartbeat_interval: Optional[float] = None
         self._heartbeat_timer: Optional[Any] = None
+        #: optional TelemetryAgent whose scrapes piggy-back on heartbeats
+        self.telemetry: Optional[Any] = None
         self.processed = 0
         self.duplicates = 0
         self.forwarded = 0
@@ -370,6 +372,9 @@ class FabricWorker:
             return
         self._crashed = True
         self.stop_heartbeats()
+        if self.telemetry is not None:
+            self.telemetry.stop()
+            self.telemetry = None
         self.node.close()
         if self.reliable is not None:
             self.reliable.abort_in_flight()
@@ -401,7 +406,18 @@ class FabricWorker:
         renewed = self.directory.heartbeat(self.address)
         if renewed and self.resolver is not None:
             self.resolver.reannounce_interests()
+        if renewed and self.telemetry is not None:
+            # Telemetry rides the liveness cadence: scrapes happen at
+            # most once per agent interval, clocked by the same timer
+            # that renews the lease — no extra timer, and a crashed
+            # worker's telemetry stops exactly when its lease does.
+            self.telemetry.maybe_scrape(self.network.now)
         return renewed
+
+    def attach_telemetry(self, agent: Any) -> None:
+        """Piggy-back *agent*'s scrapes on this worker's heartbeats (see
+        :meth:`heartbeat`); detached automatically on :meth:`crash`."""
+        self.telemetry = agent
 
     def start_heartbeats(self, interval: float) -> None:
         """Self-rescheduling lease renewal every *interval* seconds.

@@ -346,7 +346,9 @@ class ReliableEndpoint:
         self._next_seq[destination] = seq + 1
         ticket = SendTicket(destination, seq, payload, on_result)
         self.sent += 1
+        self._count("sends", peer=destination)
         self._pending[(destination, seq)] = ticket
+        self._gauge_in_flight()
         self._transmit(ticket)
         return ticket
 
@@ -402,6 +404,7 @@ class ReliableEndpoint:
             self._count("aborted", peer=ticket.destination)
             ticket._finish("failed")
         self._pending.clear()
+        self._gauge_in_flight()
         return aborted
 
     def _on_timeout(self, ticket: SendTicket) -> None:
@@ -413,6 +416,7 @@ class ReliableEndpoint:
             self._count("breaker_open", peer=ticket.destination)
         if ticket.attempts > self.max_retries:
             self._pending.pop((ticket.destination, ticket.seq), None)
+            self._gauge_in_flight()
             self.failed += 1
             self._count("give_ups", peer=ticket.destination)
             # Tell the peer to deliver around this seq so its in-order
@@ -551,7 +555,9 @@ class ReliableEndpoint:
         ticket = self._pending.pop((source, seq), None)
         if ticket is None or ticket.final:
             return  # duplicate or stale ack
+        self._gauge_in_flight()
         self.acked += 1
+        self._count("acked", peer=source)
         self.breaker(source).record_success()
         ticket._finish("acked")
 
@@ -586,6 +592,12 @@ class ReliableEndpoint:
             OBS.metrics.counter(
                 f"net.reliable.{name}", endpoint=self.address, **labels
             ).inc()
+
+    def _gauge_in_flight(self) -> None:
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "net.reliable.in_flight", endpoint=self.address
+            ).set(len(self._pending))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ReliableEndpoint({self.address!r}, sent={self.sent}, "

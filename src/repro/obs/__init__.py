@@ -11,7 +11,16 @@ breakdown available at runtime:
   recording into a bounded ring buffer
   (:class:`~repro.obs.tracing.SpanRecorder`),
 * **exporters** — JSON snapshots, Prometheus text format, and a
-  ``python -m repro.obs`` CLI that pretty-prints a live snapshot.
+  ``python -m repro.obs`` CLI that pretty-prints a live snapshot,
+* **the telemetry plane** — a per-process
+  :class:`~repro.obs.agent.TelemetryAgent` shipping registry deltas as
+  PBIO events on a reserved channel, the
+  :class:`~repro.obs.collector.TelemetryCollector` aggregating them
+  into fixed-memory :mod:`~repro.obs.timeseries` with a stable
+  ``cluster_state()`` contract, and a declarative
+  :class:`~repro.obs.slo.SloEngine` firing/resolving alerts over the
+  collected series (``python -m repro.obs --top`` renders the live
+  cluster view).
 
 Observability is **off by default** and built to cost almost nothing
 when off: every instrumentation site in the hot paths guards on
@@ -95,7 +104,43 @@ __all__ = [
     "span",
     "to_json",
     "to_prometheus",
+    # telemetry plane (lazily imported — see __getattr__ below)
+    "CLUSTER_STATE_SCHEMA",
+    "SeriesStore",
+    "SloEngine",
+    "SloRule",
+    "TELEMETRY_CHANNEL",
+    "TelemetryAgent",
+    "TelemetryCollector",
+    "TimeSeries",
+    "validate_cluster_state",
 ]
+
+#: Telemetry-plane exports resolve lazily (PEP 562): the agent pulls in
+#: repro.pbio, whose instrumentation imports this package — importing it
+#: eagerly here would be a cycle.
+_TELEMETRY_EXPORTS = {
+    "CLUSTER_STATE_SCHEMA": "repro.obs.protocol",
+    "SeriesStore": "repro.obs.timeseries",
+    "SloEngine": "repro.obs.slo",
+    "SloRule": "repro.obs.slo",
+    "TELEMETRY_CHANNEL": "repro.obs.protocol",
+    "TelemetryAgent": "repro.obs.agent",
+    "TelemetryCollector": "repro.obs.collector",
+    "TimeSeries": "repro.obs.timeseries",
+    "validate_cluster_state": "repro.obs.collector",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _TELEMETRY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
 
 
 class ObsState:

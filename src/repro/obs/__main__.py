@@ -24,6 +24,22 @@ Usage::
                                           # every delivered message produced
                                           # one complete trace, writes the
                                           # Chrome export, exits 1 on failure
+    python -m repro.obs --top             # live cluster view: a 3-worker
+                                          # fabric with telemetry agents,
+                                          # rendered as tables (sources,
+                                          # per-channel totals, route hit
+                                          # ratio, retransmit %, journal
+                                          # lag, SLO states)
+    python -m repro.obs --top --watch 5   # same, re-rendered every demo
+                                          # second for 5 frames
+    python -m repro.obs --cluster-export --out state.json
+                                          # run the demo fleet and write
+                                          # the collector's cluster_state()
+                                          # JSON contract
+    python -m repro.obs --telemetry-smoke # CI gate: agent/collector
+                                          # convergence under loss, SLO
+                                          # fire->resolve, schema check,
+                                          # byte-identical disabled wire
 """
 
 from __future__ import annotations
@@ -293,6 +309,62 @@ def _print_loaded(path: str) -> int:
     return 0
 
 
+def _run_top(watch_frames: int) -> int:
+    """Build the demo fleet, drive traffic, render the cluster view —
+    once, or one frame per demo second with ``--watch N``."""
+    from repro.obs.topview import build_cluster, drive, render_top
+
+    obs.disable(reset=True)
+    obs.enable()
+    cluster = build_cluster()
+    frames = max(1, watch_frames)
+    for frame in range(frames):
+        drive(cluster, seconds=1.0)
+        if frame:
+            print()
+        print(render_top(cluster.collector, cluster.engine))
+    cluster.flush()
+    obs.disable(reset=True)
+    return 0
+
+
+def _run_cluster_export(out_path: Optional[str]) -> int:
+    """Run the demo fleet and emit the ``cluster_state()`` contract."""
+    from repro.obs.topview import build_cluster, drive
+
+    obs.disable(reset=True)
+    obs.enable()
+    cluster = build_cluster()
+    drive(cluster, seconds=2.0)
+    cluster.flush()
+    state = cluster.collector.cluster_state()
+    obs.disable(reset=True)
+    text = json.dumps(state, indent=2, sort_keys=True)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote cluster state ({state['schema']}) to {out_path}")
+    else:
+        print(text)
+    return 0
+
+
+def _run_telemetry_smoke(out_path: Optional[str]) -> int:
+    from repro.obs.topview import telemetry_smoke
+
+    failures = telemetry_smoke(export_path=out_path)
+    if failures:
+        for failure in failures:
+            print(f"telemetry-smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "telemetry-smoke OK: collector converged, SLO fired and resolved, "
+        "schema valid, disabled wire byte-identical"
+        + (f", export at {out_path}" if out_path else "")
+    )
+    return 0
+
+
 def _option(args: List[str], flag: str) -> Optional[str]:
     """The value following *flag*, or None when the flag is absent.
     Exits with status 2 (via SystemExit) when the value is missing."""
@@ -313,6 +385,13 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     out_path = _option(args, "--out")
     if "--trace-smoke" in args:
         return _run_trace_smoke(out_path)
+    if "--telemetry-smoke" in args:
+        return _run_telemetry_smoke(out_path)
+    if "--top" in args:
+        watch = _option(args, "--watch")
+        return _run_top(int(watch) if watch is not None else 1)
+    if "--cluster-export" in args:
+        return _run_cluster_export(out_path)
     fmt = _option(args, "--format")
     if fmt is not None:
         if fmt != "chrome":

@@ -305,6 +305,116 @@ class Histogram(Instrument):
         return snap
 
 
+def merge_histogram_snapshots(
+    base: Dict[str, Any], newest: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Combine two histogram snapshots (or deltas) with identical bucket
+    bounds into one.
+
+    Bounds are compared for *exact* equality — never recomputed — and
+    bucket counts are added as integers, so merging N snapshots is free
+    of float drift: the merged counts are exactly the sums.  ``sum`` is
+    the only float accumulation (unavoidable; it was already a float sum
+    at observation time).  Exemplars are carried from *newest* when it
+    has any, else from *base*.  Derived fields (mean, p50/p95/p99) are
+    recomputed from the merged buckets.
+    """
+    base_edges = [b["le"] for b in base["buckets"]]
+    new_edges = [b["le"] for b in newest["buckets"]]
+    if base_edges != new_edges:
+        raise ObsError(
+            "cannot merge histogram snapshots with different bounds: "
+            f"{base_edges!r} vs {new_edges!r}"
+        )
+    counts = [
+        int(a["count"]) + int(b["count"])
+        for a, b in zip(base["buckets"], newest["buckets"])
+    ]
+    mins = [s["min"] for s in (base, newest) if s.get("min") is not None]
+    maxes = [s["max"] for s in (base, newest) if s.get("max") is not None]
+    merged: Dict[str, Any] = {
+        "count": int(base["count"]) + int(newest["count"]),
+        "sum": base["sum"] + newest["sum"],
+        "min": min(mins) if mins else None,
+        "max": max(maxes) if maxes else None,
+        "buckets": [
+            {"le": edge, "count": count}
+            for edge, count in zip(base_edges, counts)
+        ],
+    }
+    exemplars = newest.get("exemplars") or base.get("exemplars")
+    if exemplars:
+        merged["exemplars"] = [dict(e) for e in exemplars]
+    if merged["count"]:
+        merged["mean"] = merged["sum"] / merged["count"]
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            merged[label] = percentile_from_buckets(
+                merged["buckets"], q,
+                minimum=merged["min"], maximum=merged["max"],
+            )
+    for extra in ("kind", "labels"):
+        if extra in newest:
+            merged[extra] = newest[extra]
+        elif extra in base:
+            merged[extra] = base[extra]
+    return merged
+
+
+def percentile_from_buckets(
+    buckets: Sequence[Dict[str, Any]],
+    q: float,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> float:
+    """Prometheus-style quantile estimate over snapshot-shaped buckets
+    (``[{"le": bound_or_None, "count": n}, ...]``) — the same linear
+    interpolation :meth:`Histogram.percentile` uses, but over *merged*
+    bucket rows, so collectors can answer p50/p95/p99 across processes
+    and time windows."""
+    if not 0 < q <= 1:
+        raise ObsError(f"quantile must be in (0, 1], got {q}")
+    total = sum(int(b["count"]) for b in buckets)
+    if total == 0:
+        return 0.0
+    if minimum is not None and minimum == maximum:
+        return minimum
+    rank = q * total
+    cumulative = 0
+    for index, bucket in enumerate(buckets):
+        bucket_count = int(bucket["count"])
+        if bucket_count == 0:
+            continue
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative < rank:
+            continue
+        if index > 0:
+            lower = buckets[index - 1]["le"]
+        else:
+            lower = minimum if minimum is not None else 0.0
+        upper = bucket["le"]
+        if upper is None:  # overflow bucket: cap at the observed maximum
+            upper = maximum if maximum is not None else buckets[-2]["le"]
+        lower = min(lower, upper)
+        fraction = (rank - previous) / bucket_count
+        return lower + (upper - lower) * fraction
+    return maximum if maximum is not None else 0.0
+
+
+def merge_snapshot_entries(
+    base: Dict[str, Any], newest: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Merge two snapshot/delta entries of the same kind: counters add,
+    gauges take the newest value, histograms merge bucket-exactly."""
+    kind = newest.get("kind", base.get("kind", "counter"))
+    if kind == "histogram":
+        return merge_histogram_snapshots(base, newest)
+    merged = dict(newest)
+    if kind == "counter":
+        merged["value"] = int(base["value"]) + int(newest["value"])
+    return merged
+
+
 class Registry:
     """A named collection of instruments.
 
@@ -436,6 +546,100 @@ class Registry:
             if instrument.labels:
                 entry["labels"] = dict(instrument.labels)
             out[instrument.name + instrument.label_suffix()] = entry
+        return out
+
+    def diff_snapshot(
+        self,
+        prev: Optional[Dict[str, Dict[str, Any]]] = None,
+        current: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> Dict[str, Dict[str, Any]]:
+        """A *mergeable delta* between *prev* (an earlier
+        :meth:`snapshot`) and the registry's current state.
+
+        The delta is itself snapshot-shaped, so deltas from many scrapes
+        (or many processes) recombine with
+        :func:`merge_snapshot_entries` without ever re-reading absolute
+        values:
+
+        * **counters** carry the increment since *prev*; a monotonic
+          reset (current < previous — the process restarted or the
+          registry was reset) is detected and reported as
+          ``"reset": True`` with the full current value as the delta, so
+          totals never go backwards.
+        * **gauges** carry the current absolute value (last-write-wins on
+          merge) and appear only when changed since *prev*.
+        * **histograms** carry per-bucket count increments with the same
+          reset rule per-instrument (any bucket shrinking ⇒ reset);
+          ``min``/``max`` are the current absolutes and exemplars ride
+          the delta so the newest scrape's traces win downstream.
+
+        Unchanged instruments are omitted — a quiet process ships an
+        empty delta.
+
+        Pass *current* (an already-taken :meth:`snapshot`) to diff
+        between two known snapshots instead of re-reading the registry —
+        the agent does this so the snapshot it stores as "previous" is
+        exactly the one the delta was computed from.
+        """
+        prev = prev or {}
+        out: Dict[str, Dict[str, Any]] = {}
+        if current is None:
+            current = self.snapshot()
+        for key, entry in current.items():
+            before = prev.get(key)
+            kind = entry["kind"]
+            if kind == "gauge":
+                if before is None or before.get("value") != entry["value"]:
+                    out[key] = entry
+                continue
+            if before is None or before.get("kind") != kind:
+                delta = dict(entry)
+                delta["reset"] = before is not None
+                if delta.get("count") == 0 and kind == "histogram":
+                    continue
+                if kind == "counter" and delta["value"] == 0:
+                    continue
+                out[key] = delta
+                continue
+            if kind == "counter":
+                change = int(entry["value"]) - int(before.get("value", 0))
+                if change < 0:  # monotonic reset: restart counting
+                    out[key] = {**entry, "reset": True}
+                elif change:
+                    out[key] = {**entry, "value": change, "reset": False}
+                continue
+            # histogram: per-bucket deltas with exact-integer arithmetic
+            old_edges = [b["le"] for b in before.get("buckets", ())]
+            new_edges = [b["le"] for b in entry["buckets"]]
+            shrank = (
+                old_edges != new_edges
+                or int(entry["count"]) < int(before.get("count", 0))
+                or any(
+                    int(b["count"]) < int(a["count"])
+                    for a, b in zip(before["buckets"], entry["buckets"])
+                )
+            )
+            if shrank:
+                out[key] = {**entry, "reset": True}
+                continue
+            dcount = int(entry["count"]) - int(before.get("count", 0))
+            if dcount == 0:
+                continue
+            delta = dict(entry)
+            delta["reset"] = False
+            delta["count"] = dcount
+            delta["sum"] = entry["sum"] - before.get("sum", 0.0)
+            delta["buckets"] = [
+                {"le": b["le"], "count": int(b["count"]) - int(a["count"])}
+                for a, b in zip(before["buckets"], entry["buckets"])
+            ]
+            delta["mean"] = delta["sum"] / dcount
+            for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                delta[label] = percentile_from_buckets(
+                    delta["buckets"], q,
+                    minimum=entry.get("min"), maximum=entry.get("max"),
+                )
+            out[key] = delta
         return out
 
     def reset(self) -> None:

@@ -1,0 +1,102 @@
+"""Telemetry wire protocol — metric deltas as first-class PBIO events.
+
+The telemetry plane dogfoods the paper's thesis: a metrics scrape is
+just another evolving data exchange, so it ships as a versioned PBIO
+record on a reserved channel and relies on the *morphing* layer — not
+out-of-band coordination — when agent and collector disagree on the
+schema.
+
+* **v1.0** is the baseline record: source identity (``process`` /
+  ``worker``), the restart-detection pair (``boot`` + ``seq``), the
+  scrape timestamp, and the metric delta payload.  The delta itself
+  rides as JSON inside a string field — like the fabric's handoff state,
+  it is control-plane metadata whose shape (arbitrary metric names) does
+  not fit a fixed IOFormat, and keeping it opaque means the *envelope*
+  can evolve without touching the payload encoding.
+* **v2.0** adds the scrape ``interval`` and the ``dropped`` count from
+  the agent's cardinality guard.  ``TELEMETRY_V2_TO_V1`` is the retro
+  transform: a collector still subscribing with v1.0 receives v2.0
+  agents' records morphed down, exactly the ChannelOpenResponse story
+  applied to monitoring traffic.
+
+``seq`` is per-``boot`` monotonic and deltas are mergeable, so a
+collector that dedupes on ``(process, boot, seq)`` gets exactly-once
+aggregation over at-least-once transports — retransmitted deltas are
+idempotent by construction.
+"""
+
+from __future__ import annotations
+
+from repro.pbio.field import IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.registry import FormatRegistry, TransformSpec
+
+#: The reserved channel telemetry deltas are published on (echo channel
+#: id and fabric channel id alike).
+TELEMETRY_CHANNEL = "__telemetry__"
+
+#: The ``cluster_state()`` JSON contract version (see
+#: :meth:`repro.obs.collector.TelemetryCollector.cluster_state`).
+CLUSTER_STATE_SCHEMA = "repro.telemetry/1"
+
+TELEMETRY_V1 = IOFormat(
+    "TelemetryDelta",
+    [
+        IOField("process", "string"),
+        IOField("worker", "string"),
+        IOField("boot", "unsigned", 8),
+        IOField("seq", "unsigned", 8),
+        IOField("time", "float", 8),
+        IOField("metrics", "string"),
+    ],
+    version="1.0",
+)
+
+TELEMETRY_V2 = IOFormat(
+    "TelemetryDelta",
+    [
+        IOField("process", "string"),
+        IOField("worker", "string"),
+        IOField("boot", "unsigned", 8),
+        IOField("seq", "unsigned", 8),
+        IOField("time", "float", 8),
+        IOField("interval", "float", 8),
+        IOField("dropped", "unsigned", 4),
+        IOField("metrics", "string"),
+    ],
+    version="2.0",
+)
+
+TELEMETRY_V2_TO_V1_CODE = """
+old.process = new.process;
+old.worker = new.worker;
+old.boot = new.boot;
+old.seq = new.seq;
+old.time = new.time;
+old.metrics = new.metrics;
+"""
+
+TELEMETRY_V2_TO_V1 = TransformSpec(
+    source=TELEMETRY_V2,
+    target=TELEMETRY_V1,
+    code=TELEMETRY_V2_TO_V1_CODE,
+    description="TelemetryDelta 2.0 -> 1.0 (drop interval/dropped)",
+)
+
+TELEMETRY_BY_VERSION = {
+    "1.0": TELEMETRY_V1,
+    "2.0": TELEMETRY_V2,
+}
+
+
+def register_telemetry_protocol(
+    registry: FormatRegistry, version: str = "2.0"
+) -> None:
+    """Register the telemetry record format a process of *version*
+    publishes (idempotent), plus the retro transform for v2.0 writers so
+    v1.0 collectors keep decoding."""
+    fmt = TELEMETRY_BY_VERSION[version]
+    if fmt not in registry:
+        registry.register(fmt)
+    if version == "2.0":
+        registry.register_transform(TELEMETRY_V2_TO_V1)
